@@ -1,0 +1,44 @@
+//! End-to-end scenario benchmarks: how fast does the simulator execute
+//! each of the paper's mobility cases? (Throughput of the harness itself,
+//! not a paper figure — but it bounds how many trials the figure benches
+//! can afford.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use st_net::scenarios::{by_name, eval_config};
+use st_net::ProtocolKind;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let cfg = eval_config(ProtocolKind::SilentTracker);
+    let mut group = c.benchmark_group("scenario_run");
+    group.sample_size(10);
+    for name in ["walk", "rotation", "vehicular"] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(by_name(name, &cfg, seed).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reactive(c: &mut Criterion) {
+    let mut cfg = eval_config(ProtocolKind::Reactive);
+    cfg.duration = st_des::SimDuration::from_secs(30);
+    let mut group = c.benchmark_group("scenario_run");
+    group.sample_size(10);
+    group.bench_function("walk_reactive", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(by_name("walk", &cfg, seed).run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios, bench_reactive);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Threshold ablation (DESIGN.md E6): how sensitive is the protocol to
+//! the 3 dB switch threshold, the 10 dB loss threshold, and the handover
+//! hysteresis T that the paper fixes?
+//!
+//! Each arm sweeps one knob on the human-walk scenario while the others
+//! stay at the paper's values, reporting handover completion, alignment,
+//! and the silent-switch rate (the protocol's resource cost).
+
+use st_des::SimDuration;
+use st_metrics::{Accumulator, RateCounter, Table};
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::ProtocolKind;
+use st_phy::units::Db;
+
+use crate::runner::run_trials;
+
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    pub knob: &'static str,
+    pub value_db: f64,
+    pub completed: RateCounter,
+    pub completion_ms: Accumulator,
+    pub alignment: Accumulator,
+    pub nrba_switches: Accumulator,
+}
+
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    pub points: Vec<AblationPoint>,
+    pub trials: u64,
+}
+
+fn run_point(knob: &'static str, value_db: f64, trials: u64) -> AblationPoint {
+    let mut cfg = eval_config(ProtocolKind::SilentTracker);
+    cfg.duration = SimDuration::from_secs(30);
+    match knob {
+        "switch_threshold" => cfg.tracker.switch_threshold = Db(value_db),
+        "loss_threshold" => cfg.tracker.loss_threshold = Db(value_db),
+        "hysteresis" => cfg.tracker.handover_hysteresis = Db(value_db),
+        other => panic!("unknown knob {other}"),
+    }
+    let outs = run_trials(trials, |seed| human_walk(&cfg, seed));
+    let mut completed = RateCounter::default();
+    let mut completion_ms = Accumulator::new();
+    let mut alignment = Accumulator::new();
+    let mut nrba_switches = Accumulator::new();
+    for o in &outs {
+        completed.record(o.handover_succeeded());
+        if let Some(t) = o.handover_complete_at {
+            completion_ms.push(t.as_millis_f64());
+        }
+        if let Some(a) = o.alignment_fraction() {
+            alignment.push(a);
+        }
+        if let Some(st) = o.tracker_stats {
+            nrba_switches.push(st.nrba_switches as f64);
+        }
+    }
+    AblationPoint {
+        knob,
+        value_db,
+        completed,
+        completion_ms,
+        alignment,
+        nrba_switches,
+    }
+}
+
+pub fn run(trials: u64) -> Ablation {
+    let mut points = Vec::new();
+    for v in [1.5, 3.0, 6.0] {
+        points.push(run_point("switch_threshold", v, trials));
+    }
+    for v in [6.0, 10.0, 15.0] {
+        points.push(run_point("loss_threshold", v, trials));
+    }
+    for v in [1.0, 3.0, 6.0] {
+        points.push(run_point("hysteresis", v, trials));
+    }
+    Ablation { points, trials }
+}
+
+pub fn render(r: &Ablation) -> String {
+    let mut t = Table::new(
+        "Threshold ablation (human walk; paper values: switch 3 dB, loss 10 dB, T 3 dB)",
+        &[
+            "knob",
+            "value_dB",
+            "completed_%",
+            "median_ms",
+            "alignment",
+            "nrba_switches",
+        ],
+    );
+    for p in &r.points {
+        let med = if p.completion_ms.count() > 0 {
+            format!("{:.0}", p.completion_ms.mean())
+        } else {
+            "-".into()
+        };
+        let al = if p.alignment.count() > 0 {
+            format!("{:.2}", p.alignment.mean())
+        } else {
+            "-".into()
+        };
+        let sw = if p.nrba_switches.count() > 0 {
+            format!("{:.1}", p.nrba_switches.mean())
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            p.knob.into(),
+            format!("{:.1}", p.value_db),
+            format!("{:.0}", p.completed.percent()),
+            med,
+            al,
+            sw,
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_and_paper_point_works() {
+        let p = run_point("switch_threshold", 3.0, 4);
+        assert!(p.completed.rate() > 0.5, "{:?}", p.completed);
+        let h = run_point("hysteresis", 6.0, 2);
+        assert_eq!(h.knob, "hysteresis");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown knob")]
+    fn unknown_knob_panics() {
+        run_point("frobnicate", 1.0, 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Threshold ablation (DESIGN.md E6).
+//! Usage: `ablation [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let r = st_bench::ablation::run(trials);
+    println!("{}", st_bench::ablation::render(&r));
+}

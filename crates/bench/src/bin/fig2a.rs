@@ -1,0 +1,10 @@
+//! Regenerates Fig. 2a (search latency + success rate).
+//! Usage: `fig2a [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let r = st_bench::fig2a::run(trials);
+    println!("{}", st_bench::fig2a::render(&r));
+}

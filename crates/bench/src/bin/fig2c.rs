@@ -1,0 +1,10 @@
+//! Regenerates Fig. 2c (handover-completion CDF, 3 mobility scenarios).
+//! Usage: `fig2c [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let r = st_bench::fig2c::run(trials);
+    println!("{}", st_bench::fig2c::render(&r));
+}

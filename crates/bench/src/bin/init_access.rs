@@ -1,0 +1,11 @@
+//! Regenerates the §1 initial-search latency bound (1.28 s) and the
+//! measured cold-search distribution.
+//! Usage: `init_access [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let r = st_bench::init_access::run(trials);
+    println!("{}", st_bench::init_access::render(&r));
+}

@@ -1,0 +1,10 @@
+//! Soft vs hard handover interruption (the paper's motivation).
+//! Usage: `interruption [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let r = st_bench::interruption::run(trials);
+    println!("{}", st_bench::interruption::render(&r));
+}

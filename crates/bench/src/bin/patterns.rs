@@ -1,0 +1,10 @@
+//! Antenna-pattern realism ablation (DESIGN.md E9).
+//! Usage: `patterns [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let r = st_bench::patterns::run(trials);
+    println!("{}", st_bench::patterns::render(&r));
+}

@@ -1,0 +1,10 @@
+//! Measurement-gap duty-cycle trade-off (DESIGN.md E7).
+//! Usage: `resource [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let r = st_bench::resource::run(trials);
+    println!("{}", st_bench::resource::render(&r));
+}

@@ -1,0 +1,10 @@
+//! Pedestrian-blockage robustness sweep (DESIGN.md E8).
+//! Usage: `robustness [N_TRIALS]`
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let r = st_bench::robustness::run(trials);
+    println!("{}", st_bench::robustness::render(&r));
+}

@@ -1,0 +1,87 @@
+//! §1 claim — "initial beam search can take up to 1.28 seconds".
+//!
+//! Two parts: (1) the frame-structure arithmetic: an exhaustive initial
+//! search dwells one full SSB burst set (20 ms) per receive position, so
+//! 64 positions cost exactly 1.28 s; (2) a measured cold-search latency
+//! distribution from the reactive baseline (which performs precisely this
+//! cold search after link failure), to show where typical searches land
+//! relative to the worst case.
+
+use st_des::SimDuration;
+use st_mac::timing::SsbConfig;
+use st_metrics::{Accumulator, Table};
+use st_net::scenarios::human_walk;
+use st_net::{ProtocolKind, ScenarioConfig};
+
+use crate::runner::run_trials;
+
+#[derive(Debug, Clone)]
+pub struct InitAccess {
+    /// (receive positions, worst-case exhaustive time).
+    pub bound_rows: Vec<(usize, SimDuration)>,
+    /// Measured cold-search latency (ms) of the reactive baseline.
+    pub measured_ms: Accumulator,
+    pub trials: u64,
+}
+
+pub fn run(trials: u64) -> InitAccess {
+    let ssb = SsbConfig::nr_fr2(64);
+    let bound_rows = [1usize, 6, 18, 64]
+        .iter()
+        .map(|&n| (n, ssb.exhaustive_search_time(n)))
+        .collect();
+
+    // Measured: reactive baseline cold search after RLF (dwells × 20 ms).
+    let mut cfg = ScenarioConfig::two_cell_edge();
+    cfg.protocol = ProtocolKind::Reactive;
+    cfg.duration = SimDuration::from_secs(60);
+    let outs = run_trials(trials, |seed| human_walk(&cfg, seed));
+    let mut measured_ms = Accumulator::new();
+    for o in &outs {
+        if let (Some(rlf), Some(trig)) = (o.rlf_at, o.handover_triggered_at) {
+            measured_ms.push(trig.since(rlf).as_millis_f64());
+        }
+    }
+    InitAccess {
+        bound_rows,
+        measured_ms,
+        trials,
+    }
+}
+
+pub fn render(r: &InitAccess) -> String {
+    let mut bound = Table::new(
+        "Initial-search worst case (one 20 ms burst set per receive position)",
+        &["rx_positions", "worst_case_ms"],
+    );
+    for (n, d) in &r.bound_rows {
+        bound.row(&[format!("{n}"), format!("{:.0}", d.as_millis_f64())]);
+    }
+    let mut measured = Table::new(
+        "Measured cold search after link failure (reactive baseline, walk)",
+        &["metric", "value"],
+    );
+    if r.measured_ms.count() > 0 {
+        let s = r.measured_ms.summary();
+        measured.row(&["mean_ms".into(), format!("{:.0}", s.mean)]);
+        measured.row(&["max_ms".into(), format!("{:.0}", s.max)]);
+        measured.row(&["n".into(), format!("{}", s.n)]);
+    } else {
+        measured.row(&["n".into(), "0".into()]);
+    }
+    format!("{}\n{}", bound.render(), measured.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_1280ms_at_64_positions() {
+        let r = run(3);
+        let (n, d) = r.bound_rows.last().unwrap();
+        assert_eq!(*n, 64);
+        assert_eq!(d.as_millis_f64(), 1280.0);
+        assert!(render(&r).contains("1280"));
+    }
+}

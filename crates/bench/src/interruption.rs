@@ -1,0 +1,111 @@
+//! Soft vs hard handover — the paper's motivation (§1/§2).
+//!
+//! Same human-walk trials, two protocol arms:
+//!
+//! * **Silent Tracker** — make-before-break: by the time the trigger
+//!   fires, the target beam is tracked and random access runs on an
+//!   aligned beam; the context travels over the backhaul. The
+//!   interruption is the access exchange only.
+//! * **Reactive** — the mobile does nothing until the serving link dies,
+//!   then pays the cold directional search, context-free access, and the
+//!   connection re-establishment penalty.
+
+use st_des::SimDuration;
+use st_metrics::{Accumulator, RateCounter, Table};
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::ProtocolKind;
+
+use crate::runner::run_trials;
+
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub name: &'static str,
+    pub interruption_ms: Accumulator,
+    pub completed: RateCounter,
+}
+
+#[derive(Debug, Clone)]
+pub struct Interruption {
+    pub arms: Vec<Arm>,
+    pub trials: u64,
+}
+
+pub fn run(trials: u64) -> Interruption {
+    let arms = [
+        ("silent-tracker", ProtocolKind::SilentTracker),
+        ("reactive-hard", ProtocolKind::Reactive),
+    ]
+    .iter()
+    .map(|&(name, kind)| {
+        let mut cfg = eval_config(kind);
+        cfg.duration = SimDuration::from_secs(60);
+        let outs = run_trials(trials, |seed| human_walk(&cfg, seed));
+        let mut interruption_ms = Accumulator::new();
+        let mut completed = RateCounter::default();
+        for o in &outs {
+            completed.record(o.handover_succeeded());
+            if let Some(i) = o.interruption {
+                interruption_ms.push(i.as_millis_f64());
+            }
+        }
+        Arm {
+            name,
+            interruption_ms,
+            completed,
+        }
+    })
+    .collect();
+    Interruption { arms, trials }
+}
+
+pub fn render(r: &Interruption) -> String {
+    let mut t = Table::new(
+        "Service interruption: soft (Silent Tracker) vs hard (reactive) handover",
+        &["protocol", "completed_%", "mean_ms", "ci95", "max_ms", "n"],
+    );
+    for a in &r.arms {
+        if a.interruption_ms.count() > 0 {
+            let s = a.interruption_ms.summary();
+            t.row(&[
+                a.name.into(),
+                format!("{:.0}", a.completed.percent()),
+                format!("{:.0}", s.mean),
+                format!("±{:.0}", s.ci95),
+                format!("{:.0}", s.max),
+                format!("{}", s.n),
+            ]);
+        } else {
+            t.row(&[
+                a.name.into(),
+                format!("{:.0}", a.completed.percent()),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_beats_hard() {
+        let r = run(6);
+        let soft = &r.arms[0];
+        let hard = &r.arms[1];
+        assert!(soft.interruption_ms.count() > 0, "no soft completions");
+        if hard.interruption_ms.count() > 0 {
+            assert!(
+                soft.interruption_ms.mean() < hard.interruption_ms.mean(),
+                "soft {} vs hard {}",
+                soft.interruption_ms.mean(),
+                hard.interruption_ms.mean()
+            );
+        }
+        assert!(render(&r).contains("silent-tracker"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Pattern-realism ablation (DESIGN.md E9): does the protocol's behaviour
+//! depend on the idealized sectored beam model?
+//!
+//! The main evaluation uses 3GPP-style sectored patterns parameterised by
+//! beamwidth (how the paper quotes its codebooks). This arm swaps in a
+//! physically-derived codebook — three 8-element uniform linear array
+//! panels, 10 steered beams each, with true array factors (nulls, side
+//! lobes) — and re-runs the walk scenario. The result quantifies the
+//! *cost of real front-ends*: the protocol still completes most
+//! handovers, but sharp main lobes with deep nulls punish every dwell of
+//! tracking lag, so completion and especially the within-3 dB alignment
+//! fraction drop relative to the smooth sectored model. Deployments with
+//! such arrays would want a denser probe cycle (more gap airtime) — the
+//! resource trade-off quantified in [`crate::resource`].
+
+use st_des::SimDuration;
+use st_metrics::{Accumulator, RateCounter, Table};
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::ProtocolKind;
+use st_phy::codebook::Codebook;
+
+use crate::runner::run_trials;
+
+#[derive(Debug, Clone)]
+pub struct PatternArm {
+    pub name: &'static str,
+    pub n_beams: usize,
+    pub completed: RateCounter,
+    pub completion_ms: Accumulator,
+    pub alignment: Accumulator,
+}
+
+#[derive(Debug, Clone)]
+pub struct Patterns {
+    pub arms: Vec<PatternArm>,
+    pub trials: u64,
+}
+
+pub fn run(trials: u64) -> Patterns {
+    let arms = [
+        ("sectored-18x20deg", None),
+        (
+            // 8-element panels have ~12.8° half-power beams; 10 beams per
+            // 120° panel tile the circle at their -3 dB contours, the
+            // same design rule as the sectored codebooks.
+            "ula-3panels-8el",
+            Some(Codebook::multi_panel_ula(3, 8, 10)),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, custom)| {
+        let mut cfg = eval_config(ProtocolKind::SilentTracker);
+        cfg.duration = SimDuration::from_secs(30);
+        let n_beams = custom
+            .as_ref()
+            .map(|c| c.len())
+            .unwrap_or_else(|| Codebook::for_class(cfg.ue_codebook).len());
+        cfg.custom_ue_codebook = custom;
+        let outs = run_trials(trials, |seed| human_walk(&cfg, seed));
+        let mut completed = RateCounter::default();
+        let mut completion_ms = Accumulator::new();
+        let mut alignment = Accumulator::new();
+        for o in &outs {
+            completed.record(o.handover_succeeded());
+            if let Some(t) = o.handover_complete_at {
+                completion_ms.push(t.as_millis_f64());
+            }
+            if let Some(a) = o.alignment_fraction() {
+                alignment.push(a);
+            }
+        }
+        PatternArm {
+            name,
+            n_beams,
+            completed,
+            completion_ms,
+            alignment,
+        }
+    })
+    .collect();
+    Patterns { arms, trials }
+}
+
+pub fn render(r: &Patterns) -> String {
+    let mut t = Table::new(
+        "Antenna-pattern realism: idealized sectored vs true ULA array factors",
+        &["pattern", "beams", "completed_%", "mean_ms", "alignment"],
+    );
+    for a in &r.arms {
+        let ms = if a.completion_ms.count() > 0 {
+            format!("{:.0}", a.completion_ms.mean())
+        } else {
+            "-".into()
+        };
+        let al = if a.alignment.count() > 0 {
+            format!("{:.2}", a.alignment.mean())
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            a.name.into(),
+            format!("{}", a.n_beams),
+            format!("{:.0}", a.completed.percent()),
+            ms,
+            al,
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ula_codebook_also_completes() {
+        let r = run(4);
+        for a in &r.arms {
+            assert!(
+                a.completed.rate() >= 0.5,
+                "{}: {:?}",
+                a.name,
+                a.completed
+            );
+        }
+        assert_eq!(r.arms[1].n_beams, 30);
+        assert!(render(&r).contains("ula-3panels"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Oracle (genie-aided) baseline.
+//!
+//! The upper bound that the out-of-band approaches the paper cites
+//! (LiSteer's LEDs, pose-assisted tracking, motion prediction) aspire to:
+//! this tracker is told the ground-truth angle of arrival of every cell
+//! at every instant and always selects the best receive beam with zero
+//! search cost. It is **explicitly not in-band** — it exists so the
+//! benches can report how much of the oracle's performance Silent
+//! Tracker recovers using RSS alone.
+
+use st_mac::pdu::CellId;
+use st_phy::codebook::{BeamId, Codebook};
+use st_phy::geometry::Radians;
+use st_phy::units::{Db, Dbm};
+
+/// Per-instant ground truth for one cell, as supplied by the driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTruth {
+    pub cell: CellId,
+    /// Angle of arrival in the device-local frame.
+    pub aoa: Radians,
+    /// RSS the mobile would see on its *best* receive beam.
+    pub best_rss: Dbm,
+}
+
+/// Decision produced each instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleDecision {
+    /// Best receive beam towards the serving cell.
+    pub serving_rx_beam: BeamId,
+    /// Best receive beam towards the strongest neighbor, if any.
+    pub neighbor_rx_beam: Option<BeamId>,
+    /// Handover target if the trigger condition holds.
+    pub handover_to: Option<CellId>,
+}
+
+/// The genie-aided tracker.
+#[derive(Debug, Clone)]
+pub struct OracleTracker {
+    codebook: Codebook,
+    serving: CellId,
+    hysteresis: Db,
+}
+
+impl OracleTracker {
+    pub fn new(codebook: Codebook, serving: CellId, hysteresis: Db) -> OracleTracker {
+        OracleTracker {
+            codebook,
+            serving,
+            hysteresis,
+        }
+    }
+
+    pub fn serving(&self) -> CellId {
+        self.serving
+    }
+
+    /// Decide beams and handover given perfect knowledge. `cells` must
+    /// contain the serving cell; neighbors are optional.
+    pub fn decide(&mut self, cells: &[CellTruth]) -> OracleDecision {
+        let serving = cells
+            .iter()
+            .find(|c| c.cell == self.serving)
+            .expect("serving cell truth missing");
+        let serving_rx_beam = self.codebook.best_beam_towards(serving.aoa);
+        let best_neighbor = cells
+            .iter()
+            .filter(|c| c.cell != self.serving)
+            .max_by(|a, b| a.best_rss.0.partial_cmp(&b.best_rss.0).unwrap());
+        let neighbor_rx_beam = best_neighbor.map(|n| self.codebook.best_beam_towards(n.aoa));
+        let handover_to = best_neighbor.and_then(|n| {
+            (n.best_rss.0 > serving.best_rss.0 + self.hysteresis.0).then_some(n.cell)
+        });
+        if let Some(target) = handover_to {
+            self.serving = target;
+        }
+        OracleDecision {
+            serving_rx_beam,
+            neighbor_rx_beam,
+            handover_to,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_phy::codebook::BeamwidthClass;
+
+    fn truth(cell: u16, aoa_deg: f64, rss: f64) -> CellTruth {
+        CellTruth {
+            cell: CellId(cell),
+            aoa: Radians::from_degrees(aoa_deg),
+            best_rss: Dbm(rss),
+        }
+    }
+
+    fn oracle() -> OracleTracker {
+        OracleTracker::new(
+            Codebook::for_class(BeamwidthClass::Narrow),
+            CellId(0),
+            Db(3.0),
+        )
+    }
+
+    #[test]
+    fn picks_best_beams_instantly() {
+        let mut o = oracle();
+        let d = o.decide(&[truth(0, 10.0, -60.0), truth(1, -120.0, -80.0)]);
+        let cb = Codebook::for_class(BeamwidthClass::Narrow);
+        assert_eq!(
+            d.serving_rx_beam,
+            cb.best_beam_towards(Radians::from_degrees(10.0))
+        );
+        assert_eq!(
+            d.neighbor_rx_beam,
+            Some(cb.best_beam_towards(Radians::from_degrees(-120.0)))
+        );
+        assert_eq!(d.handover_to, None);
+    }
+
+    #[test]
+    fn hands_over_past_hysteresis_and_updates_serving() {
+        let mut o = oracle();
+        let d = o.decide(&[truth(0, 0.0, -70.0), truth(1, 90.0, -65.0)]);
+        assert_eq!(d.handover_to, Some(CellId(1)));
+        assert_eq!(o.serving(), CellId(1));
+        // Next instant, cell 1 is serving; no flap back within hysteresis.
+        let d2 = o.decide(&[truth(0, 0.0, -66.0), truth(1, 90.0, -65.0)]);
+        assert_eq!(d2.handover_to, None);
+        assert_eq!(o.serving(), CellId(1));
+    }
+
+    #[test]
+    fn no_neighbors_no_handover() {
+        let mut o = oracle();
+        let d = o.decide(&[truth(0, 45.0, -60.0)]);
+        assert_eq!(d.neighbor_rx_beam, None);
+        assert_eq!(d.handover_to, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "serving cell truth missing")]
+    fn missing_serving_truth_panics() {
+        oracle().decide(&[truth(5, 0.0, -60.0)]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Reactive hard-handover baseline.
+//!
+//! What omnidirectional cellular does, transplanted to mm-wave — and the
+//! paper's motivating strawman (§2: "Reactive handover mechanisms
+//! employed in omnidirectional cellular technologies are not viable in
+//! the mm-wave band"). The mobile runs serving-link beam management only;
+//! no neighbor search happens until the serving link *fails*. Then it
+//! performs the full directional initial search from scratch and random
+//! access with **no context** — a hard handover paying the up-to-1.28 s
+//! search plus connection re-establishment.
+//!
+//! It consumes the same [`Input`]s and emits the same [`Action`]s as
+//! [`SilentTracker`](crate::tracker::SilentTracker), so drivers and
+//! benches swap protocols with one constructor change.
+
+use st_des::SimTime;
+use st_mac::pdu::{CellId, UeId};
+use st_phy::codebook::{BeamId, Codebook};
+
+use crate::config::TrackerConfig;
+use crate::measurement::{BeamTable, LinkMonitor};
+use crate::search::{Discovery, SearchController, SearchStep};
+use crate::tracker::{Action, HandoverDirective, HandoverReason, Input};
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Serving link alive; no neighbor activity at all.
+    Connected,
+    /// Serving link failed; sweeping for any cell.
+    Searching(SearchController),
+    /// Target found; handover directive issued.
+    Done,
+}
+
+/// The reactive baseline protocol.
+#[derive(Debug, Clone)]
+pub struct ReactiveHandover {
+    pub config: TrackerConfig,
+    #[allow(dead_code)]
+    ue: UeId,
+    serving_cell: CellId,
+    codebook: Codebook,
+    serving_rx_beam: BeamId,
+    monitor: LinkMonitor,
+    table: BeamTable,
+    phase: Phase,
+    directive: Option<HandoverDirective>,
+    /// Time the serving link failed (start of the outage).
+    failed_at: Option<SimTime>,
+    srba_switches: u64,
+    search_dwells: u64,
+}
+
+impl ReactiveHandover {
+    pub fn new(
+        config: TrackerConfig,
+        ue: UeId,
+        serving_cell: CellId,
+        codebook: Codebook,
+        serving_rx_beam: BeamId,
+    ) -> ReactiveHandover {
+        config.validate().expect("invalid config");
+        ReactiveHandover {
+            monitor: LinkMonitor::new(config.ewma_alpha),
+            table: BeamTable::new(config.ewma_alpha),
+            config,
+            ue,
+            serving_cell,
+            codebook,
+            serving_rx_beam,
+            phase: Phase::Connected,
+            directive: None,
+            failed_at: None,
+            srba_switches: 0,
+            search_dwells: 0,
+        }
+    }
+
+    pub fn serving_rx_beam(&self) -> BeamId {
+        self.serving_rx_beam
+    }
+
+    pub fn handover(&self) -> Option<HandoverDirective> {
+        self.directive
+    }
+
+    /// When the outage began (serving link lost), if it has.
+    pub fn failed_at(&self) -> Option<SimTime> {
+        self.failed_at
+    }
+
+    pub fn search_dwells(&self) -> u64 {
+        self.search_dwells
+    }
+
+    pub fn srba_switches(&self) -> u64 {
+        self.srba_switches
+    }
+
+    /// Is the mobile currently cut off (post-failure, pre-handover)?
+    pub fn in_outage(&self) -> bool {
+        matches!(self.phase, Phase::Searching(_))
+    }
+
+    /// The receive beam to use during gaps / search dwells.
+    pub fn gap_rx_beam(&self) -> BeamId {
+        match &self.phase {
+            Phase::Searching(s) => s.current_beam(),
+            _ => self.serving_rx_beam,
+        }
+    }
+
+    pub fn handle(&mut self, input: Input) -> Vec<Action> {
+        let mut out = Vec::new();
+        match input {
+            Input::ServingRss { at, rss } => {
+                if matches!(self.phase, Phase::Connected) {
+                    let drop = self.monitor.on_sample(at, rss);
+                    if drop.0 >= self.config.switch_threshold.0 {
+                        // Same mobile-side serving adaptation as Silent
+                        // Tracker, for a fair comparison.
+                        let adjacent = self.codebook.adjacent(self.serving_rx_beam);
+                        if let Some(&next) = adjacent.first() {
+                            let best = self
+                                .table
+                                .best_among(
+                                    at,
+                                    st_des::SimDuration::from_millis(100),
+                                    &adjacent,
+                                )
+                                .map(|(b, _)| b)
+                                .unwrap_or(next);
+                            self.serving_rx_beam = best;
+                            self.srba_switches += 1;
+                            out.push(Action::SetServingRxBeam(best));
+                        }
+                    }
+                }
+            }
+            Input::ServingProbe { at, rx_beam, rss } => {
+                self.table.observe(at, rx_beam, rss);
+            }
+            Input::ServingLinkLost { at } => {
+                if matches!(self.phase, Phase::Connected) {
+                    self.failed_at = Some(at);
+                    // Cold full sweep — reactive search has no tracked
+                    // hint; it starts from the (stale) serving beam.
+                    let search = SearchController::new(
+                        &self.codebook,
+                        self.serving_rx_beam,
+                        self.config.max_search_dwells,
+                    );
+                    out.push(Action::SetGapRxBeam(search.current_beam()));
+                    self.phase = Phase::Searching(search);
+                }
+            }
+            Input::NeighborSsb {
+                at,
+                cell,
+                tx_beam,
+                rx_beam,
+                rss,
+            } => {
+                if let Phase::Searching(search) = &mut self.phase {
+                    // Post-failure, *any* cell is a valid target —
+                    // including the old serving cell if it reappears.
+                    let _ = cell == self.serving_cell;
+                    if rx_beam == search.current_beam() {
+                        search.on_detection(Discovery {
+                            cell,
+                            tx_beam,
+                            rx_beam,
+                            rss,
+                            at,
+                        });
+                    }
+                }
+            }
+            Input::DwellComplete { at } => {
+                if let Phase::Searching(search) = &mut self.phase {
+                    self.search_dwells += 1;
+                    match search.on_dwell_complete() {
+                        SearchStep::Continue(beam) => out.push(Action::SetGapRxBeam(beam)),
+                        SearchStep::Found(d) => {
+                            let directive = HandoverDirective {
+                                target: d.cell,
+                                ssb_beam: d.tx_beam,
+                                rx_beam: d.rx_beam,
+                                reason: HandoverReason::ServingLost,
+                                at,
+                            };
+                            self.directive = Some(directive);
+                            self.phase = Phase::Done;
+                            out.push(Action::ExecuteHandover(directive));
+                        }
+                        SearchStep::Failed { dwells_used } => {
+                            out.push(Action::SearchFailed { dwells_used });
+                            // Keep sweeping — there is nothing else a
+                            // disconnected mobile can do.
+                            let search = SearchController::new(
+                                &self.codebook,
+                                self.serving_rx_beam,
+                                self.config.max_search_dwells,
+                            );
+                            out.push(Action::SetGapRxBeam(search.current_beam()));
+                            self.phase = Phase::Searching(search);
+                        }
+                    }
+                }
+            }
+            Input::FromServing { .. } | Input::Tick { .. } => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_des::SimDuration;
+    use st_phy::codebook::BeamwidthClass;
+    use st_phy::units::Dbm;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn reactive() -> ReactiveHandover {
+        let mut cfg = TrackerConfig::paper_defaults();
+        cfg.ewma_alpha = 1.0;
+        ReactiveHandover::new(
+            cfg,
+            UeId(1),
+            CellId(0),
+            Codebook::for_class(BeamwidthClass::Narrow),
+            BeamId(4),
+        )
+    }
+
+    #[test]
+    fn no_neighbor_activity_while_connected() {
+        let mut r = reactive();
+        r.handle(Input::ServingRss {
+            at: t(0),
+            rss: Dbm(-60.0),
+        });
+        // SSBs from a neighbor are ignored entirely.
+        let acts = r.handle(Input::NeighborSsb {
+            at: t(5),
+            cell: CellId(1),
+            tx_beam: 1,
+            rx_beam: BeamId(4),
+            rss: Dbm(-50.0),
+        });
+        assert!(acts.is_empty());
+        let acts = r.handle(Input::DwellComplete { at: t(6) });
+        assert!(acts.is_empty());
+        assert!(!r.in_outage());
+        assert_eq!(r.search_dwells(), 0);
+    }
+
+    #[test]
+    fn serving_beam_management_still_runs() {
+        let mut r = reactive();
+        r.handle(Input::ServingRss {
+            at: t(0),
+            rss: Dbm(-60.0),
+        });
+        let acts = r.handle(Input::ServingRss {
+            at: t(10),
+            rss: Dbm(-65.0),
+        });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::SetServingRxBeam(_))));
+        assert_eq!(r.srba_switches(), 1);
+    }
+
+    #[test]
+    fn failure_starts_cold_search_then_hands_over() {
+        let mut r = reactive();
+        r.handle(Input::ServingRss {
+            at: t(0),
+            rss: Dbm(-60.0),
+        });
+        let acts = r.handle(Input::ServingLinkLost { at: t(100) });
+        assert!(acts.iter().any(|a| matches!(a, Action::SetGapRxBeam(_))));
+        assert!(r.in_outage());
+        assert_eq!(r.failed_at(), Some(t(100)));
+        // Two empty dwells, then a detection.
+        r.handle(Input::DwellComplete { at: t(120) });
+        r.handle(Input::DwellComplete { at: t(140) });
+        let beam = r.gap_rx_beam();
+        r.handle(Input::NeighborSsb {
+            at: t(150),
+            cell: CellId(1),
+            tx_beam: 6,
+            rx_beam: beam,
+            rss: Dbm(-70.0),
+        });
+        let acts = r.handle(Input::DwellComplete { at: t(160) });
+        let ho = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::ExecuteHandover(h) => Some(*h),
+                _ => None,
+            })
+            .expect("handover");
+        assert_eq!(ho.target, CellId(1));
+        assert_eq!(ho.reason, HandoverReason::ServingLost);
+        assert_eq!(r.search_dwells(), 3);
+        assert!(!r.in_outage());
+    }
+
+    #[test]
+    fn failed_sweep_restarts() {
+        let mut cfg = TrackerConfig::paper_defaults();
+        cfg.ewma_alpha = 1.0;
+        cfg.max_search_dwells = 2;
+        let mut r = ReactiveHandover::new(
+            cfg,
+            UeId(1),
+            CellId(0),
+            Codebook::for_class(BeamwidthClass::Wide),
+            BeamId(0),
+        );
+        r.handle(Input::ServingLinkLost { at: t(0) });
+        r.handle(Input::DwellComplete { at: t(20) });
+        let acts = r.handle(Input::DwellComplete { at: t(40) });
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::SearchFailed { dwells_used: 2 })));
+        assert!(r.in_outage(), "keeps sweeping after a failed pass");
+        assert_eq!(r.search_dwells(), 2);
+    }
+
+    #[test]
+    fn second_failure_event_ignored() {
+        let mut r = reactive();
+        r.handle(Input::ServingLinkLost { at: t(10) });
+        let before = r.failed_at();
+        r.handle(Input::ServingLinkLost { at: t(50) });
+        assert_eq!(r.failed_at(), before);
+    }
+}

@@ -1,0 +1,232 @@
+//! Directional neighbor-cell search (the N-A/R state).
+//!
+//! The mobile dwells its receive beam for one SSB burst period per
+//! codebook entry, listening for any neighbor cell's synchronization
+//! signals. A dwell either detects one or more SSBs (the strongest wins)
+//! or advances to the next receive beam. The number of dwells spent is
+//! exactly the paper's Fig. 2a "Number of Beam Searches" metric, and a
+//! pass that exhausts its dwell budget without a detection is a failed
+//! search (the complement of Fig. 2a's "Search Success Rate").
+//!
+//! The dwell order starts from a *hint* beam (typically the serving-link
+//! receive beam, since at cell edge the neighbor tends to lie in the
+//! forward hemisphere) and spirals outward through directionally adjacent
+//! beams — the cheap prior that makes re-acquisition (edge D → N-A/R)
+//! much faster than a cold search.
+
+use st_des::SimTime;
+use st_mac::pdu::CellId;
+use st_mac::timing::TxBeamIndex;
+use st_phy::codebook::{BeamId, Codebook};
+use st_phy::units::Dbm;
+
+/// A detected neighbor-cell beam.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discovery {
+    pub cell: CellId,
+    pub tx_beam: TxBeamIndex,
+    pub rx_beam: BeamId,
+    pub rss: Dbm,
+    pub at: SimTime,
+}
+
+/// Outcome of completing one dwell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchStep {
+    /// Keep searching; dwell on this receive beam next.
+    Continue(BeamId),
+    /// A neighbor beam was found.
+    Found(Discovery),
+    /// Dwell budget exhausted without a detection.
+    Failed { dwells_used: usize },
+}
+
+/// Controller for one search pass.
+#[derive(Debug, Clone)]
+pub struct SearchController {
+    order: Vec<BeamId>,
+    pos: usize,
+    dwells_used: usize,
+    max_dwells: usize,
+    /// Best detection seen in the current dwell.
+    pending: Option<Discovery>,
+}
+
+/// Spiral ordering: hint, then alternating ±1, ±2, … beams away.
+fn spiral_order(codebook: &Codebook, hint: BeamId) -> Vec<BeamId> {
+    let n = codebook.len() as i64;
+    let mut order = Vec::with_capacity(n as usize);
+    order.push(hint);
+    for step in 1..=(n / 2) {
+        for sign in [1i64, -1] {
+            let idx = (hint.0 as i64 + sign * step).rem_euclid(n);
+            let id = BeamId(idx as u16);
+            if !order.contains(&id) {
+                order.push(id);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n as usize);
+    order
+}
+
+impl SearchController {
+    /// Start a search. `hint` biases the dwell order (e.g. the serving
+    /// receive beam, or the last-known neighbor beam on re-acquisition).
+    pub fn new(codebook: &Codebook, hint: BeamId, max_dwells: usize) -> SearchController {
+        assert!(max_dwells >= 1);
+        assert!((hint.0 as usize) < codebook.len(), "hint outside codebook");
+        SearchController {
+            order: spiral_order(codebook, hint),
+            pos: 0,
+            dwells_used: 0,
+            max_dwells,
+            pending: None,
+        }
+    }
+
+    /// The receive beam to dwell on now.
+    pub fn current_beam(&self) -> BeamId {
+        self.order[self.pos % self.order.len()]
+    }
+
+    /// Dwells consumed so far (the Fig. 2a latency metric).
+    pub fn dwells_used(&self) -> usize {
+        self.dwells_used
+    }
+
+    /// Record an SSB detection heard during the current dwell.
+    pub fn on_detection(&mut self, d: Discovery) {
+        debug_assert_eq!(d.rx_beam, self.current_beam(), "detection on wrong beam");
+        match self.pending {
+            Some(prev) if prev.rss.0 >= d.rss.0 => {}
+            _ => self.pending = Some(d),
+        }
+    }
+
+    /// Close the current dwell (one SSB burst period elapsed).
+    pub fn on_dwell_complete(&mut self) -> SearchStep {
+        self.dwells_used += 1;
+        if let Some(found) = self.pending.take() {
+            return SearchStep::Found(found);
+        }
+        if self.dwells_used >= self.max_dwells {
+            return SearchStep::Failed {
+                dwells_used: self.dwells_used,
+            };
+        }
+        self.pos = (self.pos + 1) % self.order.len();
+        SearchStep::Continue(self.current_beam())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_phy::codebook::BeamwidthClass;
+
+    fn narrow() -> Codebook {
+        Codebook::for_class(BeamwidthClass::Narrow)
+    }
+
+    fn disc(rx: BeamId, rss: f64) -> Discovery {
+        Discovery {
+            cell: CellId(2),
+            tx_beam: 4,
+            rx_beam: rx,
+            rss: Dbm(rss),
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn spiral_starts_at_hint_and_covers_all() {
+        let cb = narrow();
+        let order = spiral_order(&cb, BeamId(5));
+        assert_eq!(order[0], BeamId(5));
+        assert_eq!(order[1], BeamId(6));
+        assert_eq!(order[2], BeamId(4));
+        assert_eq!(order.len(), 18);
+        let unique: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), 18);
+    }
+
+    #[test]
+    fn spiral_wraps_around_circle() {
+        let cb = narrow();
+        let order = spiral_order(&cb, BeamId(0));
+        assert_eq!(order[1], BeamId(1));
+        assert_eq!(order[2], BeamId(17));
+    }
+
+    #[test]
+    fn detection_ends_search_at_dwell_boundary() {
+        let cb = narrow();
+        let mut s = SearchController::new(&cb, BeamId(3), 40);
+        // Two dwells with nothing.
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+        // Detection mid-dwell is only reported at the boundary.
+        let beam = s.current_beam();
+        s.on_detection(disc(beam, -68.0));
+        match s.on_dwell_complete() {
+            SearchStep::Found(d) => {
+                assert_eq!(d.rx_beam, beam);
+                assert_eq!(d.rss, Dbm(-68.0));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert_eq!(s.dwells_used(), 3);
+    }
+
+    #[test]
+    fn strongest_detection_wins_within_dwell() {
+        let cb = narrow();
+        let mut s = SearchController::new(&cb, BeamId(0), 10);
+        let beam = s.current_beam();
+        s.on_detection(disc(beam, -75.0));
+        s.on_detection(disc(beam, -65.0));
+        s.on_detection(disc(beam, -70.0));
+        match s.on_dwell_complete() {
+            SearchStep::Found(d) => assert_eq!(d.rss, Dbm(-65.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_fails() {
+        let cb = narrow();
+        let mut s = SearchController::new(&cb, BeamId(0), 5);
+        for _ in 0..4 {
+            assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+        }
+        assert_eq!(s.on_dwell_complete(), SearchStep::Failed { dwells_used: 5 });
+    }
+
+    #[test]
+    fn wraps_past_codebook_size() {
+        let cb = Codebook::for_class(BeamwidthClass::Wide); // 6 beams
+        let mut s = SearchController::new(&cb, BeamId(0), 20);
+        let mut seen = Vec::new();
+        for _ in 0..12 {
+            seen.push(s.current_beam());
+            s.on_dwell_complete();
+        }
+        // After 6 dwells the order repeats.
+        assert_eq!(&seen[..6], &seen[6..12]);
+    }
+
+    #[test]
+    fn omni_codebook_single_dwell_order() {
+        let cb = Codebook::for_class(BeamwidthClass::Omni);
+        let mut s = SearchController::new(&cb, BeamId(0), 3);
+        assert_eq!(s.current_beam(), BeamId(0));
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(b) if b == BeamId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "hint outside codebook")]
+    fn bad_hint_panics() {
+        SearchController::new(&Codebook::for_class(BeamwidthClass::Wide), BeamId(9), 5);
+    }
+}

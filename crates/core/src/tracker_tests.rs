@@ -1,0 +1,537 @@
+//! Unit tests driving the Silent Tracker state machine through every
+//! Fig. 2b edge with hand-crafted measurement sequences.
+
+use super::config::TrackerConfig;
+use super::search::Discovery;
+use super::state::{Edge, TrackerState};
+use super::tracker::{Action, HandoverReason, Input, SilentTracker};
+use st_des::{SimDuration, SimTime};
+use st_mac::pdu::{CellId, Pdu, UeId};
+use st_phy::codebook::{BeamId, BeamwidthClass, Codebook};
+use st_phy::units::Dbm;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn tracker() -> SilentTracker {
+    let mut cfg = TrackerConfig::paper_defaults();
+    cfg.ewma_alpha = 1.0; // exact arithmetic in tests
+    SilentTracker::new(
+        cfg,
+        UeId(1),
+        CellId(0),
+        Codebook::for_class(BeamwidthClass::Narrow),
+        BeamId(4),
+    )
+}
+
+/// Walk the tracker through neighbor acquisition: dwell on the search
+/// beam, hear cell 1's SSB, complete the dwell.
+fn acquire_neighbor(tr: &mut SilentTracker, ms: u64, rss: f64) -> Discovery {
+    let rx = tr.gap_rx_beam();
+    tr.handle(Input::NeighborSsb {
+        at: t(ms),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: rx,
+        rss: Dbm(rss),
+    });
+    let acts = tr.handle(Input::DwellComplete { at: t(ms + 1) });
+    for a in &acts {
+        if let Action::NeighborAcquired(d) = a {
+            return *d;
+        }
+    }
+    panic!("acquisition failed: {acts:?}");
+}
+
+#[test]
+fn starts_in_nar_with_search_beam_hinted() {
+    let tr = tracker();
+    assert_eq!(tr.state(), TrackerState::NAr);
+    // Spiral search starts at the serving rx beam.
+    assert_eq!(tr.gap_rx_beam(), BeamId(4));
+    assert_eq!(tr.neighbor_log().count_edge(Edge::B), 1);
+}
+
+#[test]
+fn edge_c_acquisition_enters_nrba() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    assert_eq!(tr.state(), TrackerState::NRba);
+    assert_eq!(tr.tracked(), Some((CellId(1), 2, d.rx_beam)));
+    assert_eq!(tr.stats().searches_succeeded, 1);
+    assert_eq!(tr.neighbor_log().count_edge(Edge::C), 1);
+    assert!(tr.neighbor_log().is_contiguous());
+}
+
+#[test]
+fn serving_cell_ssb_is_not_a_neighbor() {
+    let mut tr = tracker();
+    let rx = tr.gap_rx_beam();
+    tr.handle(Input::NeighborSsb {
+        at: t(5),
+        cell: CellId(0), // serving
+        tx_beam: 1,
+        rx_beam: rx,
+        rss: Dbm(-60.0),
+    });
+    let acts = tr.handle(Input::DwellComplete { at: t(6) });
+    assert!(acts.iter().all(|a| !matches!(a, Action::NeighborAcquired(_))));
+    assert_eq!(tr.state(), TrackerState::NAr);
+}
+
+#[test]
+fn search_advances_through_spiral_and_fails_at_budget() {
+    let mut cfg = TrackerConfig::paper_defaults();
+    cfg.max_search_dwells = 3;
+    let mut tr = SilentTracker::new(
+        cfg,
+        UeId(1),
+        CellId(0),
+        Codebook::for_class(BeamwidthClass::Narrow),
+        BeamId(0),
+    );
+    let b0 = tr.gap_rx_beam();
+    tr.handle(Input::DwellComplete { at: t(20) });
+    let b1 = tr.gap_rx_beam();
+    assert_ne!(b0, b1);
+    tr.handle(Input::DwellComplete { at: t(40) });
+    let acts = tr.handle(Input::DwellComplete { at: t(60) });
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SearchFailed { dwells_used: 3 })));
+    // Restarted automatically: still searching (A then B edges logged).
+    assert_eq!(tr.state(), TrackerState::NAr);
+    assert_eq!(tr.stats().searches_failed, 1);
+    assert_eq!(tr.neighbor_log().count_edge(Edge::A), 1);
+    assert_eq!(tr.neighbor_log().count_edge(Edge::B), 2);
+    assert_eq!(tr.stats().search_dwells, 3);
+}
+
+#[test]
+fn edge_h_neighbor_rx_switch_on_3db_drop() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    // A probe dwell measured an adjacent beam at a comparable level.
+    let adjacent = Codebook::for_class(BeamwidthClass::Narrow).adjacent(d.rx_beam);
+    tr.handle(Input::NeighborSsb {
+        at: t(20),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: adjacent[0],
+        rss: Dbm(-71.0),
+    });
+    // Feed a 4 dB weaker sample on the tracked beam.
+    let acts = tr.handle(Input::NeighborSsb {
+        at: t(30),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-74.0),
+    });
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SetGapRxBeam(b) if *b != d.rx_beam)));
+    assert_eq!(tr.stats().nrba_switches, 1);
+    assert_eq!(tr.neighbor_log().count_edge(Edge::H), 1);
+    // Still tracking (self-loop), beam changed.
+    assert_eq!(tr.state(), TrackerState::NRba);
+    let (_, _, rx_now) = tr.tracked().unwrap();
+    assert_ne!(rx_now, d.rx_beam);
+}
+
+#[test]
+fn edge_h_prefers_probed_adjacent_beam() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    let adjacent = Codebook::for_class(BeamwidthClass::Narrow).adjacent(d.rx_beam);
+    // Probe: second adjacent beam is strong.
+    tr.handle(Input::NeighborSsb {
+        at: t(20),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: adjacent[1],
+        rss: Dbm(-69.0),
+    });
+    // Drop on the tracked beam.
+    tr.handle(Input::NeighborSsb {
+        at: t(25),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-75.0),
+    });
+    let (_, _, rx_now) = tr.tracked().unwrap();
+    assert_eq!(rx_now, adjacent[1], "should pick the probed stronger beam");
+}
+
+#[test]
+fn edge_d_loss_returns_to_search() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    let acts = tr.handle(Input::NeighborSsb {
+        at: t(50),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-85.0), // 15 dB below reference
+    });
+    assert_eq!(tr.state(), TrackerState::NAr);
+    assert_eq!(tr.stats().reacquisitions, 1);
+    assert_eq!(tr.neighbor_log().count_edge(Edge::D), 1);
+    // Re-acquisition search is hinted at the lost beam.
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SetGapRxBeam(b) if *b == d.rx_beam)));
+}
+
+#[test]
+fn edge_e_handover_when_neighbor_beats_serving_plus_t() {
+    let mut tr = tracker();
+    // Serving at -70.
+    tr.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-70.0),
+    });
+    let d = acquire_neighbor(&mut tr, 10, -75.0);
+    // Neighbor improves past serving + 3 dB.
+    let acts = tr.handle(Input::NeighborSsb {
+        at: t(60),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-66.0),
+    });
+    let ho = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::ExecuteHandover(h) => Some(*h),
+            _ => None,
+        })
+        .expect("handover expected");
+    assert_eq!(ho.target, CellId(1));
+    assert_eq!(ho.reason, HandoverReason::NeighborStronger);
+    assert_eq!(ho.rx_beam, d.rx_beam);
+    assert_eq!(tr.handover(), Some(ho));
+    assert_eq!(tr.neighbor_log().count_edge(Edge::E), 1);
+    // Terminal: further inputs are ignored.
+    assert!(tr
+        .handle(Input::ServingRss {
+            at: t(70),
+            rss: Dbm(-90.0)
+        })
+        .is_empty());
+}
+
+#[test]
+fn no_handover_within_hysteresis() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-70.0),
+    });
+    let d = acquire_neighbor(&mut tr, 10, -75.0);
+    // Neighbor at -68: better than serving but within T = 3 dB.
+    let acts = tr.handle(Input::NeighborSsb {
+        at: t(60),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-68.0),
+    });
+    assert!(acts.iter().all(|a| !matches!(a, Action::ExecuteHandover(_))));
+    assert!(tr.handover().is_none());
+}
+
+#[test]
+fn serving_lost_with_tracked_beam_hands_over() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -75.0);
+    let acts = tr.handle(Input::ServingLinkLost { at: t(90) });
+    let ho = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::ExecuteHandover(h) => Some(*h),
+            _ => None,
+        })
+        .expect("handover on serving loss");
+    assert_eq!(ho.reason, HandoverReason::ServingLost);
+    assert_eq!(ho.rx_beam, d.rx_beam);
+}
+
+#[test]
+fn serving_lost_without_tracked_beam_is_silent_failure() {
+    let mut tr = tracker();
+    let acts = tr.handle(Input::ServingLinkLost { at: t(90) });
+    assert!(acts.is_empty());
+    assert!(tr.handover().is_none());
+}
+
+#[test]
+fn edge_g_serving_drop_switches_rx_beam() {
+    let mut tr = tracker();
+    // A fresh probe shows the adjacent beam is viable.
+    let adjacent = Codebook::for_class(BeamwidthClass::Narrow).adjacent(BeamId(4));
+    tr.handle(Input::ServingProbe {
+        at: t(1),
+        rx_beam: adjacent[0],
+        rss: Dbm(-61.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(2),
+        rss: Dbm(-60.0),
+    });
+    let acts = tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    });
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SetServingRxBeam(_))));
+    assert_eq!(tr.state(), TrackerState::SRba);
+    assert_eq!(tr.stats().srba_switches, 1);
+    assert_ne!(tr.serving_rx_beam(), BeamId(4));
+    assert_eq!(tr.serving_log().count_edge(Edge::G), 1);
+}
+
+#[test]
+fn serving_drop_without_probe_evidence_holds_beam() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    // 4 dB drop but no probe has measured any adjacent beam: switching
+    // blindly would add misalignment loss, so the beam is held (the
+    // machine still enters S-RBA and can escalate to CABM).
+    let acts = tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    });
+    assert!(acts
+        .iter()
+        .all(|a| !matches!(a, Action::SetServingRxBeam(_))));
+    assert_eq!(tr.state(), TrackerState::SRba);
+    assert_eq!(tr.serving_rx_beam(), BeamId(4));
+}
+
+#[test]
+fn serving_probe_guides_the_switch() {
+    let mut tr = tracker();
+    let adjacent = Codebook::for_class(BeamwidthClass::Narrow).adjacent(BeamId(4));
+    tr.handle(Input::ServingProbe {
+        at: t(1),
+        rx_beam: adjacent[1],
+        rss: Dbm(-58.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(2),
+        rss: Dbm(-60.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-65.0),
+    });
+    assert_eq!(tr.serving_rx_beam(), adjacent[1]);
+}
+
+#[test]
+fn edge_a_recovery_returns_to_eo() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    }); // → S-RBA
+    let acts = tr.handle(Input::ServingRss {
+        at: t(20),
+        rss: Dbm(-60.5),
+    }); // recovered within 3 dB of reference
+    assert!(acts.is_empty());
+    // Serving loop back to Stable; neighbor loop still searching → N-A/R.
+    assert_eq!(tr.state(), TrackerState::NAr);
+    assert_eq!(tr.serving_log().count_edge(Edge::A), 1);
+    assert!(tr.serving_log().is_contiguous());
+}
+
+#[test]
+fn escalation_to_cabm_after_settle_time() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    }); // → S-RBA at t=10
+    // Still bad after settle_time (40 ms).
+    let acts = tr.handle(Input::ServingRss {
+        at: t(55),
+        rss: Dbm(-65.0),
+    });
+    let req = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::SendToServing(p) => Some(p.clone()),
+            _ => None,
+        })
+        .expect("CABM request");
+    assert!(matches!(req, Pdu::BeamSwitchRequest { cell: CellId(0), ue: UeId(1), .. }));
+    assert_eq!(tr.state(), TrackerState::Cabm);
+    assert_eq!(tr.stats().cabm_requests, 1);
+}
+
+#[test]
+fn edge_f_assistance_restores_eo() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(55),
+        rss: Dbm(-65.0),
+    }); // → CABM
+    tr.handle(Input::FromServing {
+        at: t(60),
+        pdu: Pdu::BeamSwitchCommand {
+            cell: CellId(0),
+            tx_beam: 3,
+        },
+    });
+    assert_eq!(tr.serving_log().count_edge(Edge::F), 1);
+    // Serving loop stable again (state shows the neighbor loop's N-A/R).
+    assert_eq!(tr.state(), TrackerState::NAr);
+}
+
+#[test]
+fn edge_g_assist_timeout_falls_back_to_srba() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(55),
+        rss: Dbm(-65.0),
+    }); // → CABM, deadline t=115
+    tr.handle(Input::Tick { at: t(120) });
+    assert_eq!(tr.state(), TrackerState::SRba);
+    assert_eq!(tr.stats().assist_lost, 1);
+    // CABM → S-RBA logged as edge G.
+    assert!(tr.serving_log().iter().any(|(_, tr)| tr.edge == Edge::G
+        && tr.from == TrackerState::Cabm
+        && tr.to == TrackerState::SRba));
+}
+
+#[test]
+fn wrong_cell_beam_switch_command_ignored() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-64.0),
+    });
+    tr.handle(Input::ServingRss {
+        at: t(55),
+        rss: Dbm(-65.0),
+    }); // → CABM
+    tr.handle(Input::FromServing {
+        at: t(60),
+        pdu: Pdu::BeamSwitchCommand {
+            cell: CellId(9),
+            tx_beam: 3,
+        },
+    });
+    assert_eq!(tr.state(), TrackerState::Cabm, "foreign command must not clear CABM");
+}
+
+#[test]
+fn tracking_dwell_cycle_interleaves_adjacent_probes() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    let adjacent = Codebook::for_class(BeamwidthClass::Narrow).adjacent(d.rx_beam);
+    let mut seen = Vec::new();
+    for i in 0..6 {
+        tr.handle(Input::DwellComplete { at: t(20 + i * 20) });
+        seen.push(tr.gap_rx_beam());
+    }
+    // Pattern alternates tracked / adjacent.
+    assert!(seen.contains(&d.rx_beam));
+    assert!(adjacent.iter().any(|a| seen.contains(a)));
+    // Tracked beam appears at least half the time.
+    let tracked_count = seen.iter().filter(|&&b| b == d.rx_beam).count();
+    assert!(tracked_count >= 3, "{seen:?}");
+}
+
+#[test]
+fn third_cell_detections_do_not_disturb_tracking() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    tr.handle(Input::NeighborSsb {
+        at: t(30),
+        cell: CellId(7),
+        tx_beam: 0,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-50.0),
+    });
+    assert_eq!(tr.tracked().unwrap().0, CellId(1));
+    assert!(tr.handover().is_none());
+}
+
+#[test]
+fn tx_beam_follows_strongest_ssb_of_tracked_cell() {
+    let mut tr = tracker();
+    let d = acquire_neighbor(&mut tr, 10, -70.0);
+    // A different tx beam of the same cell becomes stronger.
+    tr.handle(Input::NeighborSsb {
+        at: t(30),
+        cell: CellId(1),
+        tx_beam: 3,
+        rx_beam: d.rx_beam,
+        rss: Dbm(-67.0),
+    });
+    assert_eq!(tr.tracked().unwrap().1, 3);
+}
+
+#[test]
+fn omni_codebook_never_switches_beams() {
+    let mut cfg = TrackerConfig::paper_defaults();
+    cfg.ewma_alpha = 1.0;
+    let mut tr = SilentTracker::new(
+        cfg,
+        UeId(1),
+        CellId(0),
+        Codebook::for_class(BeamwidthClass::Omni),
+        BeamId(0),
+    );
+    tr.handle(Input::ServingRss {
+        at: t(0),
+        rss: Dbm(-60.0),
+    });
+    let acts = tr.handle(Input::ServingRss {
+        at: t(10),
+        rss: Dbm(-70.0),
+    });
+    assert!(acts
+        .iter()
+        .all(|a| !matches!(a, Action::SetServingRxBeam(_))));
+    assert_eq!(tr.stats().srba_switches, 0);
+}

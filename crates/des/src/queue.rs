@@ -1,0 +1,185 @@
+//! The pending-event set: a priority queue ordered by (time, sequence).
+//!
+//! Two events scheduled for the same instant pop in the order they were
+//! scheduled (FIFO), which makes runs bit-reproducible — the property the
+//! determinism integration tests assert.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    cancelled_check: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of future events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    /// Sequence numbers still in the heap and not cancelled.
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            cancelled_check: seq,
+            payload,
+        });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending (lazy deletion: the entry is skipped at pop time).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.pending.remove(&handle.0)
+    }
+
+    /// Time of the next (non-cancelled) event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim_cancelled();
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skim_cancelled();
+        let s = self.heap.pop()?;
+        self.pending.remove(&s.seq);
+        Some((s.at, s.payload))
+    }
+
+    fn skim_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.cancelled_check) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop().unwrap(), (t(10), "a"));
+        assert_eq!(q.pop().unwrap(), (t(20), "b"));
+        assert_eq!(q.pop().unwrap(), (t(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_for_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+        // Cancelling twice or cancelling an unknown handle is a no-op.
+        assert!(!q.cancel(h1));
+        assert!(!q.cancel(EventHandle(999)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(20)));
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the event-queue ordering guarantees.
+
+use proptest::prelude::*;
+use st_des::{Control, EventQueue, Executive, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn equal_times_pop_fifo(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_preserves_rest(
+        times in prop::collection::vec(0u64..1000, 2..100),
+        cancel_idx in prop::collection::vec(any::<prop::sample::Index>(), 0..20),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for idx in cancel_idx {
+            let (i, h) = handles[idx.index(handles.len())];
+            if cancelled.insert(i) {
+                prop_assert!(q.cancel(h));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!cancelled.contains(&i), "popped cancelled event {i}");
+            seen.insert(i);
+        }
+        prop_assert_eq!(seen.len() + cancelled.len(), times.len());
+    }
+
+    #[test]
+    fn executive_clock_monotone(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut ex: Executive<usize> = Executive::new();
+        for (i, &d) in delays.iter().enumerate() {
+            ex.schedule_in(SimDuration::from_nanos(d), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0usize;
+        ex.run(SimTime::from_nanos(u64::MAX), |_, t, _| {
+            assert!(t >= last);
+            last = t;
+            count += 1;
+            Control::Continue
+        });
+        prop_assert_eq!(count, delays.len());
+    }
+}

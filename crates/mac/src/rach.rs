@@ -1,0 +1,375 @@
+//! Random access (RACH): the 4-step procedure a mobile runs against the
+//! *target* cell at the end of a handover.
+//!
+//! Msg1 (preamble) → Msg2 (RAR) → Msg3 (connection request, carrying the
+//! soft-handover context token) → Msg4 (contention resolution). The
+//! UE-side state machine here is sans-IO: callers feed it received PDUs
+//! and the current time, and it returns PDUs to transmit and timers to
+//! arm. PRACH occasions are tied to SSB beams, so the BS knows which
+//! transmit beam to answer on — the whole point of Silent Tracker is that
+//! the mobile arrives at this step with that beam already tracked.
+
+use crate::pdu::{Pdu, UeId};
+use crate::timing::{SsbConfig, TxBeamIndex};
+use st_des::{SimDuration, SimTime};
+
+/// PRACH occasion layout: one occasion per SSB beam per burst period,
+/// placed after the SSB sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PrachConfig {
+    /// Offset of the first occasion from the burst-set start.
+    pub offset: SimDuration,
+    /// Spacing between consecutive occasions.
+    pub occasion_spacing: SimDuration,
+    /// Number of contention preambles available per occasion.
+    pub n_preambles: u8,
+}
+
+impl PrachConfig {
+    pub fn nr_default() -> PrachConfig {
+        PrachConfig {
+            offset: SimDuration::from_millis(10),
+            occasion_spacing: SimDuration::from_micros(250),
+            n_preambles: 64,
+        }
+    }
+
+    /// Time of the PRACH occasion for `beam` in burst set `k`.
+    pub fn occasion_time(&self, ssb: &SsbConfig, k: u64, beam: TxBeamIndex) -> SimTime {
+        ssb.burst_start(k) + self.offset + self.occasion_spacing * beam as u64
+    }
+
+    /// The next occasion for `beam` at or after `t`.
+    pub fn next_occasion(&self, ssb: &SsbConfig, t: SimTime, beam: TxBeamIndex) -> SimTime {
+        let mut k = t.as_nanos() / ssb.burst_period.as_nanos();
+        loop {
+            let at = self.occasion_time(ssb, k, beam);
+            if at >= t {
+                return at;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Timer and retry policy of the UE-side RACH procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct RachConfig {
+    /// RAR window: how long to wait for Msg2 after the preamble.
+    pub rar_window: SimDuration,
+    /// Contention-resolution timer: how long to wait for Msg4 after Msg3.
+    pub msg4_timeout: SimDuration,
+    /// Maximum preamble transmissions before declaring failure.
+    pub max_attempts: u8,
+}
+
+impl RachConfig {
+    pub fn nr_default() -> RachConfig {
+        RachConfig {
+            rar_window: SimDuration::from_millis(10),
+            msg4_timeout: SimDuration::from_millis(24),
+            max_attempts: 8,
+        }
+    }
+}
+
+/// Observable state of the procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RachState {
+    Idle,
+    /// Preamble sent; waiting for the RAR window to produce Msg2.
+    WaitingRar { deadline: SimTime },
+    /// Msg3 sent; contention-resolution timer running.
+    WaitingMsg4 { deadline: SimTime },
+    /// Admitted by the target cell.
+    Connected,
+    /// Gave up after `max_attempts`.
+    Failed,
+}
+
+/// What the caller must do after feeding the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RachAction {
+    /// Transmit this PDU towards the target cell now.
+    Transmit(Pdu),
+    /// Nothing to do.
+    None,
+}
+
+/// UE-side 4-step RACH state machine.
+#[derive(Debug, Clone)]
+pub struct RachProcedure {
+    pub config: RachConfig,
+    state: RachState,
+    attempts: u8,
+    ue: UeId,
+    context_token: u64,
+    ssb_beam: TxBeamIndex,
+    preamble: u8,
+    temp_ue: Option<UeId>,
+}
+
+impl RachProcedure {
+    /// `context_token != 0` marks a soft handover re-using session state.
+    pub fn new(config: RachConfig, ue: UeId, context_token: u64) -> RachProcedure {
+        RachProcedure {
+            config,
+            state: RachState::Idle,
+            attempts: 0,
+            ue,
+            context_token,
+            ssb_beam: 0,
+            preamble: 0,
+            temp_ue: None,
+        }
+    }
+
+    pub fn state(&self) -> RachState {
+        self.state
+    }
+
+    pub fn attempts(&self) -> u8 {
+        self.attempts
+    }
+
+    /// Transmit a preamble on the occasion for `ssb_beam` (caller chose
+    /// `preamble` from the pool). Valid from `Idle` or after a timeout
+    /// re-arm. Returns the Msg1 to send.
+    pub fn send_preamble(
+        &mut self,
+        now: SimTime,
+        ssb_beam: TxBeamIndex,
+        preamble: u8,
+    ) -> Result<Pdu, RachError> {
+        if self.attempts >= self.config.max_attempts {
+            self.state = RachState::Failed;
+            return Err(RachError::Exhausted);
+        }
+        match self.state {
+            RachState::Idle | RachState::WaitingRar { .. } => {}
+            _ => return Err(RachError::BadState),
+        }
+        self.attempts += 1;
+        self.ssb_beam = ssb_beam;
+        self.preamble = preamble;
+        self.state = RachState::WaitingRar {
+            deadline: now + self.config.rar_window,
+        };
+        Ok(Pdu::RachPreamble { preamble, ssb_beam })
+    }
+
+    /// Feed a received PDU. Returns the reply to transmit (if any).
+    pub fn on_pdu(&mut self, now: SimTime, pdu: &Pdu) -> RachAction {
+        match (&self.state, pdu) {
+            (
+                RachState::WaitingRar { deadline },
+                Pdu::RachResponse {
+                    preamble, temp_ue, ..
+                },
+            ) if now <= *deadline && *preamble == self.preamble => {
+                self.temp_ue = Some(*temp_ue);
+                self.state = RachState::WaitingMsg4 {
+                    deadline: now + self.config.msg4_timeout,
+                };
+                RachAction::Transmit(Pdu::ConnectionRequest {
+                    ue: self.ue,
+                    context_token: self.context_token,
+                })
+            }
+            (
+                RachState::WaitingMsg4 { deadline },
+                Pdu::ContentionResolution { ue, accepted },
+            ) if now <= *deadline && *ue == self.ue => {
+                self.state = if *accepted {
+                    RachState::Connected
+                } else {
+                    RachState::Failed
+                };
+                RachAction::None
+            }
+            _ => RachAction::None,
+        }
+    }
+
+    /// Check timers. On expiry the machine returns to a state from which
+    /// the caller may retry with [`RachProcedure::send_preamble`] (or it
+    /// transitions to `Failed` when attempts are exhausted).
+    pub fn poll(&mut self, now: SimTime) -> RachState {
+        match self.state {
+            RachState::WaitingRar { deadline } | RachState::WaitingMsg4 { deadline }
+                if now > deadline =>
+            {
+                self.state = if self.attempts >= self.config.max_attempts {
+                    RachState::Failed
+                } else {
+                    RachState::Idle
+                };
+            }
+            _ => {}
+        }
+        self.state
+    }
+}
+
+/// Errors from driving the procedure incorrectly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RachError {
+    BadState,
+    Exhausted,
+}
+
+impl std::fmt::Display for RachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RachError::BadState => write!(f, "operation invalid in current RACH state"),
+            RachError::Exhausted => write!(f, "preamble attempts exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RachError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn proc_() -> RachProcedure {
+        RachProcedure::new(RachConfig::nr_default(), UeId(7), 0xABCD)
+    }
+
+    #[test]
+    fn happy_path_soft_handover() {
+        let mut p = proc_();
+        assert_eq!(p.state(), RachState::Idle);
+        let msg1 = p.send_preamble(t(0), 3, 17).unwrap();
+        assert_eq!(
+            msg1,
+            Pdu::RachPreamble {
+                preamble: 17,
+                ssb_beam: 3
+            }
+        );
+        let rar = Pdu::RachResponse {
+            preamble: 17,
+            timing_advance_ns: 400,
+            temp_ue: UeId(999),
+        };
+        let act = p.on_pdu(t(2), &rar);
+        // Msg3 carries the soft-handover context token.
+        assert_eq!(
+            act,
+            RachAction::Transmit(Pdu::ConnectionRequest {
+                ue: UeId(7),
+                context_token: 0xABCD
+            })
+        );
+        let msg4 = Pdu::ContentionResolution {
+            ue: UeId(7),
+            accepted: true,
+        };
+        p.on_pdu(t(4), &msg4);
+        assert_eq!(p.state(), RachState::Connected);
+        assert_eq!(p.attempts(), 1);
+    }
+
+    #[test]
+    fn wrong_preamble_rar_is_ignored() {
+        let mut p = proc_();
+        p.send_preamble(t(0), 3, 17).unwrap();
+        let rar = Pdu::RachResponse {
+            preamble: 18,
+            timing_advance_ns: 0,
+            temp_ue: UeId(0),
+        };
+        assert_eq!(p.on_pdu(t(1), &rar), RachAction::None);
+        assert!(matches!(p.state(), RachState::WaitingRar { .. }));
+    }
+
+    #[test]
+    fn late_rar_is_ignored() {
+        let mut p = proc_();
+        p.send_preamble(t(0), 3, 17).unwrap();
+        let rar = Pdu::RachResponse {
+            preamble: 17,
+            timing_advance_ns: 0,
+            temp_ue: UeId(0),
+        };
+        // After the 10 ms RAR window.
+        assert_eq!(p.on_pdu(t(11), &rar), RachAction::None);
+    }
+
+    #[test]
+    fn timeout_allows_retry_until_exhausted() {
+        let mut p = proc_();
+        for attempt in 1..=8 {
+            p.send_preamble(t(100 * attempt as u64), 3, 17).unwrap();
+            assert_eq!(p.attempts(), attempt);
+            let st = p.poll(t(100 * attempt as u64 + 50));
+            if attempt < 8 {
+                assert_eq!(st, RachState::Idle);
+            } else {
+                assert_eq!(st, RachState::Failed);
+            }
+        }
+        assert_eq!(
+            p.send_preamble(t(2000), 3, 17).unwrap_err(),
+            RachError::Exhausted
+        );
+    }
+
+    #[test]
+    fn rejection_in_msg4_fails() {
+        let mut p = proc_();
+        p.send_preamble(t(0), 1, 5).unwrap();
+        p.on_pdu(
+            t(1),
+            &Pdu::RachResponse {
+                preamble: 5,
+                timing_advance_ns: 0,
+                temp_ue: UeId(1),
+            },
+        );
+        p.on_pdu(
+            t(2),
+            &Pdu::ContentionResolution {
+                ue: UeId(7),
+                accepted: false,
+            },
+        );
+        assert_eq!(p.state(), RachState::Failed);
+    }
+
+    #[test]
+    fn cannot_send_preamble_while_waiting_msg4() {
+        let mut p = proc_();
+        p.send_preamble(t(0), 1, 5).unwrap();
+        p.on_pdu(
+            t(1),
+            &Pdu::RachResponse {
+                preamble: 5,
+                timing_advance_ns: 0,
+                temp_ue: UeId(1),
+            },
+        );
+        assert_eq!(p.send_preamble(t(2), 1, 5).unwrap_err(), RachError::BadState);
+    }
+
+    #[test]
+    fn prach_occasions_follow_ssb_beams() {
+        let ssb = SsbConfig::nr_fr2(8);
+        let prach = PrachConfig::nr_default();
+        let o0 = prach.occasion_time(&ssb, 0, 0);
+        assert_eq!(o0.as_millis_f64(), 10.0);
+        let o3 = prach.occasion_time(&ssb, 0, 3);
+        assert_eq!((o3 - o0).as_nanos(), 3 * 250_000);
+        // Next occasion wraps to the following burst set.
+        let next = prach.next_occasion(&ssb, t(11), 0);
+        assert_eq!(next.as_millis_f64(), 30.0);
+        let same = prach.next_occasion(&ssb, t(5), 0);
+        assert_eq!(same.as_millis_f64(), 10.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Base-station side of random access: the responder that turns Msg1 into
+//! Msg2 and Msg3 into Msg4 (sans-IO — the caller transmits the returned
+//! PDUs after the returned delays).
+//!
+//! The responder also owns the *admission* decision: a connection request
+//! carrying a nonzero context token is a soft handover — the target must
+//! fetch the session context from the source cell over the backhaul
+//! before resolving contention, which is why [`Msg4Plan::delay`] grows by
+//! a backhaul round trip in that case. A token of zero is a fresh (hard)
+//! connection admitted immediately — the mobile instead pays connection
+//! re-establishment above the MAC.
+
+use crate::pdu::{Pdu, UeId};
+use crate::timing::TxBeamIndex;
+use st_des::{SimDuration, SimTime};
+
+/// Configuration of the responder's timing.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponderConfig {
+    /// Processing delay from preamble receipt to RAR transmission.
+    pub rar_delay: SimDuration,
+    /// Processing delay from Msg3 receipt to Msg4 (excluding backhaul).
+    pub msg4_delay: SimDuration,
+    /// One-way backhaul latency to the source cell.
+    pub backhaul_latency: SimDuration,
+    /// Admission control: maximum simultaneous RACH procedures.
+    pub max_pending: usize,
+}
+
+impl ResponderConfig {
+    pub fn nr_default() -> ResponderConfig {
+        ResponderConfig {
+            rar_delay: SimDuration::from_millis(2),
+            msg4_delay: SimDuration::from_millis(2),
+            backhaul_latency: SimDuration::from_millis(3),
+            max_pending: 16,
+        }
+    }
+}
+
+/// Reply plan for a received preamble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RarPlan {
+    /// Transmit after this delay…
+    pub delay: SimDuration,
+    /// …on this SSB beam (the one the PRACH occasion was bound to)…
+    pub tx_beam: TxBeamIndex,
+    /// …this PDU.
+    pub pdu: Pdu,
+}
+
+/// Reply plan for a received Msg3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg4Plan {
+    pub delay: SimDuration,
+    pub pdu: Pdu,
+    /// Whether a context fetch from the source cell is required first
+    /// (already included in `delay`).
+    pub soft: bool,
+}
+
+/// One in-flight procedure, BS side.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    preamble: u8,
+    ssb_beam: TxBeamIndex,
+    temp_ue: UeId,
+    started: SimTime,
+}
+
+/// BS-side RACH responder.
+#[derive(Debug, Clone)]
+pub struct RachResponder {
+    pub config: ResponderConfig,
+    pending: Vec<Pending>,
+    next_temp: u32,
+    /// Procedures abandoned because the table was full.
+    pub rejected: u64,
+}
+
+impl RachResponder {
+    pub fn new(config: ResponderConfig) -> RachResponder {
+        RachResponder {
+            config,
+            pending: Vec::new(),
+            next_temp: 1000,
+            rejected: 0,
+        }
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Handle Msg1. Returns the RAR plan, or `None` when admission
+    /// control rejects the preamble (the mobile's RAR window will lapse
+    /// and it retries — exactly the congestion behaviour of real PRACH).
+    pub fn on_preamble(
+        &mut self,
+        now: SimTime,
+        preamble: u8,
+        ssb_beam: TxBeamIndex,
+        distance_m: f64,
+    ) -> Option<RarPlan> {
+        // Duplicate preamble on the same beam: answer again with the same
+        // temporary id (the first RAR may have been lost).
+        let temp_ue = if let Some(p) = self
+            .pending
+            .iter()
+            .find(|p| p.preamble == preamble && p.ssb_beam == ssb_beam)
+        {
+            p.temp_ue
+        } else {
+            if self.pending.len() >= self.config.max_pending {
+                self.rejected += 1;
+                return None;
+            }
+            let temp = UeId(self.next_temp);
+            self.next_temp += 1;
+            self.pending.push(Pending {
+                preamble,
+                ssb_beam,
+                temp_ue: temp,
+                started: now,
+            });
+            temp
+        };
+        let ta = crate::timing::TimingAdvance::from_distance_m(distance_m);
+        Some(RarPlan {
+            delay: self.config.rar_delay,
+            tx_beam: ssb_beam,
+            pdu: Pdu::RachResponse {
+                preamble,
+                timing_advance_ns: ta.rtt_ns.min(u32::MAX as u64) as u32,
+                temp_ue,
+            },
+        })
+    }
+
+    /// Handle Msg3 (connection request). Always admits in this model;
+    /// the delay embeds the backhaul context fetch for soft handovers.
+    pub fn on_connection_request(&mut self, ue: UeId, context_token: u64) -> Msg4Plan {
+        let soft = context_token != 0;
+        let extra = if soft {
+            self.config.backhaul_latency * 2
+        } else {
+            SimDuration::ZERO
+        };
+        Msg4Plan {
+            delay: self.config.msg4_delay + extra,
+            pdu: Pdu::ContentionResolution { ue, accepted: true },
+            soft,
+        }
+    }
+
+    /// Resolve (drop) state for completed/expired procedures older than
+    /// `max_age` — real responders garbage-collect the preamble table.
+    pub fn expire(&mut self, now: SimTime, max_age: SimDuration) {
+        self.pending.retain(|p| now.since(p.started) <= max_age);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn resp() -> RachResponder {
+        RachResponder::new(ResponderConfig::nr_default())
+    }
+
+    #[test]
+    fn preamble_gets_rar_on_same_beam() {
+        let mut r = resp();
+        let plan = r.on_preamble(t(0), 17, 3, 150.0).unwrap();
+        assert_eq!(plan.tx_beam, 3);
+        assert_eq!(plan.delay, SimDuration::from_millis(2));
+        match plan.pdu {
+            Pdu::RachResponse {
+                preamble,
+                timing_advance_ns,
+                ..
+            } => {
+                assert_eq!(preamble, 17);
+                // 150 m → ~1 µs RTT.
+                assert!((timing_advance_ns as i64 - 1001).abs() < 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.pending_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_preamble_reuses_temp_id() {
+        let mut r = resp();
+        let a = r.on_preamble(t(0), 17, 3, 100.0).unwrap();
+        let b = r.on_preamble(t(5), 17, 3, 100.0).unwrap();
+        let id = |p: &Pdu| match p {
+            Pdu::RachResponse { temp_ue, .. } => *temp_ue,
+            _ => unreachable!(),
+        };
+        assert_eq!(id(&a.pdu), id(&b.pdu));
+        assert_eq!(r.pending_count(), 1);
+    }
+
+    #[test]
+    fn distinct_preambles_get_distinct_ids() {
+        let mut r = resp();
+        let a = r.on_preamble(t(0), 1, 0, 100.0).unwrap();
+        let b = r.on_preamble(t(0), 2, 0, 100.0).unwrap();
+        assert_ne!(a.pdu, b.pdu);
+        assert_eq!(r.pending_count(), 2);
+    }
+
+    #[test]
+    fn admission_control_rejects_overflow() {
+        let mut r = RachResponder::new(ResponderConfig {
+            max_pending: 2,
+            ..ResponderConfig::nr_default()
+        });
+        assert!(r.on_preamble(t(0), 1, 0, 10.0).is_some());
+        assert!(r.on_preamble(t(0), 2, 0, 10.0).is_some());
+        assert!(r.on_preamble(t(0), 3, 0, 10.0).is_none());
+        assert_eq!(r.rejected, 1);
+    }
+
+    #[test]
+    fn soft_handover_pays_backhaul_round_trip() {
+        let mut r = resp();
+        let soft = r.on_connection_request(UeId(7), 0xABCD);
+        let hard = r.on_connection_request(UeId(8), 0);
+        assert!(soft.soft && !hard.soft);
+        assert_eq!(
+            soft.delay,
+            SimDuration::from_millis(2) + SimDuration::from_millis(6)
+        );
+        assert_eq!(hard.delay, SimDuration::from_millis(2));
+        assert!(matches!(
+            soft.pdu,
+            Pdu::ContentionResolution { accepted: true, .. }
+        ));
+    }
+
+    #[test]
+    fn expiry_collects_old_entries() {
+        let mut r = resp();
+        r.on_preamble(t(0), 1, 0, 10.0);
+        r.on_preamble(t(100), 2, 0, 10.0);
+        r.expire(t(150), SimDuration::from_millis(80));
+        assert_eq!(r.pending_count(), 1);
+    }
+}

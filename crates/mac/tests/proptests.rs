@@ -1,0 +1,119 @@
+//! Property tests: PDU codec round-trips and schedule arithmetic.
+
+use proptest::prelude::*;
+use st_des::{SimDuration, SimTime};
+use st_mac::pdu::{CellId, Pdu, UeId};
+use st_mac::schedule::GapSchedule;
+use st_mac::timing::SsbConfig;
+use st_mac::PrachConfig;
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>())
+            .prop_map(|(c, s)| Pdu::KeepAlive { cell: CellId(c), seq: s }),
+        (any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(c, u, b)| {
+            Pdu::BeamSwitchRequest {
+                cell: CellId(c),
+                ue: UeId(u),
+                suggested_tx_beam: b,
+            }
+        }),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(c, b)| Pdu::BeamSwitchCommand { cell: CellId(c), tx_beam: b }),
+        (any::<u8>(), any::<u16>())
+            .prop_map(|(p, b)| Pdu::RachPreamble { preamble: p, ssb_beam: b }),
+        (any::<u8>(), any::<u32>(), any::<u32>()).prop_map(|(p, ta, u)| Pdu::RachResponse {
+            preamble: p,
+            timing_advance_ns: ta,
+            temp_ue: UeId(u),
+        }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(u, t)| Pdu::ConnectionRequest { ue: UeId(u), context_token: t }),
+        (any::<u32>(), any::<bool>())
+            .prop_map(|(u, a)| Pdu::ContentionResolution { ue: UeId(u), accepted: a }),
+        (any::<u32>(), any::<u64>(), any::<u16>()).prop_map(|(u, t, l)| Pdu::HandoverContext {
+            ue: UeId(u),
+            context_token: t,
+            payload_len: l,
+        }),
+        any::<u32>().prop_map(|u| Pdu::HandoverComplete { ue: UeId(u) }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pdu_round_trip(pdu in arb_pdu()) {
+        let wire = pdu.encode();
+        prop_assert_eq!(Pdu::decode(&wire).unwrap(), pdu);
+    }
+
+    #[test]
+    fn pdu_single_bitflip_rejected(pdu in arb_pdu(), byte_idx: prop::sample::Index, bit in 0u8..8) {
+        let wire = pdu.encode().to_vec();
+        let i = byte_idx.index(wire.len());
+        let mut bad = wire.clone();
+        bad[i] ^= 1 << bit;
+        // CRC-16 catches all single-bit errors.
+        prop_assert!(Pdu::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn ssb_at_inverts_ssb_time(n in 1u16..64, k in 0u64..1000, beam in 0u16..64) {
+        prop_assume!(beam < n);
+        let c = SsbConfig::nr_fr2(n);
+        let t = c.ssb_time(k, beam);
+        prop_assert_eq!(c.ssb_at(t), Some((k, beam)));
+    }
+
+    #[test]
+    fn next_burst_is_never_past(t_ns in 0u64..10_000_000_000) {
+        let c = SsbConfig::nr_fr2(16);
+        let t = SimTime::from_nanos(t_ns);
+        let k = c.next_burst_index(t);
+        prop_assert!(c.burst_start(k) >= t);
+        if k > 0 {
+            prop_assert!(c.burst_start(k - 1) < t);
+        }
+    }
+
+    #[test]
+    fn next_gap_start_is_a_gap_and_not_past(
+        t_ns in 0u64..10_000_000_000,
+        period_ms in 10u64..100,
+        dur_ms in 1u64..9,
+        off_ms in 0u64..50,
+    ) {
+        let g = GapSchedule {
+            period: SimDuration::from_millis(period_ms),
+            duration: SimDuration::from_millis(dur_ms),
+            offset: SimDuration::from_millis(off_ms),
+        };
+        prop_assume!(g.validate().is_ok());
+        let t = SimTime::from_nanos(t_ns);
+        let s = g.next_gap_start(t);
+        prop_assert!(s >= t);
+        prop_assert!(g.in_gap(s));
+        // Nothing strictly between t and s is a gap start boundary:
+        // the instant before s must not be the start of a gap unless s==t.
+        if s > t {
+            let before = SimTime::from_nanos(s.as_nanos() - 1);
+            // `before` may be inside a *previous* gap only if t was too.
+            if g.in_gap(before) {
+                prop_assert!(g.in_gap(t));
+            }
+        }
+    }
+
+    #[test]
+    fn prach_next_occasion_not_past(t_ns in 0u64..5_000_000_000, beam in 0u16..8) {
+        let ssb = SsbConfig::nr_fr2(8);
+        let prach = PrachConfig::nr_default();
+        let t = SimTime::from_nanos(t_ns);
+        let o = prach.next_occasion(&ssb, t, beam);
+        prop_assert!(o >= t);
+        // Occasion is within one burst period + offset of t.
+        prop_assert!(o.as_nanos() - t.as_nanos()
+            <= ssb.burst_period.as_nanos() + prach.offset.as_nanos()
+               + beam as u64 * prach.occasion_spacing.as_nanos());
+    }
+}

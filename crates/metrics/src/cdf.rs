@@ -1,0 +1,131 @@
+//! Empirical distribution functions — the form in which the paper reports
+//! its tracking results (Fig. 2c is a CDF of time).
+
+/// An empirical CDF over f64 samples.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples; non-finite values are rejected.
+    pub fn new(mut samples: Vec<f64>) -> Result<Ecdf, &'static str> {
+        if samples.is_empty() {
+            return Err("empty sample set");
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err("non-finite sample");
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ok(Ecdf { sorted: samples })
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty sets
+    }
+
+    /// P(X ≤ x).
+    pub fn at(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples ≤ x.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Evaluate the CDF on an even grid over `[lo, hi]` — the series a
+    /// plotting tool consumes. Returns (x, F(x)) pairs.
+    pub fn series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && hi > lo);
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_cdf() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(1.0), 0.25);
+        assert_eq!(e.at(2.5), 0.5);
+        assert_eq!(e.at(4.0), 1.0);
+        assert_eq!(e.at(100.0), 1.0);
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.95), 95.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.median(), 50.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let e = Ecdf::new(vec![5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(e.at(4.99), 0.0);
+        assert_eq!(e.at(5.0), 1.0);
+        assert_eq!(e.median(), 5.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let e = Ecdf::new(vec![400.0, 700.0, 800.0, 1200.0, 1500.0]).unwrap();
+        let s = e.series(400.0, 1800.0, 50);
+        assert_eq!(s.len(), 50);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_range_checked() {
+        Ecdf::new(vec![1.0]).unwrap().quantile(1.5);
+    }
+}

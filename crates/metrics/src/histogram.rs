@@ -1,0 +1,133 @@
+//! Fixed-bin histograms, used for latency distributions (Fig. 2a left:
+//! "Number of Beam Searches").
+
+/// Uniform-bin histogram over `[lo, hi)` with overflow/underflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Histogram {
+        assert!(hi > lo && n_bins > 0, "bad histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        assert!(x.is_finite());
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let width = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / width) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Iterator of (bin_centre, count).
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * width, c))
+    }
+
+    /// Render a terminal bar chart; `width` is the max bar length.
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (centre, count) in self.iter() {
+            let bar = "#".repeat((count as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{centre:>10.1} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(5.5);
+        h.record(5.7);
+        h.record(9.99);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(5), 2);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn iter_centres() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centres: Vec<f64> = h.iter().map(|(c, _)| c).collect();
+        assert_eq!(centres, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn ascii_renders() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..5 {
+            h.record(0.5);
+        }
+        h.record(1.5);
+        let s = h.ascii(10);
+        assert!(s.contains("#") && s.contains("5"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad histogram bounds")]
+    fn rejects_inverted_bounds() {
+        Histogram::new(5.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! # st-metrics — experiment metrics
+//!
+//! Distribution and summary machinery used by the benchmark harness to
+//! regenerate the paper's figures:
+//!
+//! * [`cdf::Ecdf`] — empirical CDFs (Fig. 2c is a CDF over time).
+//! * [`histogram::Histogram`] — latency histograms (Fig. 2a left).
+//! * [`summary`] — Welford accumulators with 95% CIs and Wilson-interval
+//!   success rates (Fig. 2a right).
+//! * [`series::TimeSeries`] — time-stamped RSS/alignment traces.
+//! * [`table`] — aligned ASCII tables and CSV export for bench output.
+
+pub mod cdf;
+pub mod histogram;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use cdf::Ecdf;
+pub use histogram::Histogram;
+pub use series::TimeSeries;
+pub use summary::{Accumulator, RateCounter, Summary};
+pub use table::{render_series, Table};

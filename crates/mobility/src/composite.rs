@@ -1,0 +1,138 @@
+//! Composing mobility models: position from one model, extra heading
+//! motion from another.
+//!
+//! The paper evaluates walking and device rotation *separately*; a real
+//! user does both at once (checking the phone mid-stride, turning a
+//! corner). [`Composite`] superimposes the heading dynamics of one model
+//! onto the trajectory of another, giving the combined stress case the
+//! extension experiments use.
+
+use crate::model::MobilityModel;
+use st_phy::geometry::Pose;
+
+/// Position and base heading from `base`; the heading of `spin`
+/// (relative to its own initial heading) is added on top.
+pub struct Composite<A, B> {
+    pub base: A,
+    pub spin: B,
+}
+
+impl<A: MobilityModel, B: MobilityModel> Composite<A, B> {
+    pub fn new(base: A, spin: B) -> Composite<A, B> {
+        Composite { base, spin }
+    }
+}
+
+impl<A: MobilityModel, B: MobilityModel> MobilityModel for Composite<A, B> {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        let base = self.base.pose_at(t_s);
+        let spin_now = self.spin.pose_at(t_s).heading;
+        let spin_start = self.spin.pose_at(0.0).heading;
+        Pose::new(base.position, (base.heading + (spin_now - spin_start)).wrapped())
+    }
+
+    fn speed_at(&self, t_s: f64) -> f64 {
+        self.base.speed_at(t_s)
+    }
+}
+
+/// A turn manoeuvre: hold the base model's heading, then rotate by
+/// `turn_rad` starting at `start_s` at `rate_rad_s` (a pedestrian turning
+/// a street corner).
+#[derive(Debug, Clone, Copy)]
+pub struct TurnAt {
+    pub start_s: f64,
+    pub turn_rad: f64,
+    pub rate_rad_s: f64,
+}
+
+impl MobilityModel for TurnAt {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        let progressed = ((t_s - self.start_s).max(0.0) * self.rate_rad_s.abs())
+            .min(self.turn_rad.abs());
+        Pose::new(
+            st_phy::geometry::Vec2::ZERO,
+            st_phy::geometry::Radians(progressed * self.turn_rad.signum()),
+        )
+    }
+
+    fn speed_at(&self, _t_s: f64) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::DeviceRotation;
+    use crate::walk::HumanWalk;
+    use st_phy::geometry::{Radians, Vec2};
+
+    #[test]
+    fn composite_keeps_base_position() {
+        let walk = HumanWalk::paper_walk(Vec2::ZERO, Radians(0.0));
+        let rot = DeviceRotation::paper_rotation(Vec2::new(99.0, 99.0), Radians(0.0));
+        let c = Composite::new(walk.clone(), rot);
+        for i in 0..100 {
+            let t = i as f64 * 0.05;
+            assert_eq!(c.pose_at(t).position, walk.pose_at(t).position);
+        }
+    }
+
+    #[test]
+    fn composite_adds_spin_heading() {
+        let walk = HumanWalk::paper_walk(Vec2::ZERO, Radians(0.0));
+        let rot = DeviceRotation::paper_rotation(Vec2::ZERO, Radians(0.0));
+        let c = Composite::new(walk.clone(), rot);
+        // At t = 0.5 s the spin adds 60°.
+        let base_h = walk.pose_at(0.5).heading.degrees().0;
+        let comp_h = c.pose_at(0.5).heading.degrees().0;
+        let delta = (comp_h - base_h + 360.0) % 360.0;
+        assert!((delta - 60.0).abs() < 1e-6, "delta {delta}");
+    }
+
+    #[test]
+    fn turn_at_executes_once() {
+        let turn = TurnAt {
+            start_s: 2.0,
+            turn_rad: std::f64::consts::FRAC_PI_2,
+            rate_rad_s: 1.0,
+        };
+        assert_eq!(turn.pose_at(1.0).heading.0, 0.0);
+        assert!((turn.pose_at(2.5).heading.0 - 0.5).abs() < 1e-12);
+        // Complete and held.
+        let end = std::f64::consts::FRAC_PI_2;
+        assert!((turn.pose_at(10.0).heading.0 - end).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_turn_goes_clockwise() {
+        let turn = TurnAt {
+            start_s: 0.0,
+            turn_rad: -1.0,
+            rate_rad_s: 2.0,
+        };
+        assert!(turn.pose_at(0.25).heading.0 < 0.0);
+        assert!((turn.pose_at(5.0).heading.0 + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_with_corner_turn() {
+        // A walker turning a 90° corner at t = 3 s: position keeps moving
+        // straight (the walk model is straight-line) but the device
+        // heading swings 90° — the beam-management stress is the heading.
+        let walk = HumanWalk::paper_walk(Vec2::ZERO, Radians(0.0));
+        let c = Composite::new(
+            walk,
+            TurnAt {
+                start_s: 3.0,
+                turn_rad: std::f64::consts::FRAC_PI_2,
+                rate_rad_s: 120f64.to_radians(),
+            },
+        );
+        let before = c.pose_at(2.9).heading.degrees().0;
+        let after = c.pose_at(4.0).heading.degrees().0;
+        let swing = (after - before + 360.0) % 360.0;
+        assert!(swing > 70.0 && swing < 110.0, "swing {swing}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Device rotation: the paper's ω = 120 °/s turntable scenario.
+//!
+//! The device stays in place while its heading spins at a constant rate,
+//! sweeping every receive beam's boresight past the base stations. At
+//! 120 °/s a 20° beam is swept through in ~167 ms — the mobile must chase
+//! the alignment with repeated adjacent-beam switches.
+
+use crate::model::MobilityModel;
+use st_phy::geometry::{Pose, Radians, Vec2};
+
+/// Constant-rate rotation about a fixed position.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceRotation {
+    pub position: Vec2,
+    pub initial_heading: Radians,
+    /// Signed angular rate, rad/s (positive = CCW).
+    pub rate_rad_s: f64,
+    /// Total rotation before stopping, radians; `f64::INFINITY` keeps
+    /// spinning forever.
+    pub total_rotation_rad: f64,
+}
+
+impl DeviceRotation {
+    /// The paper's rotation scenario: ω = 120 °/s, continuous.
+    pub fn paper_rotation(position: Vec2, initial_heading: Radians) -> DeviceRotation {
+        DeviceRotation {
+            position,
+            initial_heading,
+            rate_rad_s: 120f64.to_radians(),
+            total_rotation_rad: f64::INFINITY,
+        }
+    }
+
+    /// Rotate by a bounded angle then hold (e.g. a user turning around).
+    pub fn quarter_turn(position: Vec2, initial_heading: Radians, rate_rad_s: f64) -> Self {
+        DeviceRotation {
+            position,
+            initial_heading,
+            rate_rad_s,
+            total_rotation_rad: std::f64::consts::FRAC_PI_2,
+        }
+    }
+}
+
+impl MobilityModel for DeviceRotation {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        let swept = (self.rate_rad_s.abs() * t_s).min(self.total_rotation_rad);
+        let heading = (self.initial_heading + Radians(swept * self.rate_rad_s.signum())).wrapped();
+        Pose::new(self.position, heading)
+    }
+
+    fn speed_at(&self, _t_s: f64) -> f64 {
+        0.0
+    }
+
+    fn angular_rate_at(&self, t_s: f64) -> f64 {
+        if self.rate_rad_s.abs() * t_s < self.total_rotation_rad {
+            self.rate_rad_s
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_120_deg_per_s() {
+        let r = DeviceRotation::paper_rotation(Vec2::ZERO, Radians(0.0));
+        let h1 = r.pose_at(1.0).heading.degrees().0;
+        assert!((h1 - 120.0).abs() < 1e-9, "{h1}");
+        // Full revolution every 3 s.
+        let h3 = r.pose_at(3.0).heading.wrapped().0;
+        assert!(h3.abs() < 1e-9, "{h3}");
+    }
+
+    #[test]
+    fn position_is_fixed() {
+        let r = DeviceRotation::paper_rotation(Vec2::new(2.0, 3.0), Radians(0.0));
+        for t in [0.0, 0.5, 7.3] {
+            assert_eq!(r.pose_at(t).position, Vec2::new(2.0, 3.0));
+        }
+        assert_eq!(r.speed_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn bounded_rotation_stops() {
+        let r = DeviceRotation::quarter_turn(Vec2::ZERO, Radians(0.0), 1.0);
+        let end = std::f64::consts::FRAC_PI_2;
+        assert!((r.pose_at(10.0).heading.0 - end).abs() < 1e-9);
+        assert_eq!(r.angular_rate_at(0.5), 1.0);
+        assert_eq!(r.angular_rate_at(5.0), 0.0);
+    }
+
+    #[test]
+    fn negative_rate_spins_clockwise() {
+        let r = DeviceRotation {
+            position: Vec2::ZERO,
+            initial_heading: Radians(0.0),
+            rate_rad_s: -1.0,
+            total_rotation_rad: f64::INFINITY,
+        };
+        assert!(r.pose_at(0.5).heading.0 < 0.0);
+        assert_eq!(r.angular_rate_at(0.1), -1.0);
+    }
+
+    #[test]
+    fn reported_angular_rate_matches_numeric() {
+        let r = DeviceRotation::paper_rotation(Vec2::ZERO, Radians(0.0));
+        let numeric = MobilityModel::angular_rate_at(&r, 0.4);
+        assert!((numeric - 120f64.to_radians()).abs() < 1e-6);
+    }
+}

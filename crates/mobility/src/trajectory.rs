@@ -1,0 +1,192 @@
+//! Trajectory sampling and CSV record/replay.
+//!
+//! Experiments record the poses a model produced (for plotting and for
+//! replaying the exact motion against a different protocol configuration,
+//! which is how the ablation benches hold mobility constant across arms).
+
+use crate::model::MobilityModel;
+use crate::waypoint::{PiecewisePath, Waypoint};
+use st_phy::geometry::Pose;
+
+/// A sampled trajectory: regularly spaced poses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    pub dt_s: f64,
+    pub poses: Vec<Pose>,
+}
+
+impl Trajectory {
+    /// Sample `model` every `dt_s` seconds for `duration_s`.
+    pub fn sample<M: MobilityModel + ?Sized>(model: &M, dt_s: f64, duration_s: f64) -> Trajectory {
+        assert!(dt_s > 0.0 && duration_s >= 0.0);
+        let n = (duration_s / dt_s).floor() as usize + 1;
+        let poses = (0..n).map(|i| model.pose_at(i as f64 * dt_s)).collect();
+        Trajectory { dt_s, poses }
+    }
+
+    pub fn duration_s(&self) -> f64 {
+        (self.poses.len().saturating_sub(1)) as f64 * self.dt_s
+    }
+
+    /// Serialize as CSV: `t_s,x_m,y_m,heading_rad` with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,x_m,y_m,heading_rad\n");
+        for (i, p) in self.poses.iter().enumerate() {
+            out.push_str(&format!(
+                "{:.6},{:.6},{:.6},{:.9}\n",
+                i as f64 * self.dt_s,
+                p.position.x,
+                p.position.y,
+                p.heading.0
+            ));
+        }
+        out
+    }
+
+    /// Parse the CSV produced by [`Trajectory::to_csv`].
+    pub fn from_csv(csv: &str) -> Result<Trajectory, String> {
+        let mut rows = Vec::new();
+        let mut times = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            if lineno == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 4 {
+                return Err(format!("line {}: expected 4 fields", lineno + 1));
+            }
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            times.push(parse(fields[0])?);
+            rows.push(Pose::new(
+                st_phy::geometry::Vec2::new(parse(fields[1])?, parse(fields[2])?),
+                st_phy::geometry::Radians(parse(fields[3])?),
+            ));
+        }
+        if rows.is_empty() {
+            return Err("empty trajectory".into());
+        }
+        let dt_s = if times.len() >= 2 {
+            times[1] - times[0]
+        } else {
+            1.0
+        };
+        if dt_s <= 0.0 {
+            return Err("non-increasing timestamps".into());
+        }
+        Ok(Trajectory { dt_s, poses: rows })
+    }
+
+    /// Convert to a replayable mobility model (positions interpolated;
+    /// note heading is re-derived from motion by [`PiecewisePath`]).
+    pub fn to_path(&self) -> PiecewisePath {
+        PiecewisePath::new(
+            self.poses
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Waypoint {
+                    t_s: i as f64 * self.dt_s,
+                    position: p.position,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Replay a sampled trajectory with exact heading playback (zero-order
+/// hold between samples), unlike [`PiecewisePath`] which re-derives
+/// heading from motion — required for rotation scenarios where the
+/// position never changes.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    trajectory: Trajectory,
+}
+
+impl Replay {
+    pub fn new(trajectory: Trajectory) -> Replay {
+        assert!(!trajectory.poses.is_empty());
+        Replay { trajectory }
+    }
+}
+
+impl MobilityModel for Replay {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        let tr = &self.trajectory;
+        let idx = (t_s / tr.dt_s).floor();
+        if idx < 0.0 {
+            return tr.poses[0];
+        }
+        let i = (idx as usize).min(tr.poses.len() - 1);
+        let j = (i + 1).min(tr.poses.len() - 1);
+        let frac = ((t_s - i as f64 * tr.dt_s) / tr.dt_s).clamp(0.0, 1.0);
+        let a = tr.poses[i];
+        let b = tr.poses[j];
+        // Interpolate position; hold heading from the earlier sample
+        // (headings may wrap, making naive lerp wrong).
+        Pose::new(a.position.lerp(b.position, frac), a.heading)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotation::DeviceRotation;
+    use crate::walk::HumanWalk;
+    use st_phy::geometry::{Radians, Vec2};
+
+    #[test]
+    fn sampling_counts() {
+        let w = HumanWalk::paper_walk(Vec2::ZERO, Radians(0.0));
+        let tr = Trajectory::sample(&w, 0.1, 2.0);
+        assert_eq!(tr.poses.len(), 21);
+        assert!((tr.duration_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let w = HumanWalk::paper_walk(Vec2::new(1.0, -2.0), Radians(0.3));
+        let tr = Trajectory::sample(&w, 0.05, 1.0);
+        let parsed = Trajectory::from_csv(&tr.to_csv()).unwrap();
+        assert_eq!(parsed.poses.len(), tr.poses.len());
+        for (a, b) in tr.poses.iter().zip(parsed.poses.iter()) {
+            assert!((a.position.x - b.position.x).abs() < 1e-5);
+            assert!((a.heading.0 - b.heading.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(Trajectory::from_csv("t,x,y,h\n1,2,3\n").is_err());
+        assert!(Trajectory::from_csv("t,x,y,h\n1,2,3,zebra\n").is_err());
+        assert!(Trajectory::from_csv("t,x,y,h\n").is_err());
+    }
+
+    #[test]
+    fn replay_preserves_heading_of_rotation() {
+        let rot = DeviceRotation::paper_rotation(Vec2::ZERO, Radians(0.0));
+        let tr = Trajectory::sample(&rot, 0.01, 2.0);
+        let rp = Replay::new(tr);
+        // Heading at 1 s ≈ 120° (within one 10 ms hold of the original).
+        let h = rp.pose_at(1.0).heading.degrees().0;
+        assert!((h - 120.0).abs() < 1.5, "{h}");
+        // to_path() would lose this entirely (position never moves).
+        let path_h = {
+            let rot_tr = Trajectory::sample(&rot, 0.01, 2.0);
+            rot_tr.to_path().pose_at(1.0).heading.degrees().0
+        };
+        assert!((path_h).abs() < 1e-9, "path heading is motion-derived");
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range() {
+        let w = HumanWalk::paper_walk(Vec2::ZERO, Radians(0.0));
+        let tr = Trajectory::sample(&w, 0.1, 1.0);
+        let last = *tr.poses.last().unwrap();
+        let rp = Replay::new(tr);
+        assert_eq!(rp.pose_at(100.0).position, last.position);
+        assert_eq!(rp.pose_at(-5.0).position, Vec2::ZERO);
+    }
+}

@@ -1,0 +1,258 @@
+//! Waypoint trajectories: explicit paths and the random-waypoint model.
+//!
+//! [`PiecewisePath`] interpolates an explicit list of timed waypoints —
+//! the replay format for recorded trajectories. [`RandomWaypoint`] is the
+//! classic synthetic model: pick a random destination in a rectangle,
+//! walk to it at a random speed, pause, repeat. Its randomness is drawn
+//! entirely at construction (seeded), so it remains a pure function of
+//! time like every other model.
+
+use crate::model::MobilityModel;
+use rand::{Rng, RngExt as _};
+use st_phy::geometry::{Pose, Radians, Vec2};
+
+/// A timed waypoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waypoint {
+    pub t_s: f64,
+    pub position: Vec2,
+}
+
+/// Piecewise-linear interpolation through timed waypoints. Heading follows
+/// the direction of motion (held through pauses and at the path end).
+#[derive(Debug, Clone)]
+pub struct PiecewisePath {
+    waypoints: Vec<Waypoint>,
+}
+
+impl PiecewisePath {
+    /// Build from waypoints; panics if fewer than one or non-monotone in
+    /// time.
+    pub fn new(waypoints: Vec<Waypoint>) -> PiecewisePath {
+        assert!(!waypoints.is_empty(), "need at least one waypoint");
+        for w in waypoints.windows(2) {
+            assert!(w[0].t_s <= w[1].t_s, "waypoints must be time-sorted");
+        }
+        PiecewisePath { waypoints }
+    }
+
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.waypoints
+    }
+
+    fn segment_at(&self, t_s: f64) -> (Waypoint, Waypoint) {
+        let ws = &self.waypoints;
+        if t_s <= ws[0].t_s || ws.len() == 1 {
+            return (ws[0], ws[0]);
+        }
+        for w in ws.windows(2) {
+            if t_s <= w[1].t_s {
+                return (w[0], w[1]);
+            }
+        }
+        (*ws.last().unwrap(), *ws.last().unwrap())
+    }
+
+    fn heading_at(&self, t_s: f64) -> Radians {
+        // Direction of the current (or last non-degenerate) segment.
+        let (a, b) = self.segment_at(t_s);
+        if a.position.distance(b.position) > 1e-9 {
+            return (b.position - a.position).angle();
+        }
+        // Pause or endpoint: walk backwards for the last moving segment.
+        let mut last = Radians(0.0);
+        for w in self.waypoints.windows(2) {
+            if w[0].position.distance(w[1].position) > 1e-9 && w[0].t_s <= t_s {
+                last = (w[1].position - w[0].position).angle();
+            }
+        }
+        last
+    }
+}
+
+impl MobilityModel for PiecewisePath {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        let (a, b) = self.segment_at(t_s);
+        let pos = if (b.t_s - a.t_s) < 1e-12 {
+            a.position
+        } else {
+            let frac = ((t_s - a.t_s) / (b.t_s - a.t_s)).clamp(0.0, 1.0);
+            a.position.lerp(b.position, frac)
+        };
+        Pose::new(pos, self.heading_at(t_s))
+    }
+}
+
+/// Classic random-waypoint model inside an axis-aligned rectangle.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    path: PiecewisePath,
+}
+
+impl RandomWaypoint {
+    /// Generate `duration_s` seconds of random-waypoint motion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate<R: Rng>(
+        rng: &mut R,
+        min: Vec2,
+        max: Vec2,
+        speed_range_mps: (f64, f64),
+        pause_range_s: (f64, f64),
+        duration_s: f64,
+    ) -> RandomWaypoint {
+        assert!(max.x > min.x && max.y > min.y, "degenerate area");
+        let mut t = 0.0;
+        let mut pos = Vec2::new(
+            rng.random_range(min.x..max.x),
+            rng.random_range(min.y..max.y),
+        );
+        let mut wps = vec![Waypoint { t_s: 0.0, position: pos }];
+        while t < duration_s {
+            let dest = Vec2::new(
+                rng.random_range(min.x..max.x),
+                rng.random_range(min.y..max.y),
+            );
+            let speed = rng.random_range(speed_range_mps.0..=speed_range_mps.1);
+            let travel = pos.distance(dest) / speed.max(1e-6);
+            t += travel;
+            wps.push(Waypoint { t_s: t, position: dest });
+            let pause = rng.random_range(pause_range_s.0..=pause_range_s.1);
+            if pause > 0.0 {
+                t += pause;
+                wps.push(Waypoint { t_s: t, position: dest });
+            }
+            pos = dest;
+        }
+        RandomWaypoint {
+            path: PiecewisePath::new(wps),
+        }
+    }
+
+    pub fn path(&self) -> &PiecewisePath {
+        &self.path
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        self.path.pose_at(t_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn wp(t: f64, x: f64, y: f64) -> Waypoint {
+        Waypoint {
+            t_s: t,
+            position: Vec2::new(x, y),
+        }
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let p = PiecewisePath::new(vec![wp(0.0, 0.0, 0.0), wp(10.0, 10.0, 0.0)]);
+        let mid = p.pose_at(5.0);
+        assert!((mid.position.x - 5.0).abs() < 1e-12);
+        assert!((mid.heading.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_before_and_after() {
+        let p = PiecewisePath::new(vec![wp(1.0, 2.0, 2.0), wp(3.0, 4.0, 2.0)]);
+        assert_eq!(p.pose_at(0.0).position, Vec2::new(2.0, 2.0));
+        assert_eq!(p.pose_at(99.0).position, Vec2::new(4.0, 2.0));
+    }
+
+    #[test]
+    fn heading_held_through_pause() {
+        let p = PiecewisePath::new(vec![
+            wp(0.0, 0.0, 0.0),
+            wp(1.0, 0.0, 5.0), // moving +y
+            wp(2.0, 0.0, 5.0), // pause
+            wp(3.0, 5.0, 5.0), // moving +x
+        ]);
+        assert!((p.pose_at(0.5).heading.degrees().0 - 90.0).abs() < 1e-9);
+        // During the pause, heading stays +y.
+        assert!((p.pose_at(1.5).heading.degrees().0 - 90.0).abs() < 1e-9);
+        assert!((p.pose_at(2.5).heading.degrees().0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_waypoints_panic() {
+        PiecewisePath::new(vec![wp(1.0, 0.0, 0.0), wp(0.5, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = RandomWaypoint::generate(
+            &mut rng,
+            Vec2::new(-10.0, -5.0),
+            Vec2::new(10.0, 5.0),
+            (0.5, 2.0),
+            (0.0, 1.0),
+            120.0,
+        );
+        for i in 0..2400 {
+            let p = m.pose_at(i as f64 * 0.05).position;
+            assert!(p.x >= -10.0 - 1e-9 && p.x <= 10.0 + 1e-9);
+            assert!(p.y >= -5.0 - 1e-9 && p.y <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_waypoint_is_reproducible() {
+        let a = RandomWaypoint::generate(
+            &mut StdRng::seed_from_u64(3),
+            Vec2::ZERO,
+            Vec2::new(10.0, 10.0),
+            (1.0, 2.0),
+            (0.0, 0.5),
+            60.0,
+        );
+        let b = RandomWaypoint::generate(
+            &mut StdRng::seed_from_u64(3),
+            Vec2::ZERO,
+            Vec2::new(10.0, 10.0),
+            (1.0, 2.0),
+            (0.0, 0.5),
+            60.0,
+        );
+        for i in 0..600 {
+            let t = i as f64 * 0.1;
+            assert_eq!(a.pose_at(t), b.pose_at(t));
+        }
+    }
+
+    #[test]
+    fn random_waypoint_speed_in_range() {
+        let m = RandomWaypoint::generate(
+            &mut StdRng::seed_from_u64(5),
+            Vec2::ZERO,
+            Vec2::new(50.0, 50.0),
+            (1.0, 1.5),
+            (0.0, 0.0),
+            300.0,
+        );
+        // Sample speeds strictly inside segments (away from corners).
+        let mut moving = 0;
+        for wps in m.path().waypoints().windows(2) {
+            let dur = wps[1].t_s - wps[0].t_s;
+            if dur < 0.2 {
+                continue;
+            }
+            let tm = wps[0].t_s + dur / 2.0;
+            let v = m.speed_at(tm);
+            if v > 0.01 {
+                assert!(v > 0.9 && v < 1.6, "v = {v}");
+                moving += 1;
+            }
+        }
+        assert!(moving > 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! # st-net — event-driven mm-wave network scenarios
+//!
+//! The top of the substrate stack: base stations sweeping SSB beams, one
+//! mobile running a protocol from the `silent-tracker` crate, a radio in
+//! between built from `st-phy` channels, all driven by the `st-des`
+//! executive.
+//!
+//! * [`config`] — scenario description (cells, radio, faults, protocol
+//!   arm) with validation.
+//! * [`scenario`] — the executor translating between physics and the
+//!   sans-IO protocol engines; one seeded trial per run.
+//! * [`scenarios`] — the paper's three mobility cases (walk, rotation,
+//!   vehicular) pre-wired.
+//! * [`outcome`] — per-run results the benches aggregate into the
+//!   paper's figures.
+
+pub mod config;
+pub mod outcome;
+pub mod scenario;
+pub mod scenarios;
+
+pub use config::{CellConfig, FaultConfig, ProtocolKind, ScenarioConfig};
+pub use outcome::{RunOutcome, SearchPass};
+pub use scenario::Scenario;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{device_rotation, eval_config, human_walk, vehicular};
+
+    #[test]
+    fn walk_scenario_completes_soft_handover() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        let out = human_walk(&cfg, 42).run();
+        assert!(out.acquired_at.is_some(), "neighbor never acquired");
+        assert!(out.handover_succeeded(), "handover did not complete");
+        assert!(
+            out.tracker_stats.unwrap().searches_succeeded >= 1,
+            "{:?}",
+            out.tracker_stats
+        );
+        // Make-before-break: interruption is a few tens of ms, not the
+        // hundreds a hard handover pays.
+        let intr = out.interruption.expect("interruption recorded");
+        assert!(
+            intr.as_millis_f64() < 200.0,
+            "interruption {intr} too long for soft handover"
+        );
+    }
+
+    #[test]
+    fn rotation_scenario_completes() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        let out = device_rotation(&cfg, 7).run();
+        assert!(out.handover_succeeded(), "rotation handover failed");
+        // Rotation at 120°/s forces silent beam switches while tracking.
+        let st = out.tracker_stats.unwrap();
+        assert!(st.nrba_switches > 0, "no N-RBA switches under rotation");
+    }
+
+    #[test]
+    fn vehicular_scenario_completes() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        let out = vehicular(&cfg, 3).run();
+        assert!(out.handover_succeeded(), "vehicular handover failed");
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        let a = human_walk(&cfg, 11).run();
+        let b = human_walk(&cfg, 11).run();
+        assert_eq!(a.handover_complete_at, b.handover_complete_at);
+        assert_eq!(a.acquired_at, b.acquired_at);
+        assert_eq!(a.search_passes, b.search_passes);
+        assert_eq!(a.rach_attempts, b.rach_attempts);
+        assert_eq!(a.tracker_stats, b.tracker_stats);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        let a = human_walk(&cfg, 1).run();
+        let b = human_walk(&cfg, 2).run();
+        // Completion times are continuous-valued; collision means a bug.
+        assert_ne!(a.handover_complete_at, b.handover_complete_at);
+    }
+
+    #[test]
+    fn reactive_baseline_pays_hard_handover() {
+        let mut cfg = eval_config(ProtocolKind::Reactive);
+        cfg.duration = st_des::SimDuration::from_secs(60);
+        let out = human_walk(&cfg, 5).run();
+        // The reactive arm only moves after RLF...
+        assert!(out.rlf_at.is_some(), "serving link never failed");
+        if out.handover_succeeded() {
+            let intr = out.interruption.unwrap();
+            // ...and pays the outage + search + penalty.
+            assert!(
+                intr.as_millis_f64() > 80.0,
+                "hard handover suspiciously fast: {intr}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracked_beam_stays_aligned() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        let out = human_walk(&cfg, 9).run();
+        let frac = out.alignment_fraction().expect("alignment recorded");
+        assert!(frac > 0.6, "aligned only {frac} of tracked time");
+    }
+}
+

@@ -1,0 +1,811 @@
+//! The event-driven scenario executor: base stations, the mobile, the
+//! radio in between, and the protocol under test.
+//!
+//! One [`Scenario`] = one mobile moving through a multi-cell deployment
+//! for one seeded trial. The executor owns the discrete-event clock and
+//! translates between the physical world (mobility, channels, SSB
+//! sweeps) and the sans-IO protocol engines of the `silent-tracker`
+//! crate:
+//!
+//! * every SSB burst set (all cells synchronized, as in an NR network)
+//!   the mobile hears the serving cell on its serving beam, probes the
+//!   adjacent serving beams, and — inside measurement gaps — listens for
+//!   neighbor SSBs on the protocol's gap beam;
+//! * control PDUs travel over the simulated link and are dropped
+//!   according to SNR (plus injected faults), which is what makes the
+//!   "assistance delayed or lost" edge real;
+//! * a handover directive starts the 4-step RACH against the target on
+//!   the PRACH occasion bound to the tracked SSB beam, with the session
+//!   context fetched over the backhaul (soft) or rebuilt from scratch
+//!   after the hard-handover penalty (reactive baseline).
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use silent_tracker::tracker::{Action, HandoverDirective, Input, SilentTracker};
+use silent_tracker::{HandoverReason, ReactiveHandover};
+use st_des::{Control, Executive, RngStreams, SimDuration, SimTime, Trace, TraceLevel};
+use st_mac::pdu::{CellId, Pdu, UeId};
+use st_mac::rach::{RachProcedure, RachState};
+use st_mac::responder::{RachResponder, ResponderConfig};
+use st_mac::timing::TxBeamIndex;
+use st_mobility::BoxedModel;
+use st_phy::codebook::{BeamId, Codebook};
+use st_phy::geometry::Pose;
+use st_phy::link::{detectable, packet_success_probability, rss, snr};
+use st_phy::units::Dbm;
+use st_phy::LinkChannel;
+
+use crate::config::{ProtocolKind, ScenarioConfig};
+use crate::outcome::{RunOutcome, SearchPass};
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// SSB burst set `k` of every cell (network-synchronized).
+    Burst { k: u64 },
+    /// End of the mobile's gap dwell within the current burst period.
+    DwellEnd,
+    /// Periodic serving-link measurement opportunity.
+    ServingMeas,
+    /// 1 ms protocol timer tick.
+    Tick,
+    /// Over-the-air PDU arriving at the mobile from `cell`, transmitted
+    /// on `tx_beam`; delivery success is sampled at arrival.
+    UeRx {
+        cell: usize,
+        tx_beam: TxBeamIndex,
+        pdu: Pdu,
+    },
+    /// Over-the-air PDU arriving at base station `cell` (already
+    /// SNR-sampled at transmission).
+    BsRx { cell: usize, pdu: Pdu },
+    /// The serving BS applies a transmit-beam switch and notifies the UE.
+    AssistApply { cell: usize, tx_beam: TxBeamIndex },
+    /// Transmit (or re-transmit) the RACH preamble at a PRACH occasion.
+    RachTry,
+}
+
+/// Protocol under test, behind one dispatch surface.
+enum Proto {
+    Silent(Box<SilentTracker>),
+    Reactive(Box<ReactiveHandover>),
+}
+
+impl Proto {
+    fn handle(&mut self, input: Input) -> Vec<Action> {
+        match self {
+            Proto::Silent(t) => t.handle(input),
+            Proto::Reactive(r) => r.handle(input),
+        }
+    }
+
+    fn serving_rx_beam(&self) -> BeamId {
+        match self {
+            Proto::Silent(t) => t.serving_rx_beam(),
+            Proto::Reactive(r) => r.serving_rx_beam(),
+        }
+    }
+
+    fn gap_rx_beam(&self) -> BeamId {
+        match self {
+            Proto::Silent(t) => t.gap_rx_beam(),
+            Proto::Reactive(r) => r.gap_rx_beam(),
+        }
+    }
+
+    fn search_dwells(&self) -> u64 {
+        match self {
+            Proto::Silent(t) => t.stats().search_dwells,
+            Proto::Reactive(r) => r.search_dwells(),
+        }
+    }
+
+    fn tracked(&self) -> Option<(CellId, TxBeamIndex, BeamId)> {
+        match self {
+            Proto::Silent(t) => t.tracked(),
+            Proto::Reactive(_) => None,
+        }
+    }
+}
+
+/// In-flight random access towards the handover target.
+struct RachExec {
+    target: usize,
+    ssb_beam: TxBeamIndex,
+    rx_beam: BeamId,
+    proc: RachProcedure,
+    try_pending: bool,
+}
+
+/// One seeded scenario trial.
+pub struct Scenario {
+    config: ScenarioConfig,
+    mobility: BoxedModel,
+}
+
+struct World {
+    cfg: ScenarioConfig,
+    mobility: BoxedModel,
+    ue_codebook: Codebook,
+    bs_codebooks: Vec<Codebook>,
+    channels: Vec<LinkChannel>,
+    chan_rngs: Vec<StdRng>,
+    rach_rng: StdRng,
+    fault_rng: StdRng,
+    last_channel_step: SimTime,
+
+    proto: Proto,
+    serving: usize,
+    /// Serving-link transmit beam each BS uses towards this UE.
+    bs_tx_beam: Vec<TxBeamIndex>,
+    rlf_count: u32,
+    rlf_declared: bool,
+    rach: Option<RachExec>,
+    /// BS-side RACH responder, one per cell.
+    responders: Vec<RachResponder>,
+    handover_reason: Option<HandoverReason>,
+    /// Cumulative dwell count at the end of the previous search pass.
+    pass_dwell_mark: u64,
+
+    outcome: RunOutcome,
+    trace: Trace,
+    halt: bool,
+}
+
+const UE: UeId = UeId(1);
+/// Session context token carried in Msg3 for soft handovers.
+const CONTEXT_TOKEN: u64 = 0x51_1E_27_AC_4E_12;
+/// Short over-the-air + processing delays.
+const AIR_DELAY: SimDuration = SimDuration::from_micros(500);
+const MSG2_DELAY: SimDuration = SimDuration::from_millis(2);
+const MSG4_PROCESSING: SimDuration = SimDuration::from_millis(2);
+
+impl Scenario {
+    pub fn new(config: ScenarioConfig, mobility: BoxedModel) -> Scenario {
+        config.validate().expect("invalid scenario");
+        Scenario { config, mobility }
+    }
+
+    /// Run to completion and return the outcome (and the protocol trace).
+    pub fn run(self) -> RunOutcome {
+        self.run_traced().0
+    }
+
+    /// Run and also return the milestone trace (examples print it).
+    pub fn run_traced(self) -> (RunOutcome, Trace) {
+        let cfg = self.config;
+        let streams = RngStreams::new(cfg.seed);
+        let ue_codebook = cfg
+            .custom_ue_codebook
+            .clone()
+            .unwrap_or_else(|| Codebook::for_class(cfg.ue_codebook));
+        let bs_codebooks: Vec<Codebook> = cfg
+            .cells
+            .iter()
+            .map(|c| Codebook::uniform_sectored(c.n_tx_beams as usize, st_phy::Degrees(30.0)))
+            .collect();
+        let mut chan_rngs: Vec<StdRng> = (0..cfg.cells.len())
+            .map(|i| streams.stream_indexed("channel", i as u64))
+            .collect();
+        let channels: Vec<LinkChannel> = chan_rngs
+            .iter_mut()
+            .map(|rng| LinkChannel::new(rng, cfg.channel))
+            .collect();
+
+        // Initial beams: the mobile completed initial access to the
+        // serving cell before the scenario starts, so both ends begin on
+        // their ground-truth best beams.
+        let ue_pose0 = self.mobility.pose_at(0.0);
+        let serving = cfg.initial_serving;
+        let bs_pose = |i: usize| Pose::new(cfg.cells[i].position, cfg.cells[i].heading);
+        let bs_tx_beam: Vec<TxBeamIndex> = (0..cfg.cells.len())
+            .map(|i| {
+                bs_codebooks[i]
+                    .best_beam_towards(bs_pose(i).local_bearing_to(ue_pose0.position))
+                    .0
+            })
+            .collect();
+        let serving_rx = ue_codebook
+            .best_beam_towards(ue_pose0.local_bearing_to(cfg.cells[serving].position));
+
+        let proto = match cfg.protocol {
+            ProtocolKind::SilentTracker => Proto::Silent(Box::new(SilentTracker::new(
+                cfg.tracker,
+                UE,
+                CellId(serving as u16),
+                ue_codebook.clone(),
+                serving_rx,
+            ))),
+            ProtocolKind::Reactive => Proto::Reactive(Box::new(ReactiveHandover::new(
+                cfg.tracker,
+                UE,
+                CellId(serving as u16),
+                ue_codebook.clone(),
+                serving_rx,
+            ))),
+        };
+
+        let seed = cfg.seed;
+        let duration = cfg.duration;
+        let burst_period = cfg.ssb(0).burst_period;
+        let burst_active = cfg.ssb(0).burst_active();
+
+        let mut world = World {
+            mobility: self.mobility,
+            ue_codebook,
+            bs_codebooks,
+            channels,
+            chan_rngs,
+            rach_rng: streams.stream("rach"),
+            fault_rng: streams.stream("fault"),
+            last_channel_step: SimTime::ZERO,
+            proto,
+            serving,
+            bs_tx_beam,
+            rlf_count: 0,
+            rlf_declared: false,
+            rach: None,
+            responders: (0..cfg.cells.len())
+                .map(|_| {
+                    RachResponder::new(ResponderConfig {
+                        rar_delay: MSG2_DELAY,
+                        msg4_delay: MSG4_PROCESSING,
+                        backhaul_latency: cfg.backhaul_latency,
+                        max_pending: 16,
+                    })
+                })
+                .collect(),
+            handover_reason: None,
+            pass_dwell_mark: 0,
+            outcome: RunOutcome::new(seed),
+            trace: Trace::default(),
+            halt: false,
+            cfg,
+        };
+
+        let mut ex: Executive<Ev> = Executive::new();
+        ex.event_budget = 200_000_000;
+        ex.schedule_at(SimTime::ZERO, Ev::Burst { k: 0 });
+        ex.schedule_at(
+            SimTime::ZERO + burst_active + SimDuration::from_millis(1),
+            Ev::DwellEnd,
+        );
+        ex.schedule_in(SimDuration::from_millis(1), Ev::ServingMeas);
+        ex.schedule_in(SimDuration::from_micros(500), Ev::Tick);
+
+        let deadline = SimTime::ZERO + duration;
+        ex.run(deadline, |ex, now, ev| {
+            world.dispatch(ex, now, ev, burst_period);
+            if world.halt {
+                Control::Halt
+            } else {
+                Control::Continue
+            }
+        });
+
+        if let Proto::Silent(t) = &world.proto {
+            world.outcome.tracker_stats = Some(t.stats());
+        }
+        if let Proto::Reactive(r) = &world.proto {
+            world.outcome.reactive_dwells = Some(r.search_dwells());
+        }
+        (world.outcome, world.trace)
+    }
+}
+
+impl World {
+    fn dispatch(&mut self, ex: &mut Executive<Ev>, now: SimTime, ev: Ev, burst_period: SimDuration) {
+        self.step_channels(now);
+        match ev {
+            Ev::Burst { k } => {
+                self.on_burst(ex, now);
+                ex.schedule_at(
+                    SimTime::ZERO + burst_period * (k + 1),
+                    Ev::Burst { k: k + 1 },
+                );
+            }
+            Ev::DwellEnd => {
+                let actions = self.proto.handle(Input::DwellComplete { at: now });
+                self.apply_actions(ex, now, actions);
+                ex.schedule_in(burst_period, Ev::DwellEnd);
+            }
+            Ev::ServingMeas => {
+                self.on_serving_meas(ex, now);
+                ex.schedule_in(self.cfg.serving_meas_period, Ev::ServingMeas);
+            }
+            Ev::Tick => {
+                let actions = self.proto.handle(Input::Tick { at: now });
+                self.apply_actions(ex, now, actions);
+                self.poll_rach(ex, now);
+                ex.schedule_in(SimDuration::from_millis(1), Ev::Tick);
+            }
+            Ev::UeRx { cell, tx_beam, pdu } => self.on_ue_rx(ex, now, cell, tx_beam, pdu),
+            Ev::BsRx { cell, pdu } => self.on_bs_rx(ex, now, cell, pdu),
+            Ev::AssistApply { cell, tx_beam } => {
+                self.bs_tx_beam[cell] = tx_beam;
+                ex.schedule_in(
+                    AIR_DELAY,
+                    Ev::UeRx {
+                        cell,
+                        tx_beam,
+                        pdu: Pdu::BeamSwitchCommand {
+                            cell: CellId(cell as u16),
+                            tx_beam,
+                        },
+                    },
+                );
+            }
+            Ev::RachTry => self.on_rach_try(ex, now),
+        }
+    }
+
+    // ----- physics --------------------------------------------------------
+
+    fn step_channels(&mut self, now: SimTime) {
+        let dt = now.since(self.last_channel_step).as_secs_f64();
+        if dt > 0.0 {
+            for (ch, rng) in self.channels.iter_mut().zip(self.chan_rngs.iter_mut()) {
+                ch.step(rng, dt);
+            }
+            self.last_channel_step = now;
+        }
+    }
+
+    fn ue_pose(&self, now: SimTime) -> Pose {
+        self.mobility.pose_at(now.as_secs_f64())
+    }
+
+    fn bs_pose(&self, cell: usize) -> Pose {
+        Pose::new(self.cfg.cells[cell].position, self.cfg.cells[cell].heading)
+    }
+
+    /// Downlink RSS from `cell` on (`tx_beam`, `rx_beam`) at `now`.
+    /// By channel reciprocity the same figure is used for the uplink.
+    fn link_rss(
+        &mut self,
+        now: SimTime,
+        cell: usize,
+        tx_beam: TxBeamIndex,
+        rx_beam: BeamId,
+    ) -> Option<Dbm> {
+        let ue = self.ue_pose(now);
+        let bs = self.bs_pose(cell);
+        let paths = self.channels[cell].paths(
+            &mut self.chan_rngs[cell],
+            &self.cfg.environment,
+            bs.position,
+            ue.position,
+        );
+        rss(
+            self.cfg.radio.tx_power,
+            bs,
+            &self.bs_codebooks[cell],
+            BeamId(tx_beam),
+            ue,
+            &self.ue_codebook,
+            rx_beam,
+            &paths,
+        )
+    }
+
+    /// Sample whether a control PDU gets through at this SNR.
+    fn delivery_ok(&mut self, rss: Option<Dbm>) -> bool {
+        let Some(r) = rss else { return false };
+        let p = packet_success_probability(snr(r, &self.cfg.radio), &self.cfg.radio);
+        self.rach_rng.random::<f64>() < p
+    }
+
+    // ----- event handlers ---------------------------------------------------
+
+    /// One synchronized SSB burst set across all cells.
+    fn on_burst(&mut self, ex: &mut Executive<Ev>, now: SimTime) {
+        // Serving link: probe the adjacent receive beams (CSI-RS-like),
+        // so the protocol's next mobile-side switch is informed.
+        let serving_rx = self.proto.serving_rx_beam();
+        let serving = self.serving;
+        let tx = self.bs_tx_beam[serving];
+        for b in self.ue_codebook.adjacent(serving_rx) {
+            if let Some(r) = self.link_rss(now, serving, tx, b) {
+                if detectable(r, &self.cfg.radio) {
+                    let actions = self.proto.handle(Input::ServingProbe {
+                        at: now,
+                        rx_beam: b,
+                        rss: r,
+                    });
+                    self.apply_actions(ex, now, actions);
+                }
+            }
+        }
+
+        // Neighbor cells: the mobile listens on its gap beam during the
+        // measurement gap that covers the burst. Every swept transmit
+        // beam whose SSB is detectable is reported.
+        if self.cfg.gaps.in_gap(now) {
+            let gap_beam = self.proto.gap_rx_beam();
+            for cell in 0..self.cfg.cells.len() {
+                if cell == serving && !self.post_rlf_search() {
+                    continue;
+                }
+                for tx_beam in 0..self.cfg.cells[cell].n_tx_beams {
+                    if let Some(r) = self.link_rss(now, cell, tx_beam, gap_beam) {
+                        if detectable(r, &self.cfg.radio) {
+                            let actions = self.proto.handle(Input::NeighborSsb {
+                                at: now,
+                                cell: CellId(cell as u16),
+                                tx_beam,
+                                rx_beam: gap_beam,
+                                rss: r,
+                            });
+                            self.apply_actions(ex, now, actions);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.record_alignment(now);
+    }
+
+    /// After RLF the reactive baseline may reconnect to any cell,
+    /// including the old serving one.
+    fn post_rlf_search(&self) -> bool {
+        self.rlf_declared && matches!(self.proto, Proto::Reactive(_))
+    }
+
+    /// Ground-truth alignment bookkeeping for the tracked neighbor beam.
+    fn record_alignment(&mut self, now: SimTime) {
+        let Some((cell, _, rx_beam)) = self.proto.tracked() else {
+            return;
+        };
+        let ue = self.ue_pose(now);
+        let aoa = ue.local_bearing_to(self.cfg.cells[cell.0 as usize].position);
+        let best = self.ue_codebook.best_beam_towards(aoa);
+        let g_best = self.ue_codebook.gain(best, aoa);
+        let g_cur = self.ue_codebook.gain(rx_beam, aoa);
+        let aligned = (g_best - g_cur).0 <= 3.0;
+        self.outcome
+            .alignment
+            .push(now.as_secs_f64(), if aligned { 1.0 } else { 0.0 });
+    }
+
+    fn on_serving_meas(&mut self, ex: &mut Executive<Ev>, now: SimTime) {
+        if self.cfg.gaps.in_gap(now) {
+            return; // radio is tuned away for neighbor measurements
+        }
+        if self.rlf_declared && self.rach.is_none() {
+            // Disconnected (reactive arm): nothing to measure.
+            return;
+        }
+        let serving = self.serving;
+        let tx = self.bs_tx_beam[serving];
+        let rx = self.proto.serving_rx_beam();
+        let r = self.link_rss(now, serving, tx, rx);
+        match r {
+            Some(v) if detectable(v, &self.cfg.radio) => {
+                self.rlf_count = 0;
+                let actions = self.proto.handle(Input::ServingRss { at: now, rss: v });
+                self.apply_actions(ex, now, actions);
+                self.outcome.serving_rss.push(now.as_secs_f64(), v.0);
+                if let Proto::Silent(t) = &self.proto {
+                    if let Some(n) = t.neighbor_level() {
+                        self.outcome.neighbor_rss.push(now.as_secs_f64(), n.0);
+                    }
+                }
+            }
+            _ => {
+                self.rlf_count += 1;
+                let needed = (self.cfg.tracker.serving_timeout.as_nanos()
+                    / self.cfg.serving_meas_period.as_nanos())
+                .max(2) as u32;
+                if self.rlf_count >= needed && !self.rlf_declared {
+                    self.rlf_declared = true;
+                    self.outcome.rlf_at = Some(now);
+                    self.trace
+                        .record(now, TraceLevel::Error, "radio link failure on serving cell");
+                    let actions = self.proto.handle(Input::ServingLinkLost { at: now });
+                    self.apply_actions(ex, now, actions);
+                }
+            }
+        }
+    }
+
+    fn on_ue_rx(
+        &mut self,
+        ex: &mut Executive<Ev>,
+        now: SimTime,
+        cell: usize,
+        tx_beam: TxBeamIndex,
+        pdu: Pdu,
+    ) {
+        // Which receive beam is the mobile pointing at this sender? For
+        // the RACH target, the tracker keeps maintaining the beam during
+        // the exchange — use its live choice.
+        self.refresh_rach_beams();
+        let rx_beam = match &self.rach {
+            Some(r) if r.target == cell => r.rx_beam,
+            _ => self.proto.serving_rx_beam(),
+        };
+        let r = self.link_rss(now, cell, tx_beam, rx_beam);
+        if !self.delivery_ok(r) {
+            return;
+        }
+        if self.fault_rng.random::<f64>() < self.cfg.fault.drop_rach_probability
+            && matches!(
+                pdu,
+                Pdu::RachResponse { .. } | Pdu::ContentionResolution { .. }
+            )
+        {
+            return;
+        }
+        // RACH messages go to the in-flight procedure.
+        if self.rach.as_ref().is_some_and(|r| r.target == cell) {
+            let rach = self.rach.as_mut().unwrap();
+            let action = rach.proc.on_pdu(now, &pdu);
+            let attempts = rach.proc.attempts() as u32;
+            let connected = rach.proc.state() == RachState::Connected;
+            if let st_mac::rach::RachAction::Transmit(msg3) = action {
+                self.outcome.rach_attempts = attempts;
+                self.send_to_bs(ex, now, cell, msg3);
+            }
+            if connected {
+                self.complete_handover(now);
+            }
+            return;
+        }
+        let actions = self.proto.handle(Input::FromServing { at: now, pdu });
+        self.apply_actions(ex, now, actions);
+    }
+
+    fn on_bs_rx(&mut self, ex: &mut Executive<Ev>, now: SimTime, cell: usize, pdu: Pdu) {
+        match pdu {
+            Pdu::BeamSwitchRequest { .. } => {
+                if self.fault_rng.random::<f64>() < self.cfg.fault.drop_assist_probability {
+                    self.trace
+                        .record(now, TraceLevel::Warn, "cell assistance dropped (fault)");
+                    return;
+                }
+                // The BS re-trains its transmit beam towards the mobile
+                // (its own sweep + the UE's measurement reports).
+                let ue = self.ue_pose(now);
+                let best = self.bs_codebooks[cell]
+                    .best_beam_towards(self.bs_pose(cell).local_bearing_to(ue.position))
+                    .0;
+                let delay = self.cfg.assist_processing + self.cfg.fault.assist_extra_delay;
+                ex.schedule_in(delay, Ev::AssistApply { cell, tx_beam: best });
+                self.trace.record(
+                    now,
+                    TraceLevel::Info,
+                    format!("serving BS re-training tx beam -> {best}"),
+                );
+            }
+            Pdu::RachPreamble { preamble, ssb_beam } => {
+                // Target BS answers on the SSB beam the occasion maps to,
+                // with the timing advance derived from the true range.
+                let distance = self
+                    .ue_pose(now)
+                    .position
+                    .distance(self.cfg.cells[cell].position);
+                if let Some(plan) =
+                    self.responders[cell].on_preamble(now, preamble, ssb_beam, distance)
+                {
+                    ex.schedule_in(
+                        plan.delay,
+                        Ev::UeRx {
+                            cell,
+                            tx_beam: plan.tx_beam,
+                            pdu: plan.pdu,
+                        },
+                    );
+                }
+            }
+            Pdu::ConnectionRequest { ue, context_token } => {
+                // Soft handover: the responder embeds the backhaul
+                // context fetch in the Msg4 delay; hard admission is
+                // immediate (the mobile pays re-establishment above MAC).
+                let plan = self.responders[cell].on_connection_request(ue, context_token);
+                let tx_beam = self.rach.as_ref().map(|r| r.ssb_beam).unwrap_or(0);
+                ex.schedule_in(
+                    plan.delay,
+                    Ev::UeRx {
+                        cell,
+                        tx_beam,
+                        pdu: plan.pdu,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Keep the in-flight RACH pointed at the tracker's live beam pair:
+    /// the device may rotate/move during the exchange and the tracker
+    /// (which stays in N-RBA during random access) follows it.
+    fn refresh_rach_beams(&mut self) {
+        if let (Some(rach), Some((cell, tx, rx))) = (&mut self.rach, self.proto.tracked()) {
+            if cell.0 as usize == rach.target {
+                rach.ssb_beam = tx;
+                rach.rx_beam = rx;
+            }
+        }
+    }
+
+    fn send_to_bs(&mut self, ex: &mut Executive<Ev>, now: SimTime, cell: usize, pdu: Pdu) {
+        // Uplink delivery sampled by reciprocity: same beams, same SNR.
+        self.refresh_rach_beams();
+        let (tx_beam, rx_beam) = match &self.rach {
+            Some(r) if r.target == cell => (r.ssb_beam, r.rx_beam),
+            _ => (self.bs_tx_beam[cell], self.proto.serving_rx_beam()),
+        };
+        let r = self.link_rss(now, cell, tx_beam, rx_beam);
+        let faulted = self.fault_rng.random::<f64>() < self.cfg.fault.drop_rach_probability
+            && matches!(pdu, Pdu::RachPreamble { .. } | Pdu::ConnectionRequest { .. });
+        if self.delivery_ok(r) && !faulted {
+            ex.schedule_in(AIR_DELAY, Ev::BsRx { cell, pdu });
+        }
+    }
+
+    fn on_rach_try(&mut self, ex: &mut Executive<Ev>, now: SimTime) {
+        self.refresh_rach_beams();
+        let Some(rach) = &mut self.rach else { return };
+        rach.try_pending = false;
+        if !matches!(rach.proc.state(), RachState::Idle | RachState::WaitingRar { .. }) {
+            return;
+        }
+        let preamble: u8 = self
+            .rach_rng
+            .random_range(0..self.cfg.prach.n_preambles.max(1));
+        let (target, ssb_beam) = (rach.target, rach.ssb_beam);
+        match rach.proc.send_preamble(now, ssb_beam, preamble) {
+            Ok(msg1) => {
+                self.outcome.rach_attempts = self.rach.as_ref().unwrap().proc.attempts() as u32;
+                self.send_to_bs(ex, now, target, msg1);
+            }
+            Err(_) => {
+                // Exhausted: the handover failed; the run ends without a
+                // completion (counted against the protocol).
+                self.trace
+                    .record(now, TraceLevel::Error, "RACH attempts exhausted");
+                self.halt = true;
+            }
+        }
+    }
+
+    /// Retry the preamble on the next occasion after a timeout.
+    fn poll_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime) {
+        let Some(rach) = &mut self.rach else { return };
+        let st = rach.proc.poll(now);
+        match st {
+            RachState::Idle if !rach.try_pending => {
+                let ssb = self.cfg.ssb(rach.target);
+                let at = self.cfg.prach.next_occasion(&ssb, now, rach.ssb_beam);
+                rach.try_pending = true;
+                ex.schedule_at(at, Ev::RachTry);
+            }
+            RachState::Failed => {
+                self.trace
+                    .record(now, TraceLevel::Error, "RACH failed permanently");
+                self.halt = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn complete_handover(&mut self, now: SimTime) {
+        let Some(rach) = &self.rach else { return };
+        let hard_penalty = match self.cfg.protocol {
+            ProtocolKind::Reactive => self.cfg.hard_handover_penalty,
+            ProtocolKind::SilentTracker => SimDuration::ZERO,
+        };
+        let done_at = now + hard_penalty;
+        self.outcome.handover_complete_at = Some(done_at);
+        self.serving = rach.target;
+        // Interruption accounting: make-before-break pays only the access
+        // exchange; a post-RLF handover pays the whole outage.
+        let start = match self.handover_reason {
+            Some(HandoverReason::NeighborStronger) => self.outcome.handover_triggered_at,
+            _ => self.outcome.rlf_at.or(self.outcome.handover_triggered_at),
+        };
+        if let Some(s) = start {
+            self.outcome.interruption = Some(done_at.since(s));
+        }
+        self.trace.record(
+            now,
+            TraceLevel::Info,
+            format!(
+                "handover complete to cell{} ({} attempts)",
+                rach.target, self.outcome.rach_attempts
+            ),
+        );
+        self.rach = None;
+        if self.cfg.stop_at_handover {
+            self.halt = true;
+        }
+    }
+
+    // ----- protocol actions -------------------------------------------------
+
+    fn apply_actions(&mut self, ex: &mut Executive<Ev>, now: SimTime, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::SetServingRxBeam(b) => {
+                    self.trace
+                        .record(now, TraceLevel::Info, format!("S-RBA switch -> {b}"));
+                }
+                Action::SetGapRxBeam(_) => {}
+                Action::SendToServing(pdu) => {
+                    let serving = self.serving;
+                    self.send_to_bs(ex, now, serving, pdu);
+                }
+                Action::SearchFailed { dwells_used } => {
+                    self.outcome.search_passes.push(SearchPass {
+                        dwells: dwells_used,
+                        succeeded: false,
+                        ended_at: now,
+                    });
+                    self.pass_dwell_mark = self.proto.search_dwells();
+                    self.trace.record(
+                        now,
+                        TraceLevel::Warn,
+                        format!("search pass failed after {dwells_used} dwells"),
+                    );
+                }
+                Action::NeighborAcquired(d) => {
+                    let total = self.proto.search_dwells();
+                    let dwells = (total - self.pass_dwell_mark) as usize;
+                    self.pass_dwell_mark = total;
+                    self.outcome.search_passes.push(SearchPass {
+                        dwells,
+                        succeeded: true,
+                        ended_at: now,
+                    });
+                    if self.outcome.acquired_at.is_none() {
+                        self.outcome.acquired_at = Some(now);
+                    }
+                    self.trace.record(
+                        now,
+                        TraceLevel::Info,
+                        format!(
+                            "acquired {} tx{} on rx {} at {}",
+                            d.cell, d.tx_beam, d.rx_beam, d.rss
+                        ),
+                    );
+                }
+                Action::ExecuteHandover(directive) => self.start_rach(ex, now, directive),
+            }
+        }
+    }
+
+    fn start_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime, d: HandoverDirective) {
+        if self.rach.is_some() {
+            return;
+        }
+        self.outcome.handover_triggered_at = Some(now);
+        self.outcome.handover_reason = Some(d.reason);
+        self.handover_reason = Some(d.reason);
+        let token = match self.cfg.protocol {
+            ProtocolKind::SilentTracker => CONTEXT_TOKEN,
+            ProtocolKind::Reactive => 0,
+        };
+        let target = d.target.0 as usize;
+        let proc = RachProcedure::new(self.cfg.rach, UE, token);
+        let ssb = self.cfg.ssb(target);
+        let at = self.cfg.prach.next_occasion(&ssb, now, d.ssb_beam);
+        self.rach = Some(RachExec {
+            target,
+            ssb_beam: d.ssb_beam,
+            rx_beam: d.rx_beam,
+            proc,
+            try_pending: true,
+        });
+        ex.schedule_at(at, Ev::RachTry);
+        self.trace.record(
+            now,
+            TraceLevel::Info,
+            format!(
+                "handover trigger ({:?}) -> cell{} ssb{} rx {}",
+                d.reason, target, d.ssb_beam, d.rx_beam
+            ),
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! The composite link channel: rays × path loss × shadowing × fading ×
+//! blockage.
+//!
+//! A [`LinkChannel`] models one (base-station, mobile) radio link. It is
+//! advanced in time with [`LinkChannel::step`] (evolving the correlated
+//! shadowing and the blockage process) and sampled with
+//! [`LinkChannel::paths`], which returns every propagation path with its
+//! total gain *excluding* antenna gains — the antenna/beam contribution is
+//! applied by [`crate::link`] because it depends on which beams the two
+//! ends currently use.
+
+pub mod pathloss;
+pub mod raytrace;
+
+use rand::Rng;
+
+use crate::geometry::{Radians, Vec2};
+use crate::stochastic::{BlockageProcess, OrnsteinUhlenbeck, Rician};
+use crate::units::{Carrier, Db};
+
+pub use pathloss::{CloseIn, FreeSpace, PathLossModel, UmiStreetCanyonLos, UmiStreetCanyonNlos};
+pub use raytrace::{Environment, Ray, Wall};
+
+/// One resolvable propagation path at a sampling instant, with everything
+/// except antenna gains folded into `gain` (a negative dB value).
+#[derive(Debug, Clone, Copy)]
+pub struct PathSample {
+    /// Departure bearing at the transmitter, global frame.
+    pub aod: Radians,
+    /// Arrival bearing at the receiver, global frame.
+    pub aoa: Radians,
+    /// Channel gain: −(path loss + excess + shadowing + blockage) + fading.
+    pub gain: Db,
+    pub is_los: bool,
+}
+
+/// Configuration of the stochastic channel components.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    pub carrier: Carrier,
+    /// LOS path-loss exponent (close-in model).
+    pub los_exponent: f64,
+    /// Extra exponent applied to reflected (NLOS) rays.
+    pub nlos_exponent: f64,
+    /// Log-normal shadowing standard deviation, dB.
+    pub shadowing_sigma_db: f64,
+    /// Shadowing decorrelation time constant, seconds.
+    pub shadowing_tau_s: f64,
+    /// Rician K-factor for the LOS ray, dB.
+    pub los_k_db: f64,
+    /// Rician K-factor for reflected rays, dB.
+    pub nlos_k_db: f64,
+    /// Human-blockage arrival rate (events/s) on the LOS ray.
+    pub blockage_rate_hz: f64,
+    /// Mean blockage duration, seconds.
+    pub blockage_duration_s: f64,
+    /// Blockage attenuation, dB.
+    pub blockage_loss_db: f64,
+    /// Disable small-scale fading (for deterministic unit tests).
+    pub fading_enabled: bool,
+}
+
+impl ChannelConfig {
+    /// 60 GHz outdoor cell-edge defaults matching the paper's testbed
+    /// regime: strong LOS, occasional pedestrian blockage.
+    pub fn outdoor_60ghz() -> ChannelConfig {
+        ChannelConfig {
+            carrier: Carrier::MM_WAVE_60GHZ,
+            los_exponent: 2.0,
+            nlos_exponent: 2.4,
+            shadowing_sigma_db: 2.5,
+            shadowing_tau_s: 1.5,
+            los_k_db: 10.0,
+            nlos_k_db: 3.0,
+            blockage_rate_hz: 0.05,
+            blockage_duration_s: 0.4,
+            blockage_loss_db: 22.0,
+            fading_enabled: true,
+        }
+    }
+
+    /// Fully deterministic variant: no shadowing, fading, or blockage.
+    /// Useful for tests that assert exact link-budget arithmetic.
+    pub fn deterministic() -> ChannelConfig {
+        ChannelConfig {
+            shadowing_sigma_db: 0.0,
+            blockage_rate_hz: 0.0,
+            fading_enabled: false,
+            ..ChannelConfig::outdoor_60ghz()
+        }
+    }
+}
+
+/// Stochastic state of one radio link.
+#[derive(Debug, Clone)]
+pub struct LinkChannel {
+    pub config: ChannelConfig,
+    shadowing: OrnsteinUhlenbeck,
+    blockage: BlockageProcess,
+    los_fading: Rician,
+    nlos_fading: Rician,
+}
+
+impl LinkChannel {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: ChannelConfig) -> LinkChannel {
+        let shadowing =
+            OrnsteinUhlenbeck::new(rng, config.shadowing_sigma_db, config.shadowing_tau_s);
+        let blockage = if config.blockage_rate_hz > 0.0 {
+            BlockageProcess::new(
+                rng,
+                config.blockage_rate_hz,
+                config.blockage_duration_s,
+                config.blockage_loss_db,
+            )
+        } else {
+            BlockageProcess::disabled()
+        };
+        LinkChannel {
+            config,
+            shadowing,
+            blockage,
+            los_fading: Rician::from_k_db(config.los_k_db),
+            nlos_fading: Rician::from_k_db(config.nlos_k_db),
+        }
+    }
+
+    /// Advance the time-correlated components by `dt_s`.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_s: f64) {
+        self.shadowing.step(rng, dt_s);
+        self.blockage.step(rng, dt_s);
+    }
+
+    /// Whether the LOS ray is currently blocked by a pedestrian.
+    pub fn los_blocked(&self) -> bool {
+        self.blockage.is_blocked()
+    }
+
+    /// Sample every propagation path between `tx` and `rx` through `env`.
+    pub fn paths<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        env: &Environment,
+        tx: Vec2,
+        rx: Vec2,
+    ) -> Vec<PathSample> {
+        let shadow = Db(self.shadowing.value());
+        env.trace(tx, rx)
+            .into_iter()
+            .map(|ray| {
+                let exponent = if ray.is_los {
+                    self.config.los_exponent
+                } else {
+                    self.config.nlos_exponent
+                };
+                let pl = CloseIn {
+                    carrier: self.config.carrier,
+                    exponent,
+                }
+                .loss(ray.length_m);
+                let mut gain = -(pl + ray.excess_loss) - shadow;
+                if ray.is_los {
+                    gain -= Db(self.blockage.loss_db());
+                }
+                if self.config.fading_enabled {
+                    let fading = if ray.is_los {
+                        self.los_fading
+                    } else {
+                        self.nlos_fading
+                    };
+                    gain += Db(fading.sample_power_db(rng));
+                }
+                PathSample {
+                    aod: ray.aod,
+                    aoa: ray.aoa,
+                    gain,
+                    is_los: ray.is_los,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_config_gives_pure_pathloss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = LinkChannel::new(&mut rng, ChannelConfig::deterministic());
+        let env = Environment::open();
+        let paths = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+        assert_eq!(paths.len(), 1);
+        // -88 dB at 10 m (close-in n=2).
+        assert!((paths[0].gain.0 + 88.0).abs() < 0.3, "{:?}", paths[0].gain);
+        // Repeatable: same answer twice.
+        let again = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+        assert_eq!(paths[0].gain, again[0].gain);
+    }
+
+    #[test]
+    fn reflections_are_weaker_than_los() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = LinkChannel::new(&mut rng, ChannelConfig::deterministic());
+        let env = Environment::street_canyon(100.0, 20.0);
+        let paths = ch.paths(&mut rng, &env, Vec2::new(-10.0, 0.0), Vec2::new(10.0, 0.0));
+        let los = paths.iter().find(|p| p.is_los).unwrap();
+        for p in paths.iter().filter(|p| !p.is_los) {
+            assert!(p.gain.0 < los.gain.0 - 5.0);
+        }
+    }
+
+    #[test]
+    fn blockage_hits_only_los() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = ChannelConfig::deterministic();
+        cfg.blockage_rate_hz = 1000.0; // force a blockage quickly
+        cfg.blockage_duration_s = 100.0;
+        cfg.blockage_loss_db = 25.0;
+        let mut ch = LinkChannel::new(&mut rng, cfg);
+        let env = Environment::street_canyon(100.0, 20.0);
+        let tx = Vec2::new(-10.0, 0.0);
+        let rx = Vec2::new(10.0, 0.0);
+        let before = ch.paths(&mut rng, &env, tx, rx);
+        // Step until blocked.
+        for _ in 0..100 {
+            ch.step(&mut rng, 0.01);
+            if ch.los_blocked() {
+                break;
+            }
+        }
+        assert!(ch.los_blocked());
+        let after = ch.paths(&mut rng, &env, tx, rx);
+        let los_drop = before.iter().find(|p| p.is_los).unwrap().gain
+            - after.iter().find(|p| p.is_los).unwrap().gain;
+        assert!((los_drop.0 - 25.0).abs() < 1e-9, "{los_drop}");
+        let nlos_before = before.iter().find(|p| !p.is_los).unwrap().gain;
+        let nlos_after = after.iter().find(|p| !p.is_los).unwrap().gain;
+        assert_eq!(nlos_before, nlos_after);
+    }
+
+    #[test]
+    fn shadowing_moves_all_rays_together() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cfg = ChannelConfig::deterministic();
+        cfg.shadowing_sigma_db = 4.0;
+        let mut ch = LinkChannel::new(&mut rng, cfg);
+        let env = Environment::street_canyon(100.0, 20.0);
+        let tx = Vec2::new(-10.0, 0.0);
+        let rx = Vec2::new(10.0, 0.0);
+        let a = ch.paths(&mut rng, &env, tx, rx);
+        ch.step(&mut rng, 10.0); // long step decorrelates shadowing
+        let b = ch.paths(&mut rng, &env, tx, rx);
+        let delta_los = (a[0].gain - b[0].gain).0;
+        let delta_r1 = (a[1].gain - b[1].gain).0;
+        // Same shadowing shift applies to each ray.
+        assert!((delta_los - delta_r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fading_varies_between_samples() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cfg = ChannelConfig::deterministic();
+        cfg.fading_enabled = true;
+        let mut ch = LinkChannel::new(&mut rng, cfg);
+        let env = Environment::open();
+        let a = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+        let b = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+        assert_ne!(a[0].gain, b[0].gain);
+    }
+}

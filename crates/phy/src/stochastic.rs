@@ -1,0 +1,304 @@
+//! Random processes used by the channel models.
+//!
+//! We implement Gaussian sampling (Box–Muller) and the temporally
+//! correlated processes ourselves instead of pulling in `rand_distr`,
+//! keeping the dependency set to the vendored crates (see DESIGN.md §5).
+
+use rand::Rng;
+use rand::RngExt as _;
+
+/// Draw a standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would produce -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw from N(mean, std²).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draw an exponentially distributed sample with the given rate (1/mean).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::EPSILON {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+/// A discrete-time Ornstein–Uhlenbeck process.
+///
+/// Used for temporally correlated log-normal shadowing: successive RSS
+/// samples a few milliseconds apart are strongly correlated, which matters
+/// because Silent Tracker reacts to RSS *deltas* — white shadowing noise
+/// would trigger spurious 3 dB beam switches that real channels do not.
+#[derive(Debug, Clone)]
+pub struct OrnsteinUhlenbeck {
+    /// Stationary standard deviation.
+    pub sigma: f64,
+    /// Correlation time constant in seconds (the process decorrelates to
+    /// 1/e over this horizon; spatially this corresponds to the shadowing
+    /// decorrelation distance divided by speed).
+    pub tau_s: f64,
+    state: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, sigma: f64, tau_s: f64) -> Self {
+        // Start in the stationary distribution.
+        let state = sigma * standard_normal(rng);
+        OrnsteinUhlenbeck { sigma, tau_s, state }
+    }
+
+    /// Current value of the process.
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+
+    /// Advance the process by `dt_s` seconds and return the new value.
+    ///
+    /// Exact discretization: x' = ρ x + σ √(1-ρ²) w, ρ = exp(-dt/τ).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_s: f64) -> f64 {
+        debug_assert!(dt_s >= 0.0);
+        if self.sigma == 0.0 {
+            self.state = 0.0;
+            return 0.0;
+        }
+        let rho = (-dt_s / self.tau_s).exp();
+        self.state =
+            rho * self.state + self.sigma * (1.0 - rho * rho).sqrt() * standard_normal(rng);
+        self.state
+    }
+}
+
+/// A Rician fading amplitude generator.
+///
+/// LOS mm-wave links have a strong specular component (large K factor);
+/// NLOS reflections are closer to Rayleigh (K ≈ 0). `sample_power_db`
+/// returns the instantaneous fading gain relative to the mean power, in dB,
+/// so it composes additively with the rest of the link budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Rician {
+    /// K factor (specular-to-scattered power ratio), linear.
+    pub k: f64,
+}
+
+impl Rician {
+    pub fn from_k_db(k_db: f64) -> Rician {
+        Rician {
+            k: 10f64.powf(k_db / 10.0),
+        }
+    }
+
+    pub fn rayleigh() -> Rician {
+        Rician { k: 0.0 }
+    }
+
+    /// Instantaneous power gain in dB around a 0 dB mean.
+    pub fn sample_power_db<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        // Complex gain: specular sqrt(K/(K+1)) plus CN(0, 1/(K+1)).
+        let spec = (self.k / (self.k + 1.0)).sqrt();
+        let sigma = (1.0 / (2.0 * (self.k + 1.0))).sqrt();
+        let i = spec + sigma * standard_normal(rng);
+        let q = sigma * standard_normal(rng);
+        let p = i * i + q * q;
+        10.0 * p.max(1e-12).log10()
+    }
+}
+
+/// A two-state (on/off) Markov renewal process for human-body blockage.
+///
+/// Blockers arrive as a Poisson process (rate `arrival_rate_hz`); each
+/// blockage lasts an exponentially distributed duration. This reproduces
+/// the deep (15–30 dB), hundreds-of-milliseconds fades observed on 60 GHz
+/// links when a person crosses the LOS path.
+#[derive(Debug, Clone)]
+pub struct BlockageProcess {
+    pub arrival_rate_hz: f64,
+    pub mean_duration_s: f64,
+    pub attenuation_db: f64,
+    /// Time remaining until the next state change, seconds.
+    time_to_toggle_s: f64,
+    blocked: bool,
+}
+
+impl BlockageProcess {
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        arrival_rate_hz: f64,
+        mean_duration_s: f64,
+        attenuation_db: f64,
+    ) -> Self {
+        let time_to_toggle_s = if arrival_rate_hz > 0.0 {
+            exponential(rng, arrival_rate_hz)
+        } else {
+            f64::INFINITY
+        };
+        BlockageProcess {
+            arrival_rate_hz,
+            mean_duration_s,
+            attenuation_db,
+            time_to_toggle_s,
+            blocked: false,
+        }
+    }
+
+    /// A process that never blocks.
+    pub fn disabled() -> Self {
+        BlockageProcess {
+            arrival_rate_hz: 0.0,
+            mean_duration_s: 0.0,
+            attenuation_db: 0.0,
+            time_to_toggle_s: f64::INFINITY,
+            blocked: false,
+        }
+    }
+
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+
+    /// Current extra loss in dB (0 when unblocked).
+    pub fn loss_db(&self) -> f64 {
+        if self.blocked {
+            self.attenuation_db
+        } else {
+            0.0
+        }
+    }
+
+    /// Advance by `dt_s`, toggling through as many state changes as fit.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_s: f64) {
+        let mut remaining = dt_s;
+        while remaining >= self.time_to_toggle_s {
+            remaining -= self.time_to_toggle_s;
+            self.blocked = !self.blocked;
+            self.time_to_toggle_s = if self.blocked {
+                exponential(rng, 1.0 / self.mean_duration_s.max(1e-9))
+            } else if self.arrival_rate_hz > 0.0 {
+                exponential(rng, self.arrival_rate_hz)
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.time_to_toggle_s -= remaining;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ou_is_stationary_and_correlated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ou = OrnsteinUhlenbeck::new(&mut rng, 3.0, 0.5);
+        // Tiny steps stay correlated...
+        let v0 = ou.value();
+        let v1 = ou.step(&mut rng, 1e-4);
+        assert!((v1 - v0).abs() < 1.0);
+        // ...and the long-run std approaches sigma.
+        let n = 100_000;
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let v = ou.step(&mut rng, 0.05);
+            acc += v * v;
+        }
+        let std = (acc / n as f64).sqrt();
+        assert!((std - 3.0).abs() < 0.15, "std {std}");
+    }
+
+    #[test]
+    fn ou_zero_sigma_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ou = OrnsteinUhlenbeck::new(&mut rng, 0.0, 0.5);
+        assert_eq!(ou.step(&mut rng, 0.1), 0.0);
+    }
+
+    #[test]
+    fn rician_mean_power_is_0db() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k_db in [-100.0, 0.0, 10.0] {
+            let r = Rician::from_k_db(k_db);
+            let n = 50_000;
+            let mean_lin = (0..n)
+                .map(|_| 10f64.powf(r.sample_power_db(&mut rng) / 10.0))
+                .sum::<f64>()
+                / n as f64;
+            assert!((mean_lin - 1.0).abs() < 0.05, "k={k_db} mean={mean_lin}");
+        }
+    }
+
+    #[test]
+    fn high_k_fading_is_shallow() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = Rician::from_k_db(15.0);
+        let min = (0..10_000)
+            .map(|_| r.sample_power_db(&mut rng))
+            .fold(f64::INFINITY, f64::min);
+        // With K = 15 dB the envelope almost never fades below -6 dB.
+        assert!(min > -8.0, "min {min}");
+    }
+
+    #[test]
+    fn blockage_duty_cycle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = BlockageProcess::new(&mut rng, 0.2, 0.5, 25.0);
+        let dt = 0.01;
+        let mut blocked_time = 0.0;
+        let total = 20_000.0 * dt;
+        for _ in 0..20_000 {
+            b.step(&mut rng, dt);
+            if b.is_blocked() {
+                blocked_time += dt;
+            }
+        }
+        // Expected duty cycle ≈ rate*dur/(1+rate*dur) = 0.1/1.1 ≈ 0.0909.
+        let duty = blocked_time / total;
+        assert!((duty - 0.09).abs() < 0.04, "duty {duty}");
+        assert_eq!(b.loss_db(), if b.is_blocked() { 25.0 } else { 0.0 });
+    }
+
+    #[test]
+    fn disabled_blockage_never_blocks() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut b = BlockageProcess::disabled();
+        for _ in 0..1000 {
+            b.step(&mut rng, 1.0);
+            assert!(!b.is_blocked());
+            assert_eq!(b.loss_db(), 0.0);
+        }
+    }
+}

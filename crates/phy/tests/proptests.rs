@@ -1,0 +1,137 @@
+//! Property-based tests for the PHY substrate invariants.
+
+use proptest::prelude::*;
+use st_phy::channel::pathloss::{CloseIn, PathLossModel};
+use st_phy::geometry::{Radians, Segment, Vec2};
+use st_phy::units::{power_sum_dbm, Carrier, Db, Dbm};
+use st_phy::{BeamwidthClass, Codebook, Pattern, SectoredPattern, UlaPattern};
+
+proptest! {
+    #[test]
+    fn db_linear_round_trip(v in -120.0f64..60.0) {
+        let db = Db(v);
+        let back = Db::from_linear(db.linear());
+        prop_assert!((back.0 - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_round_trip(v in -150.0f64..40.0) {
+        let p = Dbm(v);
+        prop_assert!((p.milliwatts().dbm().0 - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_sum_ge_max(a in -120.0f64..0.0, b in -120.0f64..0.0) {
+        let s = power_sum_dbm([Dbm(a), Dbm(b)]).unwrap();
+        // Sum of powers is at least the stronger one and at most +3 dB above.
+        prop_assert!(s.0 >= a.max(b) - 1e-9);
+        prop_assert!(s.0 <= a.max(b) + 3.011);
+    }
+
+    #[test]
+    fn angle_wrap_is_idempotent(v in -100.0f64..100.0) {
+        let w = Radians(v).wrapped();
+        prop_assert!(w.0 > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w.0 <= std::f64::consts::PI + 1e-12);
+        let w2 = w.wrapped();
+        prop_assert!((w.0 - w2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separation_bounds(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        let s = Radians(a).separation(Radians(b));
+        prop_assert!(s.0 >= 0.0 && s.0 <= std::f64::consts::PI + 1e-12);
+        // Symmetric.
+        let s2 = Radians(b).separation(Radians(a));
+        prop_assert!((s.0 - s2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fspl_monotone(d1 in 1.0f64..500.0, d2 in 1.0f64..500.0) {
+        prop_assume!(d1 < d2);
+        let c = Carrier::MM_WAVE_60GHZ;
+        prop_assert!(c.fspl(d1).0 < c.fspl(d2).0);
+    }
+
+    #[test]
+    fn close_in_monotone(d1 in 1.0f64..500.0, d2 in 1.0f64..500.0, n in 1.6f64..4.0) {
+        prop_assume!(d1 + 0.01 < d2);
+        let m = CloseIn { carrier: Carrier::MM_WAVE_60GHZ, exponent: n };
+        prop_assert!(m.loss(d1).0 < m.loss(d2).0);
+    }
+
+    #[test]
+    fn sectored_gain_never_exceeds_peak(bw in 5.0f64..120.0, off in -200.0f64..200.0) {
+        let p = SectoredPattern::from_beamwidth(
+            st_phy::Degrees(bw), st_phy::Degrees(60.0));
+        let g = p.gain(Radians::from_degrees(off));
+        prop_assert!(g.0 <= p.peak_gain().0 + 1e-9);
+        prop_assert!(g.0 >= p.peak_gain().0 - p.sidelobe_level.0 - 1e-9);
+    }
+
+    #[test]
+    fn ula_gain_bounded_by_peak(n in 2usize..64, off in -90.0f64..90.0) {
+        let u = UlaPattern::broadside(n);
+        prop_assert!(u.gain(Radians::from_degrees(off)).0 <= u.peak_gain().0 + 1e-9);
+    }
+
+    #[test]
+    fn codebook_coverage_within_3db(n in 2usize..36, deg in -180.0f64..180.0) {
+        let cb = Codebook::uniform_sectored(n, st_phy::Degrees(60.0));
+        let aoa = Radians::from_degrees(deg);
+        let best = cb.best_beam_towards(aoa);
+        let peak = cb.beam(best).peak_gain();
+        prop_assert!((peak - cb.gain(best, aoa)).0 <= 3.01);
+    }
+
+    #[test]
+    fn codebook_adjacency_symmetric(n in 1usize..36, i in 0u16..36) {
+        let cb = Codebook::uniform_sectored(n, st_phy::Degrees(60.0));
+        prop_assume!((i as usize) < cb.len());
+        let id = st_phy::BeamId(i);
+        for a in cb.adjacent(id) {
+            prop_assert!(cb.adjacent(a).contains(&id));
+        }
+    }
+
+    #[test]
+    fn best_beam_gain_at_least_any_other(deg in -180.0f64..180.0) {
+        for class in [BeamwidthClass::Narrow, BeamwidthClass::Wide] {
+            let cb = Codebook::for_class(class);
+            let aoa = Radians::from_degrees(deg);
+            let best = cb.best_beam_towards(aoa);
+            let gb = cb.gain(best, aoa);
+            for id in cb.ids() {
+                prop_assert!(gb.0 >= cb.gain(id, aoa).0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_is_involution(px in -50.0f64..50.0, py in -50.0f64..50.0,
+                            ax in -50.0f64..50.0, ay in -50.0f64..50.0,
+                            bx in -50.0f64..50.0, by in -50.0f64..50.0) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        prop_assume!(a.distance(b) > 0.1);
+        let wall = Segment::new(a, b);
+        let p = Vec2::new(px, py);
+        let m = wall.mirror(wall.mirror(p));
+        prop_assert!((m.x - p.x).abs() < 1e-6 && (m.y - p.y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reflected_ray_longer_than_los(
+        txx in -40.0f64..-5.0, rxx in 5.0f64..40.0,
+        txy in -8.0f64..8.0, rxy in -8.0f64..8.0,
+    ) {
+        let env = st_phy::Environment::street_canyon(120.0, 20.0);
+        let tx = Vec2::new(txx, txy);
+        let rx = Vec2::new(rxx, rxy);
+        let rays = env.trace(tx, rx);
+        let los_len = tx.distance(rx);
+        for r in rays.iter().filter(|r| !r.is_los) {
+            prop_assert!(r.length_m >= los_len - 1e-9);
+        }
+    }
+}

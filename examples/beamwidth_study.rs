@@ -1,0 +1,26 @@
+//! Mini Fig. 2a: compare the Narrow (20°), Wide (60°) and Omni codebooks
+//! on search latency and success rate under human walk — the trade-off
+//! the paper's first experiment quantifies.
+//!
+//! ```text
+//! cargo run --release --example beamwidth_study -- [N_TRIALS]
+//! ```
+//! (release mode recommended: each trial is a full scenario simulation)
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    println!(
+        "running {trials} seeded walk trials per codebook (3 codebooks)...\n"
+    );
+    let results = st_bench::fig2a::run(trials);
+    println!("{}", st_bench::fig2a::render(&results));
+    println!(
+        "Reading: narrow beams pay more dwells per search (more positions\n\
+         to sweep) but their array gain is what makes the neighbor's SSBs\n\
+         detectable at cell-edge range at all — the omni antenna misses\n\
+         most searches. This is the paper's Fig. 2a trade-off."
+    );
+}

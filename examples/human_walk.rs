@@ -1,0 +1,94 @@
+//! The paper's human-walk scenario (v = 1.4 m/s at the cell edge), with
+//! smoltcp-style fault-injection knobs on the command line.
+//!
+//! ```text
+//! cargo run --example human_walk -- [--seed N] [--protocol silent|reactive]
+//!     [--drop-assist P] [--assist-delay MS] [--drop-rach P] [--trials N]
+//! ```
+
+use st_des::SimDuration;
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::ProtocolKind;
+
+struct Args {
+    seed: u64,
+    protocol: ProtocolKind,
+    drop_assist: f64,
+    assist_delay_ms: u64,
+    drop_rach: f64,
+    trials: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 1,
+        protocol: ProtocolKind::SilentTracker,
+        drop_assist: 0.0,
+        assist_delay_ms: 0,
+        drop_rach: 0.0,
+        trials: 1,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let need = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value for {}", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--seed" => args.seed = need(i).parse().expect("seed"),
+            "--protocol" => {
+                args.protocol = match need(i).as_str() {
+                    "silent" => ProtocolKind::SilentTracker,
+                    "reactive" => ProtocolKind::Reactive,
+                    other => panic!("unknown protocol {other}"),
+                }
+            }
+            "--drop-assist" => args.drop_assist = need(i).parse().expect("probability"),
+            "--assist-delay" => args.assist_delay_ms = need(i).parse().expect("ms"),
+            "--drop-rach" => args.drop_rach = need(i).parse().expect("probability"),
+            "--trials" => args.trials = need(i).parse().expect("count"),
+            other => panic!("unknown flag {other} (see the doc comment)"),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let mut cfg = eval_config(a.protocol);
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.fault.drop_assist_probability = a.drop_assist;
+    cfg.fault.assist_extra_delay = SimDuration::from_millis(a.assist_delay_ms);
+    cfg.fault.drop_rach_probability = a.drop_rach;
+
+    for trial in 0..a.trials {
+        let seed = a.seed + trial;
+        let (outcome, trace) = human_walk(&cfg, seed).run_traced();
+        println!("--- trial seed {seed} ---");
+        for e in trace.at_level(st_des::TraceLevel::Info) {
+            println!("{e}");
+        }
+        match (outcome.handover_complete_at, outcome.interruption) {
+            (Some(t), Some(i)) => {
+                println!("handover complete at {t}; interruption {i}")
+            }
+            (Some(t), None) => println!("handover complete at {t}"),
+            _ => println!("handover did NOT complete"),
+        }
+        if let Some(stats) = outcome.tracker_stats {
+            println!(
+                "S-RBA {}  N-RBA {}  CABM {}  assist-lost {}  re-acq {}  searches ok/fail {}/{}",
+                stats.srba_switches,
+                stats.nrba_switches,
+                stats.cabm_requests,
+                stats.assist_lost,
+                stats.reacquisitions,
+                stats.searches_succeeded,
+                stats.searches_failed,
+            );
+        }
+        println!();
+    }
+}

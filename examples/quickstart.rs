@@ -1,0 +1,107 @@
+//! Quickstart: drive the Silent Tracker protocol by hand, then run one
+//! full simulated cell-edge walk.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use silent_tracker::tracker::{Action, Input, SilentTracker};
+use silent_tracker::TrackerConfig;
+use st_des::{SimDuration, SimTime};
+use st_mac::pdu::{CellId, UeId};
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::ProtocolKind;
+use st_phy::codebook::{BeamId, BeamwidthClass, Codebook};
+use st_phy::units::Dbm;
+
+fn main() {
+    part1_protocol_by_hand();
+    part2_simulated_walk();
+}
+
+/// Feed the sans-IO protocol engine a handful of in-band RSS samples and
+/// watch it react — no simulator involved.
+fn part1_protocol_by_hand() {
+    println!("== Part 1: the protocol engine, by hand ==\n");
+    let mut tracker = SilentTracker::new(
+        TrackerConfig::paper_defaults(),
+        UeId(1),
+        CellId(0),
+        Codebook::for_class(BeamwidthClass::Narrow),
+        BeamId(4),
+    );
+    let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+
+    println!("state at start: {} (searching for a neighbor)", tracker.state());
+
+    // Healthy serving link: nothing to do.
+    let acts = tracker.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-62.0),
+    });
+    println!("healthy serving sample  -> {} actions", acts.len());
+
+    // A neighbor SSB heard during a measurement gap on the search beam.
+    let rx = tracker.gap_rx_beam();
+    tracker.handle(Input::NeighborSsb {
+        at: t(20),
+        cell: CellId(1),
+        tx_beam: 3,
+        rx_beam: rx,
+        rss: Dbm(-70.0),
+    });
+    let acts = tracker.handle(Input::DwellComplete { at: t(22) });
+    for a in &acts {
+        if let Action::NeighborAcquired(d) = a {
+            println!("acquired neighbor {} (tx beam {}, rx {})", d.cell, d.tx_beam, d.rx_beam);
+        }
+    }
+    println!("state now: {} (silently tracking)", tracker.state());
+
+    // The neighbor grows stronger than serving + 3 dB: handover trigger.
+    let acts = tracker.handle(Input::NeighborSsb {
+        at: t(60),
+        cell: CellId(1),
+        tx_beam: 3,
+        rx_beam: tracker.tracked().unwrap().2,
+        rss: Dbm(-58.0),
+    });
+    for a in &acts {
+        if let Action::ExecuteHandover(h) = a {
+            println!(
+                "handover trigger: target {} on its beam {} with rx {} ({:?})\n",
+                h.target, h.ssb_beam, h.rx_beam, h.reason
+            );
+        }
+    }
+}
+
+/// Run the full simulated human-walk scenario and print the milestone
+/// trace plus the outcome summary.
+fn part2_simulated_walk() {
+    println!("== Part 2: one simulated cell-edge walk (seed 42) ==\n");
+    let cfg = eval_config(ProtocolKind::SilentTracker);
+    let (outcome, trace) = human_walk(&cfg, 42).run_traced();
+    for e in trace.at_level(st_des::TraceLevel::Info) {
+        println!("{e}");
+    }
+    println!();
+    if let Some(t) = outcome.acquired_at {
+        println!("neighbor acquired at   {t}");
+    }
+    if let Some(t) = outcome.handover_complete_at {
+        println!("handover complete at   {t}");
+    }
+    if let Some(i) = outcome.interruption {
+        println!("service interruption   {i}");
+    }
+    if let Some(f) = outcome.alignment_fraction() {
+        println!("beam aligned           {:.0}% of tracked time", f * 100.0);
+    }
+    if let Some(stats) = outcome.tracker_stats {
+        println!(
+            "switches: serving {}, neighbor(silent) {}, CABM requests {}",
+            stats.srba_switches, stats.nrba_switches, stats.cabm_requests
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's vehicular scenario: a 20 mph drive-past through the cell
+//! overlap. Optionally dumps the serving/neighbor RSS time series as CSV
+//! (for plotting the run).
+//!
+//! ```text
+//! cargo run --example vehicular -- [SEED] [--csv]
+//! ```
+
+use st_net::scenarios::{eval_config, vehicular};
+use st_net::ProtocolKind;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let seed: u64 = argv
+        .get(1)
+        .filter(|s| !s.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let csv = argv.iter().any(|a| a == "--csv");
+
+    let cfg = eval_config(ProtocolKind::SilentTracker);
+    let (outcome, trace) = vehicular(&cfg, seed).run_traced();
+
+    if csv {
+        // Both series share the CSV so a plotting tool can overlay them.
+        print!("{}", outcome.serving_rss.to_csv());
+        print!("{}", outcome.neighbor_rss.to_csv());
+        return;
+    }
+
+    println!("vehicle at 20 mph (8.94 m/s) driving through the overlap (seed {seed})\n");
+    for e in trace.at_level(st_des::TraceLevel::Info) {
+        println!("{e}");
+    }
+    println!();
+    if let (Some(range_s), Some(range_n)) =
+        (outcome.serving_rss.range(), outcome.neighbor_rss.range())
+    {
+        println!(
+            "serving RSS range  {:.1} .. {:.1} dBm",
+            range_s.0, range_s.1
+        );
+        println!(
+            "neighbor RSS range {:.1} .. {:.1} dBm",
+            range_n.0, range_n.1
+        );
+    }
+    match (outcome.handover_complete_at, outcome.interruption) {
+        (Some(t), Some(i)) => println!("handover complete at {t}, interruption {i}"),
+        (Some(t), _) => println!("handover complete at {t}"),
+        _ => println!("no handover within the run"),
+    }
+    if let Some(attempts) = Some(outcome.rach_attempts).filter(|&a| a > 0) {
+        println!("RACH preamble attempts: {attempts}");
+    }
+}

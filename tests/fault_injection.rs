@@ -1,0 +1,81 @@
+//! Fault injection: degraded control-plane assistance must push the
+//! protocol through its fallback edges (G: "cell assistance delayed or
+//! lost") without breaking the handover, and heavy RACH loss must show
+//! up as extra attempts — the failure modes the state machine exists for.
+
+use st_des::SimDuration;
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::ProtocolKind;
+
+#[test]
+fn dropped_assistance_exercises_edge_g() {
+    let mut cfg = eval_config(ProtocolKind::SilentTracker);
+    cfg.fault.drop_assist_probability = 1.0; // BS never answers
+    cfg.duration = SimDuration::from_secs(30);
+    let mut fallbacks = 0u64;
+    let mut completions = 0;
+    for seed in 0..6 {
+        let out = human_walk(&cfg, seed).run();
+        let stats = out.tracker_stats.unwrap();
+        // Every CABM request eventually times out into edge G.
+        fallbacks += stats.assist_lost;
+        if out.handover_succeeded() {
+            completions += 1;
+        }
+    }
+    assert!(fallbacks > 0, "no assist-lost fallbacks under 100% drop");
+    // The mobile survives on mobile-side adaptation + handover.
+    assert!(completions >= 4, "only {completions}/6 completed");
+}
+
+#[test]
+fn delayed_assistance_still_converges() {
+    let mut cfg = eval_config(ProtocolKind::SilentTracker);
+    cfg.fault.assist_extra_delay = SimDuration::from_millis(100); // > assist_timeout
+    cfg.duration = SimDuration::from_secs(30);
+    let out = human_walk(&cfg, 2).run();
+    let stats = out.tracker_stats.unwrap();
+    // The delayed command arrives after the timeout: edge G taken.
+    if stats.cabm_requests > 0 {
+        assert!(stats.assist_lost > 0, "{stats:?}");
+    }
+    assert!(out.handover_succeeded(), "handover failed under delay");
+}
+
+#[test]
+fn rach_loss_costs_attempts_not_correctness() {
+    let mut baseline_cfg = eval_config(ProtocolKind::SilentTracker);
+    baseline_cfg.duration = SimDuration::from_secs(30);
+    let mut lossy_cfg = baseline_cfg.clone();
+    lossy_cfg.fault.drop_rach_probability = 0.4;
+
+    let mut base_attempts = 0u32;
+    let mut lossy_attempts = 0u32;
+    let mut lossy_completions = 0;
+    let n = 8;
+    for seed in 0..n {
+        let a = human_walk(&baseline_cfg, seed).run();
+        let b = human_walk(&lossy_cfg, seed).run();
+        base_attempts += a.rach_attempts;
+        lossy_attempts += b.rach_attempts;
+        if b.handover_succeeded() {
+            lossy_completions += 1;
+        }
+    }
+    assert!(
+        lossy_attempts > base_attempts,
+        "lossy RACH should need more preambles ({lossy_attempts} vs {base_attempts})"
+    );
+    assert!(
+        lossy_completions >= (n as usize * 3) / 4,
+        "too many failures under 40% RACH loss: {lossy_completions}/{n}"
+    );
+}
+
+#[test]
+fn fault_free_runs_have_no_fault_artifacts() {
+    let cfg = eval_config(ProtocolKind::SilentTracker);
+    let (out, trace) = human_walk(&cfg, 3).run_traced();
+    assert!(trace.find("dropped (fault)").is_none());
+    assert!(out.handover_succeeded());
+}

@@ -1,0 +1,68 @@
+//! Multi-cell topology: the paper's testbed had one mobile and *three*
+//! nodes operating as base stations. With several candidate neighbors the
+//! tracker must pick one target, track it exclusively, and complete the
+//! handover to a cell that is actually better than the serving one.
+
+use st_des::SimDuration;
+use st_mobility::HumanWalk;
+use st_net::{CellConfig, ProtocolKind, Scenario, ScenarioConfig};
+use st_phy::geometry::{Radians, Vec2};
+
+fn three_cell_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::two_cell_edge();
+    // Serving behind, two candidates ahead on opposite sides of the
+    // street — like the 3-node testbed.
+    cfg.cells = vec![
+        CellConfig::at(-40.0, 10.0),
+        CellConfig::at(40.0, 10.0),
+        CellConfig::at(45.0, -10.0),
+    ];
+    cfg.duration = SimDuration::from_secs(30);
+    cfg
+}
+
+fn walk(cfg: &ScenarioConfig, seed: u64) -> Scenario {
+    let mut cfg = cfg.clone();
+    cfg.seed = seed;
+    let w = HumanWalk::paper_walk(Vec2::new(-4.0, 0.0), Radians(0.0)).with_phase(seed as f64);
+    Scenario::new(cfg, Box::new(w))
+}
+
+#[test]
+fn hands_over_to_a_forward_cell() {
+    let cfg = three_cell_config();
+    let mut completions = 0;
+    for seed in 0..6 {
+        let out = walk(&cfg, seed).run();
+        if out.handover_succeeded() {
+            completions += 1;
+            // Never "hands over" back to the serving cell.
+            assert!(out.handover_triggered_at.is_some());
+        }
+    }
+    assert!(completions >= 4, "{completions}/6 in 3-cell topology");
+}
+
+#[test]
+fn single_cell_never_hands_over() {
+    // Degenerate control: with no neighbor there is nothing to acquire;
+    // the run must end without a handover and without panicking.
+    let mut cfg = ScenarioConfig::two_cell_edge();
+    cfg.cells.truncate(1);
+    cfg.duration = SimDuration::from_secs(5);
+    let out = walk(&cfg, 1).run();
+    assert!(!out.handover_succeeded());
+    assert!(out.acquired_at.is_none());
+    // Every search pass failed (nothing to find).
+    assert!(out.search_passes.iter().all(|p| !p.succeeded));
+}
+
+#[test]
+fn reactive_arm_works_in_three_cells() {
+    let mut cfg = three_cell_config();
+    cfg.protocol = ProtocolKind::Reactive;
+    cfg.duration = SimDuration::from_secs(60);
+    let out = walk(&cfg, 2).run();
+    // The reactive mobile must at least reach RLF and start searching.
+    assert!(out.rlf_at.is_some(), "serving link never failed");
+}
