@@ -37,14 +37,7 @@ fn bench_channel(c: &mut Criterion) {
     let mut ch = LinkChannel::new(&mut rng, ChannelConfig::outdoor_60ghz());
     let env = Environment::street_canyon(200.0, 30.0);
     c.bench_function("channel_paths_canyon", |b| {
-        b.iter(|| {
-            black_box(ch.paths(
-                &mut rng,
-                &env,
-                Vec2::new(-40.0, 10.0),
-                Vec2::new(3.0, 0.0),
-            ))
-        })
+        b.iter(|| black_box(ch.paths(&mut rng, &env, Vec2::new(-40.0, 10.0), Vec2::new(3.0, 0.0))))
     });
 }
 

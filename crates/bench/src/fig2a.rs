@@ -125,7 +125,13 @@ pub fn render(r: &Fig2a) -> String {
     }
     let mut rate = Table::new(
         "Fig. 2a (right): Search success rate [%]",
-        &["codebook", "success_%", "wilson95_lo", "wilson95_hi", "trials"],
+        &[
+            "codebook",
+            "success_%",
+            "wilson95_lo",
+            "wilson95_hi",
+            "trials",
+        ],
     );
     for c in &r.per_class {
         let (lo, hi) = c.success.wilson_ci95();

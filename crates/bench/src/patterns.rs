@@ -116,12 +116,7 @@ mod tests {
     fn ula_codebook_also_completes() {
         let r = run(4);
         for a in &r.arms {
-            assert!(
-                a.completed.rate() >= 0.5,
-                "{}: {:?}",
-                a.name,
-                a.completed
-            );
+            assert!(a.completed.rate() >= 0.5, "{}: {:?}", a.name, a.completed);
         }
         assert_eq!(r.arms[1].n_beams, 30);
         assert!(render(&r).contains("ula-3panels"));

@@ -86,7 +86,13 @@ pub fn run(trials: u64) -> Resource {
 pub fn render(r: &Resource) -> String {
     let mut t = Table::new(
         "Measurement-gap resource trade-off (human walk)",
-        &["gap_pattern", "duty_%", "completed_%", "mean_ms", "alignment"],
+        &[
+            "gap_pattern",
+            "duty_%",
+            "completed_%",
+            "mean_ms",
+            "alignment",
+        ],
     );
     for p in &r.points {
         let ms = if p.completion_ms.count() > 0 {

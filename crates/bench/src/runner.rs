@@ -16,9 +16,9 @@ where
     let results: Vec<std::sync::Mutex<Option<RunOutcome>>> =
         (0..n_trials).map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..n_workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n_trials {
                     break;
@@ -27,8 +27,7 @@ where
                 *results[i as usize].lock().unwrap() = Some(outcome);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
     results
         .into_iter()

@@ -123,11 +123,7 @@ impl ReactiveHandover {
                         if let Some(&next) = adjacent.first() {
                             let best = self
                                 .table
-                                .best_among(
-                                    at,
-                                    st_des::SimDuration::from_millis(100),
-                                    &adjacent,
-                                )
+                                .best_among(at, st_des::SimDuration::from_millis(100), &adjacent)
                                 .map(|(b, _)| b)
                                 .unwrap_or(next);
                             self.serving_rx_beam = best;
@@ -206,6 +202,19 @@ impl ReactiveHandover {
                             self.phase = Phase::Searching(search);
                         }
                     }
+                }
+            }
+            Input::RachFailed { .. } => {
+                // Still disconnected: the only move is another cold sweep.
+                if matches!(self.phase, Phase::Done) {
+                    self.directive = None;
+                    let search = SearchController::new(
+                        &self.codebook,
+                        self.serving_rx_beam,
+                        self.config.max_search_dwells,
+                    );
+                    out.push(Action::SetGapRxBeam(search.current_beam()));
+                    self.phase = Phase::Searching(search);
                 }
             }
             Input::FromServing { .. } | Input::Tick { .. } => {}
@@ -298,17 +307,21 @@ mod tests {
             rx_beam: beam,
             rss: Dbm(-70.0),
         });
-        let acts = r.handle(Input::DwellComplete { at: t(160) });
-        let ho = acts
-            .iter()
-            .find_map(|a| match a {
+        // Detection dwell plus the two (empty) P3 refinement dwells.
+        let mut ho = None;
+        for k in 0..3 {
+            let acts = r.handle(Input::DwellComplete {
+                at: t(160 + k * 20),
+            });
+            ho = ho.or(acts.iter().find_map(|a| match a {
                 Action::ExecuteHandover(h) => Some(*h),
                 _ => None,
-            })
-            .expect("handover");
+            }));
+        }
+        let ho = ho.expect("handover");
         assert_eq!(ho.target, CellId(1));
         assert_eq!(ho.reason, HandoverReason::ServingLost);
-        assert_eq!(r.search_dwells(), 3);
+        assert_eq!(r.search_dwells(), 5);
         assert!(!r.in_outage());
     }
 

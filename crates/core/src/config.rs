@@ -41,6 +41,20 @@ pub struct TrackerConfig {
     /// drop was measured — a beam that rotated out of alignment goes
     /// *silent*, it does not report a low RSS.
     pub track_staleness: SimDuration,
+    /// Decay of the tracked-neighbor loss reference, dB per tracked-beam
+    /// sample. The edge-D loss threshold is measured against the best
+    /// level the beam has *sustained*, not a single lucky fading/wobble
+    /// peak — without decay, one peak pins the reference and ordinary
+    /// oscillation afterwards reads as a 10 dB loss, churning the track
+    /// through needless re-acquisitions.
+    pub loss_reference_decay: Db,
+    /// Minimum samples the tracked-neighbor EWMA must have absorbed
+    /// before the handover trigger (edge E) may compare it against the
+    /// serving level: a single strong SSB right at acquisition is a
+    /// fading spike, not evidence that the neighbor sustainably beats
+    /// serving + T. Loss-driven handover (serving link dies) is exempt —
+    /// any tracked beam beats none.
+    pub min_track_samples: u32,
 }
 
 impl TrackerConfig {
@@ -56,6 +70,8 @@ impl TrackerConfig {
             max_search_dwells: 40,
             settle_time: SimDuration::from_millis(40),
             track_staleness: SimDuration::from_millis(200),
+            loss_reference_decay: Db(0.75),
+            min_track_samples: 3,
         }
     }
 
@@ -72,6 +88,9 @@ impl TrackerConfig {
         }
         if self.max_search_dwells == 0 {
             return Err("search needs at least one dwell");
+        }
+        if self.loss_reference_decay.0 < 0.0 {
+            return Err("loss reference decay must be non-negative");
         }
         Ok(())
     }
@@ -114,6 +133,10 @@ mod tests {
 
         let mut c = TrackerConfig::paper_defaults();
         c.max_search_dwells = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TrackerConfig::paper_defaults();
+        c.loss_reference_decay = Db(-1.0);
         assert!(c.validate().is_err());
     }
 }

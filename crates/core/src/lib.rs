@@ -61,6 +61,4 @@ pub use baseline::{OracleTracker, ReactiveHandover};
 pub use config::TrackerConfig;
 pub use search::{Discovery, SearchController, SearchStep};
 pub use state::{Edge, TrackerState, Transition, TransitionLog};
-pub use tracker::{
-    Action, HandoverDirective, HandoverReason, Input, SilentTracker, TrackerStats,
-};
+pub use tracker::{Action, HandoverDirective, HandoverReason, Input, SilentTracker, TrackerStats};

@@ -49,6 +49,10 @@ pub struct LinkMonitor {
     ewma: EwmaRss,
     reference: Option<Dbm>,
     last_update: Option<SimTime>,
+    samples: u32,
+    /// How fast the reference relaxes toward the current level, dB per
+    /// sample. Zero keeps the classic "best level ever seen" reference.
+    reference_decay: f64,
 }
 
 impl LinkMonitor {
@@ -57,6 +61,22 @@ impl LinkMonitor {
             ewma: EwmaRss::new(alpha),
             reference: None,
             last_update: None,
+            samples: 0,
+            reference_decay: 0.0,
+        }
+    }
+
+    /// A monitor whose reference *decays* toward the current level by
+    /// `decay_db_per_sample` each sample. With a hard best-ever
+    /// reference, one lucky fading/wobble peak pins the baseline and
+    /// every ordinary oscillation afterwards reads as a "loss"; a slow
+    /// decay makes the loss threshold mean "this far below the
+    /// *sustained* level", which is what beam-failure detection wants.
+    pub fn with_reference_decay(alpha: f64, decay_db_per_sample: f64) -> LinkMonitor {
+        assert!(decay_db_per_sample >= 0.0);
+        LinkMonitor {
+            reference_decay: decay_db_per_sample,
+            ..LinkMonitor::new(alpha)
         }
     }
 
@@ -65,6 +85,10 @@ impl LinkMonitor {
     pub fn on_sample(&mut self, at: SimTime, rss: Dbm) -> Db {
         let smoothed = self.ewma.update(rss);
         self.last_update = Some(at);
+        self.samples += 1;
+        if let Some(r) = &mut self.reference {
+            r.0 -= self.reference_decay;
+        }
         match self.reference {
             None => {
                 self.reference = Some(smoothed);
@@ -92,11 +116,18 @@ impl LinkMonitor {
         self.last_update
     }
 
+    /// Samples folded into the estimate since construction or the last
+    /// [`LinkMonitor::rebase`] — the estimate's maturity.
+    pub fn samples(&self) -> u32 {
+        self.samples
+    }
+
     /// Reset reference and smoothing after a beam switch: the new beam
     /// starts a fresh baseline.
     pub fn rebase(&mut self) {
         self.ewma.reset();
         self.reference = None;
+        self.samples = 0;
     }
 }
 
@@ -243,10 +274,18 @@ mod tests {
         bt.observe(t(0), BeamId(1), Dbm(-70.0));
         bt.observe(t(90), BeamId(2), Dbm(-75.0));
         // At t=100 with 20 ms staleness, beam 1 is stale.
-        let best = bt.best_among(t(100), SimDuration::from_millis(20), &[BeamId(1), BeamId(2)]);
+        let best = bt.best_among(
+            t(100),
+            SimDuration::from_millis(20),
+            &[BeamId(1), BeamId(2)],
+        );
         assert_eq!(best, Some((BeamId(2), Dbm(-75.0))));
         // With a generous window the stronger (but older) beam 1 wins.
-        let best = bt.best_among(t(100), SimDuration::from_millis(200), &[BeamId(1), BeamId(2)]);
+        let best = bt.best_among(
+            t(100),
+            SimDuration::from_millis(200),
+            &[BeamId(1), BeamId(2)],
+        );
         assert_eq!(best, Some((BeamId(1), Dbm(-70.0))));
         // Candidates not in the table are skipped.
         let none = bt.best_among(t(100), SimDuration::from_millis(200), &[BeamId(9)]);

@@ -13,6 +13,14 @@
 //! forward hemisphere) and spirals outward through directionally adjacent
 //! beams — the cheap prior that makes re-acquisition (edge D → N-A/R)
 //! much faster than a cold search.
+//!
+//! A sweep detection does not end the pass immediately: the spiral visits
+//! beams in hint order, not gain order, so the first beam that hears the
+//! neighbor is frequently the *edge* of the main lobe rather than its
+//! center. The controller therefore finishes with a short **refinement**
+//! (NR's P3 receive-beam sweep): one dwell on each beam directionally
+//! adjacent to the detected one, acquiring the strongest of the three.
+//! Refinement dwells are charged to the same Fig. 2a dwell count.
 
 use st_des::SimTime;
 use st_mac::pdu::CellId;
@@ -45,11 +53,25 @@ pub enum SearchStep {
 #[derive(Debug, Clone)]
 pub struct SearchController {
     order: Vec<BeamId>,
+    /// The receive codebook, kept for the refinement sweep (adjacency of
+    /// the detected beam is resolved lazily — controllers are rebuilt on
+    /// every re-acquisition, so precomputing all rows would be churn).
+    codebook: Codebook,
     pos: usize,
     dwells_used: usize,
     max_dwells: usize,
     /// Best detection seen in the current dwell.
     pending: Option<Discovery>,
+    /// Refinement state once the sweep has detected something: the best
+    /// discovery so far and the remaining adjacent beams to try.
+    refine: Option<Refinement>,
+}
+
+#[derive(Debug, Clone)]
+struct Refinement {
+    best: Discovery,
+    queue: Vec<BeamId>,
+    next: usize,
 }
 
 /// Spiral ordering: hint, then alternating ±1, ±2, … beams away.
@@ -78,15 +100,20 @@ impl SearchController {
         assert!((hint.0 as usize) < codebook.len(), "hint outside codebook");
         SearchController {
             order: spiral_order(codebook, hint),
+            codebook: codebook.clone(),
             pos: 0,
             dwells_used: 0,
             max_dwells,
             pending: None,
+            refine: None,
         }
     }
 
     /// The receive beam to dwell on now.
     pub fn current_beam(&self) -> BeamId {
+        if let Some(r) = &self.refine {
+            return r.queue[r.next.min(r.queue.len() - 1)];
+        }
         self.order[self.pos % self.order.len()]
     }
 
@@ -98,6 +125,12 @@ impl SearchController {
     /// Record an SSB detection heard during the current dwell.
     pub fn on_detection(&mut self, d: Discovery) {
         debug_assert_eq!(d.rx_beam, self.current_beam(), "detection on wrong beam");
+        if let Some(r) = &mut self.refine {
+            if d.rss.0 > r.best.rss.0 {
+                r.best = d;
+            }
+            return;
+        }
         match self.pending {
             Some(prev) if prev.rss.0 >= d.rss.0 => {}
             _ => self.pending = Some(d),
@@ -107,8 +140,27 @@ impl SearchController {
     /// Close the current dwell (one SSB burst period elapsed).
     pub fn on_dwell_complete(&mut self) -> SearchStep {
         self.dwells_used += 1;
+        if let Some(r) = &mut self.refine {
+            // One refinement dwell done; move to the next adjacent beam,
+            // or finish with the strongest discovery.
+            r.next += 1;
+            if r.next < r.queue.len() {
+                return SearchStep::Continue(self.current_beam());
+            }
+            return SearchStep::Found(self.refine.take().unwrap().best);
+        }
         if let Some(found) = self.pending.take() {
-            return SearchStep::Found(found);
+            let queue = self.codebook.adjacent(found.rx_beam);
+            if queue.is_empty() {
+                // Omni-style codebook: nothing to refine against.
+                return SearchStep::Found(found);
+            }
+            self.refine = Some(Refinement {
+                best: found,
+                queue,
+                next: 0,
+            });
+            return SearchStep::Continue(self.current_beam());
         }
         if self.dwells_used >= self.max_dwells {
             return SearchStep::Failed {
@@ -160,15 +212,23 @@ mod tests {
     }
 
     #[test]
-    fn detection_ends_search_at_dwell_boundary() {
+    fn detection_triggers_refinement_then_found() {
         let cb = narrow();
         let mut s = SearchController::new(&cb, BeamId(3), 40);
         // Two dwells with nothing.
         assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
         assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
-        // Detection mid-dwell is only reported at the boundary.
+        // Detection mid-dwell is only acted on at the boundary, and then
+        // kicks off one refinement dwell per adjacent beam (P3 sweep).
         let beam = s.current_beam();
         s.on_detection(disc(beam, -68.0));
+        let adjacent = cb.adjacent(beam);
+        match s.on_dwell_complete() {
+            SearchStep::Continue(b) => assert_eq!(b, adjacent[0]),
+            other => panic!("expected refinement dwell, got {other:?}"),
+        }
+        // No refinement detections: the original discovery wins.
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(b) if b == adjacent[1]));
         match s.on_dwell_complete() {
             SearchStep::Found(d) => {
                 assert_eq!(d.rx_beam, beam);
@@ -176,7 +236,29 @@ mod tests {
             }
             other => panic!("expected Found, got {other:?}"),
         }
-        assert_eq!(s.dwells_used(), 3);
+        assert_eq!(s.dwells_used(), 5);
+    }
+
+    #[test]
+    fn refinement_acquires_the_stronger_adjacent_beam() {
+        let cb = narrow();
+        let mut s = SearchController::new(&cb, BeamId(3), 40);
+        let beam = s.current_beam();
+        s.on_detection(disc(beam, -72.0));
+        // First refinement dwell: the adjacent beam is 6 dB stronger
+        // (the sweep caught the edge of the main lobe, not its center).
+        let SearchStep::Continue(adj) = s.on_dwell_complete() else {
+            panic!("expected refinement dwell");
+        };
+        s.on_detection(disc(adj, -66.0));
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+        match s.on_dwell_complete() {
+            SearchStep::Found(d) => {
+                assert_eq!(d.rx_beam, adj);
+                assert_eq!(d.rss, Dbm(-66.0));
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
     }
 
     #[test]
@@ -187,6 +269,9 @@ mod tests {
         s.on_detection(disc(beam, -75.0));
         s.on_detection(disc(beam, -65.0));
         s.on_detection(disc(beam, -70.0));
+        // Ride through the two empty refinement dwells.
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
         match s.on_dwell_complete() {
             SearchStep::Found(d) => assert_eq!(d.rss, Dbm(-65.0)),
             other => panic!("{other:?}"),

@@ -174,9 +174,7 @@ impl TransitionLog {
     /// The chain is contiguous: each transition starts where the previous
     /// one ended.
     pub fn is_contiguous(&self) -> bool {
-        self.entries
-            .windows(2)
-            .all(|w| w[0].1.to == w[1].1.from)
+        self.entries.windows(2).all(|w| w[0].1.to == w[1].1.from)
     }
 }
 

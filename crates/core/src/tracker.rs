@@ -61,6 +61,11 @@ pub enum Input {
     FromServing { at: SimTime, pdu: Pdu },
     /// The driver declared radio link failure on the serving link.
     ServingLinkLost { at: SimTime },
+    /// Random access against the handover target failed permanently
+    /// (preamble attempts exhausted). Make-before-break: the serving
+    /// link is still alive, so the protocol drops the failed target
+    /// beam, re-acquires, and may trigger again later.
+    RachFailed { at: SimTime },
     /// Periodic timer tick for deadline checks.
     Tick { at: SimTime },
 }
@@ -122,6 +127,12 @@ struct TrackedNeighbor {
     /// Position in the tracking dwell cycle (tracked beam interleaved
     /// with adjacent-beam probes).
     cycle: usize,
+    /// SSB samples absorbed on this *track* (across silent beam
+    /// switches) since acquisition — the trigger-maturity counter.
+    /// Unlike `monitor.samples()` this survives rebases: switching the
+    /// receive beam refines the same neighbor track, it does not start
+    /// a new acquaintance with the cell.
+    samples_since_acq: u32,
     /// Last receive-beam switch, for switch-rate damping: two physically
     /// adjacent beams have near-equal gain at the tile boundary, and
     /// per-SSB fading would otherwise ping-pong between them.
@@ -172,6 +183,11 @@ pub struct SilentTracker {
 
     neighbor: NeighborPhase,
     done: Option<HandoverDirective>,
+    /// The driver declared the serving link dead. Once true, any
+    /// (re-)acquired neighbor beam is handed over to immediately — there
+    /// is no serving level left to compare against, and waiting for the
+    /// edge-E hysteresis against a stale EWMA would strand the mobile.
+    serving_lost: bool,
 
     stats: TrackerStats,
     serving_log: TransitionLog,
@@ -217,6 +233,7 @@ impl SilentTracker {
             serving_last_switch: SimTime::ZERO,
             neighbor: NeighborPhase::Searching(search),
             done: None,
+            serving_lost: false,
             stats: TrackerStats::default(),
             serving_log: TransitionLog::default(),
             neighbor_log,
@@ -312,6 +329,7 @@ impl SilentTracker {
                     rss,
                 } => self.on_neighbor_ssb(at, cell, tx_beam, rx_beam, rss, &mut out),
                 Input::DwellComplete { at } => self.on_dwell_complete(at, &mut out),
+                Input::RachFailed { at } => self.on_rach_failed(at, &mut out),
                 _ => {}
             }
             return out;
@@ -331,9 +349,40 @@ impl SilentTracker {
             Input::DwellComplete { at } => self.on_dwell_complete(at, &mut out),
             Input::FromServing { at, pdu } => self.on_pdu(at, &pdu, &mut out),
             Input::ServingLinkLost { at } => self.on_serving_lost(at, &mut out),
+            Input::RachFailed { .. } => {} // no access in flight
             Input::Tick { at } => self.check_deadlines(at, &mut out),
         }
         out
+    }
+
+    /// Random access against the issued handover target failed. The
+    /// serving link is still being maintained (make-before-break), so
+    /// revoke the directive, drop the target beam that failed to admit
+    /// us, and re-acquire — hinted at the old beam, so the pass is short.
+    /// Maturity gating then has to be re-earned before the next trigger,
+    /// which spaces retries instead of hammering the same beam.
+    fn on_rach_failed(&mut self, at: SimTime, out: &mut Vec<Action>) {
+        self.done = None;
+        if let NeighborPhase::Tracking(t) = &self.neighbor {
+            let hint = t.rx_beam;
+            self.neighbor_transition(at, TrackerState::Eo, Edge::B, TrackerState::NAr);
+            self.stats.reacquisitions += 1;
+            self.restart_search(hint, out);
+        } else {
+            out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
+        }
+    }
+
+    /// Drop into a fresh search pass hinted at `hint` and point the gap
+    /// receive beam at its first dwell. Callers log the state transition
+    /// and bump whichever counter their edge warrants.
+    fn restart_search(&mut self, hint: BeamId, out: &mut Vec<Action>) {
+        self.neighbor = NeighborPhase::Searching(SearchController::new(
+            &self.codebook,
+            hint,
+            self.config.max_search_dwells,
+        ));
+        out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
     }
 
     /// A probe of a non-serving receive beam on the serving link. Beyond
@@ -374,6 +423,10 @@ impl SilentTracker {
     // ----- serving loop (BeamSurfer) -------------------------------------
 
     fn on_serving_rss(&mut self, at: SimTime, rss: Dbm, out: &mut Vec<Action>) {
+        // A measurable serving sample means the link is back (or never
+        // really died): clear the RLF latch so acquisitions go through
+        // the normal edge-E comparison again.
+        self.serving_lost = false;
         let drop = self.serving_monitor.on_sample(at, rss);
         match self.serving_phase {
             ServingPhase::Stable => {
@@ -421,7 +474,9 @@ impl SilentTracker {
         // drop with no better neighbor measured is fading or blockage —
         // switching blindly would *add* misalignment loss on top.
         let level = self.serving_monitor.level();
-        let Some((next, cand)) = self.serving_table.best_among(at, PROBE_STALENESS, &adjacent)
+        let Some((next, cand)) = self
+            .serving_table
+            .best_among(at, PROBE_STALENESS, &adjacent)
         else {
             return;
         };
@@ -435,10 +490,8 @@ impl SilentTracker {
     }
 
     fn on_pdu(&mut self, at: SimTime, pdu: &Pdu, _out: &mut Vec<Action>) {
-        if let (
-            ServingPhase::CellAssist { .. },
-            Pdu::BeamSwitchCommand { cell, .. },
-        ) = (self.serving_phase, pdu)
+        if let (ServingPhase::CellAssist { .. }, Pdu::BeamSwitchCommand { cell, .. }) =
+            (self.serving_phase, pdu)
         {
             if *cell == self.serving_cell {
                 // Assistance arrived (edge F): the BS moved its beam; the
@@ -463,6 +516,7 @@ impl SilentTracker {
     }
 
     fn on_serving_lost(&mut self, at: SimTime, out: &mut Vec<Action>) {
+        self.serving_lost = true;
         if let NeighborPhase::Tracking(t) = &self.neighbor {
             let directive = HandoverDirective {
                 target: t.cell,
@@ -475,7 +529,8 @@ impl SilentTracker {
         }
         // With nothing tracked the driver must fall back to a hard
         // handover (initial access from scratch) — the failure mode the
-        // protocol exists to avoid; nothing to emit here.
+        // protocol exists to avoid; nothing to emit here. (The flag is
+        // remembered: the next acquisition hands over immediately.)
     }
 
     // ----- neighbor loop (silent tracking) -------------------------------
@@ -535,9 +590,15 @@ impl SilentTracker {
                         t.tx_beam = tx_beam;
                         t.monitor.rebase();
                         t.monitor.on_sample(at, rss);
+                        t.samples_since_acq += 1;
                         t.last_switch = at;
                         self.stats.nrba_switches += 1;
-                        self.neighbor_transition(at, TrackerState::NRba, Edge::H, TrackerState::NRba);
+                        self.neighbor_transition(
+                            at,
+                            TrackerState::NRba,
+                            Edge::H,
+                            TrackerState::NRba,
+                        );
                         out.push(Action::SetGapRxBeam(rx_beam));
                     }
                 } else {
@@ -554,18 +615,19 @@ impl SilentTracker {
                         }
                     }
                     let drop = t.monitor.on_sample(at, rss);
+                    t.samples_since_acq += 1;
                     if drop.0 > self.config.loss_threshold.0 {
                         // Edge D: beam lost — re-acquire, hinted at the
                         // last good receive beam.
                         let hint = t.rx_beam;
-                        self.neighbor_transition(at, TrackerState::NRba, Edge::D, TrackerState::NAr);
+                        self.neighbor_transition(
+                            at,
+                            TrackerState::NRba,
+                            Edge::D,
+                            TrackerState::NAr,
+                        );
                         self.stats.reacquisitions += 1;
-                        self.neighbor = NeighborPhase::Searching(SearchController::new(
-                            &self.codebook,
-                            hint,
-                            self.config.max_search_dwells,
-                        ));
-                        out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
+                        self.restart_search(hint, out);
                     } else if drop.0 >= self.config.switch_threshold.0 {
                         // Edge H: silent receive-beam adaptation.
                         self.neighbor_switch_rx(at, out);
@@ -611,8 +673,16 @@ impl SilentTracker {
                     }
                     SearchStep::Found(d) => {
                         self.stats.searches_succeeded += 1;
-                        self.neighbor_transition(at, TrackerState::NAr, Edge::C, TrackerState::NRba);
-                        let mut monitor = LinkMonitor::new(self.config.ewma_alpha);
+                        self.neighbor_transition(
+                            at,
+                            TrackerState::NAr,
+                            Edge::C,
+                            TrackerState::NRba,
+                        );
+                        let mut monitor = LinkMonitor::with_reference_decay(
+                            self.config.ewma_alpha,
+                            self.config.loss_reference_decay.0,
+                        );
                         monitor.on_sample(d.at, d.rss);
                         let mut table = BeamTable::new(self.config.ewma_alpha);
                         table.observe(d.at, d.rx_beam, d.rss);
@@ -623,10 +693,25 @@ impl SilentTracker {
                             monitor,
                             table,
                             cycle: 0,
+                            samples_since_acq: 1,
                             last_switch: at,
                         });
                         out.push(Action::NeighborAcquired(d));
                         out.push(Action::SetGapRxBeam(d.rx_beam));
+                        // No serving link left to compare against: hand
+                        // over to the (re-)acquired beam immediately —
+                        // this is the post-RLF recovery path after a
+                        // failed random access.
+                        if self.serving_lost && self.done.is_none() {
+                            let directive = HandoverDirective {
+                                target: d.cell,
+                                ssb_beam: d.tx_beam,
+                                rx_beam: d.rx_beam,
+                                reason: HandoverReason::ServingLost,
+                                at,
+                            };
+                            self.issue_handover(at, directive, out);
+                        }
                     }
                     SearchStep::Failed { dwells_used } => {
                         self.stats.searches_failed += 1;
@@ -636,12 +721,7 @@ impl SilentTracker {
                         self.neighbor_transition(at, TrackerState::NAr, Edge::A, TrackerState::Eo);
                         self.neighbor_transition(at, TrackerState::Eo, Edge::B, TrackerState::NAr);
                         let hint = self.serving_rx_beam;
-                        self.neighbor = NeighborPhase::Searching(SearchController::new(
-                            &self.codebook,
-                            hint,
-                            self.config.max_search_dwells,
-                        ));
-                        out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
+                        self.restart_search(hint, out);
                     }
                 }
             }
@@ -654,21 +734,16 @@ impl SilentTracker {
                     .monitor
                     .last_update()
                     .is_none_or(|u| at.since(u) > self.config.track_staleness);
-                let probes_fresh = self
-                    .codebook
-                    .adjacent(t.rx_beam)
-                    .iter()
-                    .any(|&b| t.table.last_seen(b).is_some_and(|u| at.since(u) <= self.config.track_staleness));
+                let probes_fresh = self.codebook.adjacent(t.rx_beam).iter().any(|&b| {
+                    t.table
+                        .last_seen(b)
+                        .is_some_and(|u| at.since(u) <= self.config.track_staleness)
+                });
                 if stale && !probes_fresh && self.done.is_none() {
                     let hint = t.rx_beam;
                     self.neighbor_transition(at, TrackerState::NRba, Edge::D, TrackerState::NAr);
                     self.stats.reacquisitions += 1;
-                    self.neighbor = NeighborPhase::Searching(SearchController::new(
-                        &self.codebook,
-                        hint,
-                        self.config.max_search_dwells,
-                    ));
-                    out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
+                    self.restart_search(hint, out);
                     return;
                 }
                 // Advance the tracking dwell cycle: tracked beam
@@ -705,6 +780,18 @@ impl SilentTracker {
         let NeighborPhase::Tracking(t) = &self.neighbor else {
             return;
         };
+        if t.samples_since_acq < self.config.min_track_samples {
+            return; // estimate too immature to compare against serving
+        }
+        // A silent beam switch rebases the monitor, so right after one the
+        // EWMA is a single raw sample — often the very fading spike that
+        // motivated the switch. Require the *current* beam's estimate to
+        // have absorbed a confirmation sample too (capped by the
+        // configured gate so min_track_samples = 0 still disables all
+        // maturity checks).
+        if t.monitor.samples() < self.config.min_track_samples.min(2) {
+            return;
+        }
         let (Some(n), Some(s)) = (t.monitor.level(), self.serving_monitor.level()) else {
             return;
         };
@@ -728,11 +815,23 @@ impl SilentTracker {
 
     // ----- bookkeeping ----------------------------------------------------
 
-    fn serving_transition(&mut self, at: SimTime, from: TrackerState, edge: Edge, to: TrackerState) {
+    fn serving_transition(
+        &mut self,
+        at: SimTime,
+        from: TrackerState,
+        edge: Edge,
+        to: TrackerState,
+    ) {
         self.serving_log.push(at, Transition { from, edge, to });
     }
 
-    fn neighbor_transition(&mut self, at: SimTime, from: TrackerState, edge: Edge, to: TrackerState) {
+    fn neighbor_transition(
+        &mut self,
+        at: SimTime,
+        from: TrackerState,
+        edge: Edge,
+        to: TrackerState,
+    ) {
         self.neighbor_log.push(at, Transition { from, edge, to });
     }
 }

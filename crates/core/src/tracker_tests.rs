@@ -27,7 +27,8 @@ fn tracker() -> SilentTracker {
 }
 
 /// Walk the tracker through neighbor acquisition: dwell on the search
-/// beam, hear cell 1's SSB, complete the dwell.
+/// beam, hear cell 1's SSB, then ride through the (empty) P3 refinement
+/// dwells until the acquisition is reported.
 fn acquire_neighbor(tr: &mut SilentTracker, ms: u64, rss: f64) -> Discovery {
     let rx = tr.gap_rx_beam();
     tr.handle(Input::NeighborSsb {
@@ -37,13 +38,17 @@ fn acquire_neighbor(tr: &mut SilentTracker, ms: u64, rss: f64) -> Discovery {
         rx_beam: rx,
         rss: Dbm(rss),
     });
-    let acts = tr.handle(Input::DwellComplete { at: t(ms + 1) });
-    for a in &acts {
-        if let Action::NeighborAcquired(d) = a {
-            return *d;
+    let mut all = Vec::new();
+    for k in 1..=4 {
+        let acts = tr.handle(Input::DwellComplete { at: t(ms + k) });
+        for a in &acts {
+            if let Action::NeighborAcquired(d) = a {
+                return *d;
+            }
         }
+        all.extend(acts);
     }
-    panic!("acquisition failed: {acts:?}");
+    panic!("acquisition failed: {all:?}");
 }
 
 #[test]
@@ -78,7 +83,9 @@ fn serving_cell_ssb_is_not_a_neighbor() {
         rss: Dbm(-60.0),
     });
     let acts = tr.handle(Input::DwellComplete { at: t(6) });
-    assert!(acts.iter().all(|a| !matches!(a, Action::NeighborAcquired(_))));
+    assert!(acts
+        .iter()
+        .all(|a| !matches!(a, Action::NeighborAcquired(_))));
     assert_eq!(tr.state(), TrackerState::NAr);
 }
 
@@ -196,7 +203,18 @@ fn edge_e_handover_when_neighbor_beats_serving_plus_t() {
         rss: Dbm(-70.0),
     });
     let d = acquire_neighbor(&mut tr, 10, -75.0);
-    // Neighbor improves past serving + 3 dB.
+    // Mature the neighbor estimate (min_track_samples) at a level below
+    // the trigger point...
+    for ms in [40, 50] {
+        tr.handle(Input::NeighborSsb {
+            at: t(ms),
+            cell: CellId(1),
+            tx_beam: 2,
+            rx_beam: d.rx_beam,
+            rss: Dbm(-75.0),
+        });
+    }
+    // ...then the neighbor improves past serving + 3 dB.
     let acts = tr.handle(Input::NeighborSsb {
         at: t(60),
         cell: CellId(1),
@@ -233,7 +251,17 @@ fn no_handover_within_hysteresis() {
         rss: Dbm(-70.0),
     });
     let d = acquire_neighbor(&mut tr, 10, -75.0);
-    // Neighbor at -68: better than serving but within T = 3 dB.
+    for ms in [40, 50] {
+        tr.handle(Input::NeighborSsb {
+            at: t(ms),
+            cell: CellId(1),
+            tx_beam: 2,
+            rx_beam: d.rx_beam,
+            rss: Dbm(-75.0),
+        });
+    }
+    // Neighbor at -68: better than serving but within T = 3 dB, and the
+    // estimate is mature — still no trigger.
     let acts = tr.handle(Input::NeighborSsb {
         at: t(60),
         cell: CellId(1),
@@ -241,8 +269,23 @@ fn no_handover_within_hysteresis() {
         rx_beam: d.rx_beam,
         rss: Dbm(-68.0),
     });
-    assert!(acts.iter().all(|a| !matches!(a, Action::ExecuteHandover(_))));
+    assert!(acts
+        .iter()
+        .all(|a| !matches!(a, Action::ExecuteHandover(_))));
     assert!(tr.handover().is_none());
+
+    // An immature estimate must not trigger even when it beats serving:
+    // a fresh tracker with one strong sample right at acquisition holds.
+    let mut tr2 = tracker();
+    tr2.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-70.0),
+    });
+    let d2 = acquire_neighbor(&mut tr2, 10, -60.0);
+    assert!(
+        tr2.handover().is_none(),
+        "immature estimate triggered handover at acquisition: {d2:?}"
+    );
 }
 
 #[test]
@@ -259,6 +302,114 @@ fn serving_lost_with_tracked_beam_hands_over() {
         .expect("handover on serving loss");
     assert_eq!(ho.reason, HandoverReason::ServingLost);
     assert_eq!(ho.rx_beam, d.rx_beam);
+}
+
+#[test]
+fn rach_failure_reacquires_and_retriggers() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-70.0),
+    });
+    let d = acquire_neighbor(&mut tr, 10, -75.0);
+    tr.handle(Input::ServingLinkLost { at: t(90) });
+    assert!(tr.handover().is_some());
+
+    // Random access against the tracked beam fails permanently: the
+    // directive is revoked and a hinted re-acquisition starts.
+    let acts = tr.handle(Input::RachFailed { at: t(200) });
+    assert!(tr.handover().is_none(), "directive must be revoked");
+    assert_eq!(tr.state(), TrackerState::NAr);
+    assert!(acts.iter().any(|a| matches!(a, Action::SetGapRxBeam(_))));
+    assert_eq!(tr.stats().reacquisitions, 1);
+
+    // The serving link is still dead, so the next acquisition hands
+    // over immediately instead of waiting for an edge-E comparison
+    // against the stale serving EWMA.
+    let rx = tr.gap_rx_beam();
+    tr.handle(Input::NeighborSsb {
+        at: t(250),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: rx,
+        rss: Dbm(-72.0),
+    });
+    let mut ho = None;
+    for k in 1..=4 {
+        let acts = tr.handle(Input::DwellComplete { at: t(250 + k) });
+        ho = ho.or(acts.iter().find_map(|a| match a {
+            Action::ExecuteHandover(h) => Some(*h),
+            _ => None,
+        }));
+    }
+    let ho = ho.expect("re-acquisition must re-issue the handover");
+    assert_eq!(ho.reason, HandoverReason::ServingLost);
+    assert_eq!(ho.rx_beam, d.rx_beam, "hinted search finds the same beam");
+    assert_eq!(tr.handover(), Some(ho));
+}
+
+#[test]
+fn rach_failure_before_serving_loss_keeps_edge_e_gating() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-70.0),
+    });
+    let _ = acquire_neighbor(&mut tr, 10, -60.0);
+    // Trigger-driven handover (mature the estimate first).
+    for ms in [40, 50, 60] {
+        tr.handle(Input::NeighborSsb {
+            at: t(ms),
+            cell: CellId(1),
+            tx_beam: 2,
+            rx_beam: tr.tracked().unwrap().2,
+            rss: Dbm(-60.0),
+        });
+    }
+    assert!(tr.handover().is_some());
+    // Failed access with the serving link alive: back to searching, and
+    // a fresh acquisition does NOT hand over on its own — the edge-E
+    // comparison (with maturity) must be re-earned.
+    tr.handle(Input::RachFailed { at: t(100) });
+    assert!(tr.handover().is_none());
+    let rx = tr.gap_rx_beam();
+    tr.handle(Input::NeighborSsb {
+        at: t(120),
+        cell: CellId(1),
+        tx_beam: 2,
+        rx_beam: rx,
+        rss: Dbm(-60.0),
+    });
+    for k in 1..=4 {
+        tr.handle(Input::DwellComplete { at: t(120 + k) });
+    }
+    assert!(tr.tracked().is_some(), "re-acquired");
+    assert!(
+        tr.handover().is_none(),
+        "immature re-acquisition must not re-trigger instantly"
+    );
+}
+
+#[test]
+fn serving_recovery_clears_the_rlf_latch() {
+    let mut tr = tracker();
+    tr.handle(Input::ServingRss {
+        at: t(5),
+        rss: Dbm(-70.0),
+    });
+    // RLF with nothing tracked: latched, silent.
+    tr.handle(Input::ServingLinkLost { at: t(50) });
+    // The serving link comes back before anything is acquired.
+    tr.handle(Input::ServingRss {
+        at: t(80),
+        rss: Dbm(-65.0),
+    });
+    // A later acquisition must NOT auto-handover on the stale latch.
+    let _ = acquire_neighbor(&mut tr, 100, -75.0);
+    assert!(
+        tr.handover().is_none(),
+        "recovered serving link must restore edge-E gating"
+    );
 }
 
 #[test]
@@ -370,7 +521,7 @@ fn escalation_to_cabm_after_settle_time() {
         at: t(10),
         rss: Dbm(-64.0),
     }); // → S-RBA at t=10
-    // Still bad after settle_time (40 ms).
+        // Still bad after settle_time (40 ms).
     let acts = tr.handle(Input::ServingRss {
         at: t(55),
         rss: Dbm(-65.0),
@@ -382,7 +533,14 @@ fn escalation_to_cabm_after_settle_time() {
             _ => None,
         })
         .expect("CABM request");
-    assert!(matches!(req, Pdu::BeamSwitchRequest { cell: CellId(0), ue: UeId(1), .. }));
+    assert!(matches!(
+        req,
+        Pdu::BeamSwitchRequest {
+            cell: CellId(0),
+            ue: UeId(1),
+            ..
+        }
+    ));
     assert_eq!(tr.state(), TrackerState::Cabm);
     assert_eq!(tr.stats().cabm_requests, 1);
 }
@@ -460,7 +618,11 @@ fn wrong_cell_beam_switch_command_ignored() {
             tx_beam: 3,
         },
     });
-    assert_eq!(tr.state(), TrackerState::Cabm, "foreign command must not clear CABM");
+    assert_eq!(
+        tr.state(),
+        TrackerState::Cabm,
+        "foreign command must not clear CABM"
+    );
 }
 
 #[test]

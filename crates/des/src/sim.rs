@@ -72,7 +72,11 @@ impl<E> Executive<E> {
     /// Schedule an event at an absolute time. Panics if `at` is in the
     /// past — time travel would silently corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.schedule(at, event)
     }
 

@@ -146,8 +146,10 @@ mod tests {
 
     #[test]
     fn level_filtering() {
-        let mut tr = Trace::default();
-        tr.min_level = TraceLevel::Info;
+        let mut tr = Trace {
+            min_level: TraceLevel::Info,
+            ..Trace::default()
+        };
         tr.record(at(1), TraceLevel::Debug, "noise");
         tr.record(at(2), TraceLevel::Error, "bad");
         assert_eq!(tr.len(), 1);

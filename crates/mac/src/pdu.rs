@@ -409,7 +409,7 @@ mod tests {
         .encode();
         let mut bad = good.to_vec();
         bad[2] = bad[2].wrapping_add(1); // bump declared length
-        // Re-fix checksum so the length check (not the checksum) trips.
+                                         // Re-fix checksum so the length check (not the checksum) trips.
         let body_end = bad.len() - 2;
         let ck = crc16(&bad[..body_end]);
         bad[body_end..].copy_from_slice(&ck.to_be_bytes());

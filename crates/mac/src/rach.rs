@@ -78,9 +78,13 @@ impl RachConfig {
 pub enum RachState {
     Idle,
     /// Preamble sent; waiting for the RAR window to produce Msg2.
-    WaitingRar { deadline: SimTime },
+    WaitingRar {
+        deadline: SimTime,
+    },
     /// Msg3 sent; contention-resolution timer running.
-    WaitingMsg4 { deadline: SimTime },
+    WaitingMsg4 {
+        deadline: SimTime,
+    },
     /// Admitted by the target cell.
     Connected,
     /// Gave up after `max_attempts`.
@@ -176,10 +180,9 @@ impl RachProcedure {
                     context_token: self.context_token,
                 })
             }
-            (
-                RachState::WaitingMsg4 { deadline },
-                Pdu::ContentionResolution { ue, accepted },
-            ) if now <= *deadline && *ue == self.ue => {
+            (RachState::WaitingMsg4 { deadline }, Pdu::ContentionResolution { ue, accepted })
+                if now <= *deadline && *ue == self.ue =>
+            {
                 self.state = if *accepted {
                     RachState::Connected
                 } else {
@@ -355,7 +358,10 @@ mod tests {
                 temp_ue: UeId(1),
             },
         );
-        assert_eq!(p.send_preamble(t(2), 1, 5).unwrap_err(), RachError::BadState);
+        assert_eq!(
+            p.send_preamble(t(2), 1, 5).unwrap_err(),
+            RachError::BadState
+        );
     }
 
     #[test]

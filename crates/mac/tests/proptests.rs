@@ -9,8 +9,10 @@ use st_mac::PrachConfig;
 
 fn arb_pdu() -> impl Strategy<Value = Pdu> {
     prop_oneof![
-        (any::<u16>(), any::<u32>())
-            .prop_map(|(c, s)| Pdu::KeepAlive { cell: CellId(c), seq: s }),
+        (any::<u16>(), any::<u32>()).prop_map(|(c, s)| Pdu::KeepAlive {
+            cell: CellId(c),
+            seq: s
+        }),
         (any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(c, u, b)| {
             Pdu::BeamSwitchRequest {
                 cell: CellId(c),
@@ -18,19 +20,27 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
                 suggested_tx_beam: b,
             }
         }),
-        (any::<u16>(), any::<u16>())
-            .prop_map(|(c, b)| Pdu::BeamSwitchCommand { cell: CellId(c), tx_beam: b }),
-        (any::<u8>(), any::<u16>())
-            .prop_map(|(p, b)| Pdu::RachPreamble { preamble: p, ssb_beam: b }),
+        (any::<u16>(), any::<u16>()).prop_map(|(c, b)| Pdu::BeamSwitchCommand {
+            cell: CellId(c),
+            tx_beam: b
+        }),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, b)| Pdu::RachPreamble {
+            preamble: p,
+            ssb_beam: b
+        }),
         (any::<u8>(), any::<u32>(), any::<u32>()).prop_map(|(p, ta, u)| Pdu::RachResponse {
             preamble: p,
             timing_advance_ns: ta,
             temp_ue: UeId(u),
         }),
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(u, t)| Pdu::ConnectionRequest { ue: UeId(u), context_token: t }),
-        (any::<u32>(), any::<bool>())
-            .prop_map(|(u, a)| Pdu::ContentionResolution { ue: UeId(u), accepted: a }),
+        (any::<u32>(), any::<u64>()).prop_map(|(u, t)| Pdu::ConnectionRequest {
+            ue: UeId(u),
+            context_token: t
+        }),
+        (any::<u32>(), any::<bool>()).prop_map(|(u, a)| Pdu::ContentionResolution {
+            ue: UeId(u),
+            accepted: a
+        }),
         (any::<u32>(), any::<u64>(), any::<u16>()).prop_map(|(u, t, l)| Pdu::HandoverContext {
             ue: UeId(u),
             context_token: t,

@@ -74,7 +74,11 @@ impl Accumulator {
             std_dev: if self.n > 1 { self.std_dev() } else { 0.0 },
             min: self.min(),
             max: self.max(),
-            ci95: if self.n > 1 { self.ci95_half_width() } else { 0.0 },
+            ci95: if self.n > 1 {
+                self.ci95_half_width()
+            } else {
+                0.0
+            },
         }
     }
 }

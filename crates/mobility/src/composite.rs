@@ -28,7 +28,10 @@ impl<A: MobilityModel, B: MobilityModel> MobilityModel for Composite<A, B> {
         let base = self.base.pose_at(t_s);
         let spin_now = self.spin.pose_at(t_s).heading;
         let spin_start = self.spin.pose_at(0.0).heading;
-        Pose::new(base.position, (base.heading + (spin_now - spin_start)).wrapped())
+        Pose::new(
+            base.position,
+            (base.heading + (spin_now - spin_start)).wrapped(),
+        )
     }
 
     fn speed_at(&self, t_s: f64) -> f64 {
@@ -48,8 +51,8 @@ pub struct TurnAt {
 
 impl MobilityModel for TurnAt {
     fn pose_at(&self, t_s: f64) -> Pose {
-        let progressed = ((t_s - self.start_s).max(0.0) * self.rate_rad_s.abs())
-            .min(self.turn_rad.abs());
+        let progressed =
+            ((t_s - self.start_s).max(0.0) * self.rate_rad_s.abs()).min(self.turn_rad.abs());
         Pose::new(
             st_phy::geometry::Vec2::ZERO,
             st_phy::geometry::Radians(progressed * self.turn_rad.signum()),

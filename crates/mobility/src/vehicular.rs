@@ -43,8 +43,8 @@ impl Vehicular {
 impl MobilityModel for Vehicular {
     fn pose_at(&self, t_s: f64) -> Pose {
         let pos = self.start + Vec2::from_angle(self.direction) * (self.speed_mps * t_s);
-        let vib = self.vibration_amplitude.0
-            * (std::f64::consts::TAU * self.vibration_hz * t_s).sin();
+        let vib =
+            self.vibration_amplitude.0 * (std::f64::consts::TAU * self.vibration_hz * t_s).sin();
         Pose::new(pos, (self.direction + Radians(vib)).wrapped())
     }
 

@@ -60,8 +60,7 @@ impl MobilityModel for HumanWalk {
         // Device yaw wobbles at the step frequency, slightly out of phase
         // with the sway.
         let yaw_phase = std::f64::consts::TAU * self.gait_hz * t_s + self.phase + 0.7;
-        let heading =
-            (self.direction + Radians(self.yaw_amplitude.0 * yaw_phase.sin())).wrapped();
+        let heading = (self.direction + Radians(self.yaw_amplitude.0 * yaw_phase.sin())).wrapped();
         Pose::new(self.start + along + lateral, heading)
     }
 }

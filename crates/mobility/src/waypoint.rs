@@ -106,7 +106,10 @@ impl RandomWaypoint {
             rng.random_range(min.x..max.x),
             rng.random_range(min.y..max.y),
         );
-        let mut wps = vec![Waypoint { t_s: 0.0, position: pos }];
+        let mut wps = vec![Waypoint {
+            t_s: 0.0,
+            position: pos,
+        }];
         while t < duration_s {
             let dest = Vec2::new(
                 rng.random_range(min.x..max.x),
@@ -115,11 +118,17 @@ impl RandomWaypoint {
             let speed = rng.random_range(speed_range_mps.0..=speed_range_mps.1);
             let travel = pos.distance(dest) / speed.max(1e-6);
             t += travel;
-            wps.push(Waypoint { t_s: t, position: dest });
+            wps.push(Waypoint {
+                t_s: t,
+                position: dest,
+            });
             let pause = rng.random_range(pause_range_s.0..=pause_range_s.1);
             if pause > 0.0 {
                 t += pause;
-                wps.push(Waypoint { t_s: t, position: dest });
+                wps.push(Waypoint {
+                    t_s: t,
+                    position: dest,
+                });
             }
             pos = dest;
         }

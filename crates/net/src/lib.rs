@@ -111,4 +111,3 @@ mod tests {
         assert!(frac > 0.6, "aligned only {frac} of tracked time");
     }
 }
-

@@ -32,7 +32,7 @@ use st_mac::timing::TxBeamIndex;
 use st_mobility::BoxedModel;
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::geometry::Pose;
-use st_phy::link::{detectable, packet_success_probability, rss, snr};
+use st_phy::link::{acquirable, detectable, packet_success_probability, rss, snr};
 use st_phy::units::Dbm;
 use st_phy::LinkChannel;
 
@@ -206,8 +206,8 @@ impl Scenario {
                     .0
             })
             .collect();
-        let serving_rx = ue_codebook
-            .best_beam_towards(ue_pose0.local_bearing_to(cfg.cells[serving].position));
+        let serving_rx =
+            ue_codebook.best_beam_towards(ue_pose0.local_bearing_to(cfg.cells[serving].position));
 
         let proto = match cfg.protocol {
             ProtocolKind::SilentTracker => Proto::Silent(Box::new(SilentTracker::new(
@@ -295,7 +295,13 @@ impl Scenario {
 }
 
 impl World {
-    fn dispatch(&mut self, ex: &mut Executive<Ev>, now: SimTime, ev: Ev, burst_period: SimDuration) {
+    fn dispatch(
+        &mut self,
+        ex: &mut Executive<Ev>,
+        now: SimTime,
+        ev: Ev,
+        burst_period: SimDuration,
+    ) {
         self.step_channels(now);
         match ev {
             Ev::Burst { k } => {
@@ -429,7 +435,20 @@ impl World {
                 }
                 for tx_beam in 0..self.cfg.cells[cell].n_tx_beams {
                     if let Some(r) = self.link_rss(now, cell, tx_beam, gap_beam) {
-                        if detectable(r, &self.cfg.radio) {
+                        // While no neighbor beam is tracked the protocol is
+                        // *acquiring*: an SSB must be decodable (detection +
+                        // PBCH margin), or a fading spike through a side
+                        // lobe gets latched as a "found" beam pointing 100°+
+                        // away. Once tracking, RSRP-style energy detection
+                        // on the known beam/probes is enough. Evaluated per
+                        // SSB — an earlier SSB of this same burst can flip
+                        // the protocol from tracking back to searching.
+                        let usable = if self.proto.tracked().is_none() {
+                            acquirable(r, &self.cfg.radio)
+                        } else {
+                            detectable(r, &self.cfg.radio)
+                        };
+                        if usable {
                             let actions = self.proto.handle(Input::NeighborSsb {
                                 at: now,
                                 cell: CellId(cell as u16),
@@ -572,7 +591,13 @@ impl World {
                     .best_beam_towards(self.bs_pose(cell).local_bearing_to(ue.position))
                     .0;
                 let delay = self.cfg.assist_processing + self.cfg.fault.assist_extra_delay;
-                ex.schedule_in(delay, Ev::AssistApply { cell, tx_beam: best });
+                ex.schedule_in(
+                    delay,
+                    Ev::AssistApply {
+                        cell,
+                        tx_beam: best,
+                    },
+                );
                 self.trace.record(
                     now,
                     TraceLevel::Info,
@@ -639,7 +664,10 @@ impl World {
         };
         let r = self.link_rss(now, cell, tx_beam, rx_beam);
         let faulted = self.fault_rng.random::<f64>() < self.cfg.fault.drop_rach_probability
-            && matches!(pdu, Pdu::RachPreamble { .. } | Pdu::ConnectionRequest { .. });
+            && matches!(
+                pdu,
+                Pdu::RachPreamble { .. } | Pdu::ConnectionRequest { .. }
+            );
         if self.delivery_ok(r) && !faulted {
             ex.schedule_in(AIR_DELAY, Ev::BsRx { cell, pdu });
         }
@@ -649,7 +677,10 @@ impl World {
         self.refresh_rach_beams();
         let Some(rach) = &mut self.rach else { return };
         rach.try_pending = false;
-        if !matches!(rach.proc.state(), RachState::Idle | RachState::WaitingRar { .. }) {
+        if !matches!(
+            rach.proc.state(),
+            RachState::Idle | RachState::WaitingRar { .. }
+        ) {
             return;
         }
         let preamble: u8 = self
@@ -662,19 +693,29 @@ impl World {
                 self.send_to_bs(ex, now, target, msg1);
             }
             Err(_) => {
-                // Exhausted: the handover failed; the run ends without a
-                // completion (counted against the protocol).
+                // Exhausted: this access attempt failed.
                 self.trace
-                    .record(now, TraceLevel::Error, "RACH attempts exhausted");
-                self.halt = true;
+                    .record(now, TraceLevel::Warn, "RACH attempts exhausted");
+                self.abort_rach(ex, now);
             }
         }
+    }
+
+    /// A permanently failed access attempt: tear down the RACH state and
+    /// let the protocol recover (re-acquire and possibly re-trigger —
+    /// make-before-break keeps the serving link alive meanwhile). The run
+    /// only ends without a completion if no later attempt succeeds.
+    fn abort_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime) {
+        self.rach = None;
+        let actions = self.proto.handle(Input::RachFailed { at: now });
+        self.apply_actions(ex, now, actions);
     }
 
     /// Retry the preamble on the next occasion after a timeout.
     fn poll_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime) {
         let Some(rach) = &mut self.rach else { return };
         let st = rach.proc.poll(now);
+        let mut failed = false;
         match st {
             RachState::Idle if !rach.try_pending => {
                 let ssb = self.cfg.ssb(rach.target);
@@ -684,10 +725,13 @@ impl World {
             }
             RachState::Failed => {
                 self.trace
-                    .record(now, TraceLevel::Error, "RACH failed permanently");
-                self.halt = true;
+                    .record(now, TraceLevel::Warn, "RACH failed permanently");
+                failed = true;
             }
             _ => {}
+        }
+        if failed {
+            self.abort_rach(ex, now);
         }
     }
 

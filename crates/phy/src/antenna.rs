@@ -147,9 +147,7 @@ impl UlaPattern {
     fn array_factor(&self, theta: f64) -> f64 {
         let n = self.elements as f64;
         // ψ = kd (sinθ − sinθ₀)
-        let psi = std::f64::consts::TAU
-            * self.spacing_wl
-            * (theta.sin() - self.scan.0.sin());
+        let psi = std::f64::consts::TAU * self.spacing_wl * (theta.sin() - self.scan.0.sin());
         let half = psi / 2.0;
         if half.sin().abs() < 1e-9 {
             return 1.0;
@@ -163,10 +161,8 @@ impl Pattern for UlaPattern {
     fn gain(&self, offset: Radians) -> Db {
         // `offset` is relative to the steered boresight; recover the
         // physical angle from broadside.
-        let theta = (self.scan.0 + offset.wrapped().0).clamp(
-            -std::f64::consts::FRAC_PI_2,
-            std::f64::consts::FRAC_PI_2,
-        );
+        let theta = (self.scan.0 + offset.wrapped().0)
+            .clamp(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
         let af = self.array_factor(theta).max(1e-9);
         // Peak array gain of an N-element ULA is N (in power).
         let peak = 10.0 * (self.elements as f64).log10();

@@ -85,7 +85,10 @@ impl Environment {
         let hw = width_m / 2.0;
         Environment {
             walls: vec![
-                Wall::concrete(Vec2::new(-length_m / 2.0, hw), Vec2::new(length_m / 2.0, hw)),
+                Wall::concrete(
+                    Vec2::new(-length_m / 2.0, hw),
+                    Vec2::new(length_m / 2.0, hw),
+                ),
                 Wall::concrete(
                     Vec2::new(-length_m / 2.0, -hw),
                     Vec2::new(length_m / 2.0, -hw),

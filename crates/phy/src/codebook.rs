@@ -175,8 +175,9 @@ impl Codebook {
         let scan_limit = Radians::from_degrees(60.0);
         let mut entries: Vec<(f64, UlaPattern, Radians)> = Vec::new();
         for p in 0..panels {
-            let normal = Radians(-std::f64::consts::PI
-                + (p as f64 + 0.5) * std::f64::consts::TAU / panels as f64);
+            let normal = Radians(
+                -std::f64::consts::PI + (p as f64 + 0.5) * std::f64::consts::TAU / panels as f64,
+            );
             for i in 0..beams_per_panel {
                 let frac = if beams_per_panel == 1 {
                     0.0

@@ -33,5 +33,5 @@ pub use antenna::{Pattern, SectoredPattern, UlaPattern};
 pub use channel::{ChannelConfig, Environment, LinkChannel, PathSample, Wall};
 pub use codebook::{Beam, BeamId, BeamwidthClass, Codebook};
 pub use geometry::{Degrees, Pose, Radians, Vec2};
-pub use link::{detectable, packet_success_probability, rss, snr, RadioConfig};
+pub use link::{acquirable, detectable, packet_success_probability, rss, snr, RadioConfig};
 pub use units::{power_sum_dbm, Carrier, Db, Dbm, MilliWatts};

@@ -21,6 +21,12 @@ pub struct RadioConfig {
     pub bandwidth_hz: f64,
     /// Minimum SNR at which a synchronization signal is detectable.
     pub detection_snr: Db,
+    /// Extra SNR above `detection_snr` required to *decode* an SSB well
+    /// enough to acquire a previously unknown beam (synchronize + read
+    /// the broadcast payload, NR's PBCH). Energy detection alone happens
+    /// at `detection_snr`; without this margin, a fading spike through a
+    /// side lobe can masquerade as an acquirable neighbor beam.
+    pub ssb_decode_margin: Db,
 }
 
 impl RadioConfig {
@@ -33,6 +39,7 @@ impl RadioConfig {
             noise_figure: Db(7.0),
             bandwidth_hz: 1.76e9,
             detection_snr: Db(0.0),
+            ssb_decode_margin: Db(6.0),
         }
     }
 
@@ -80,6 +87,14 @@ pub fn detectable(rss: Dbm, radio: &RadioConfig) -> bool {
     snr(rss, radio).0 >= radio.detection_snr.0
 }
 
+/// Whether an SSB at `rss` is strong enough to *acquire* a previously
+/// unknown beam: detection plus the decode margin. Tracking an already
+/// acquired beam only needs [`detectable`] (RSRP measurement on known
+/// resources), but acquisition requires decoding the broadcast payload.
+pub fn acquirable(rss: Dbm, radio: &RadioConfig) -> bool {
+    snr(rss, radio).0 >= radio.detection_snr.0 + radio.ssb_decode_margin.0
+}
+
 /// Map SNR to packet/PDU success probability.
 ///
 /// A smooth logistic waterfall centred `margin_db` above the detection
@@ -104,7 +119,12 @@ mod tests {
     fn los_paths(d: f64) -> Vec<PathSample> {
         let mut rng = StdRng::seed_from_u64(1);
         let mut ch = LinkChannel::new(&mut rng, ChannelConfig::deterministic());
-        ch.paths(&mut rng, &Environment::open(), Vec2::ZERO, Vec2::new(d, 0.0))
+        ch.paths(
+            &mut rng,
+            &Environment::open(),
+            Vec2::ZERO,
+            Vec2::new(d, 0.0),
+        )
     }
 
     #[test]
@@ -164,7 +184,17 @@ mod tests {
         let rx_pose = Pose::new(Vec2::new(10.0, 0.0), Radians(0.0));
         let tx_beam = bs.best_beam_towards(tx_pose.local_bearing_to(rx_pose.position));
         let nb = narrow.best_beam_towards(rx_pose.local_bearing_to(tx_pose.position));
-        let rn = rss(Dbm(10.0), tx_pose, &bs, tx_beam, rx_pose, &narrow, nb, &paths).unwrap();
+        let rn = rss(
+            Dbm(10.0),
+            tx_pose,
+            &bs,
+            tx_beam,
+            rx_pose,
+            &narrow,
+            nb,
+            &paths,
+        )
+        .unwrap();
         let ro = rss(
             Dbm(10.0),
             tx_pose,

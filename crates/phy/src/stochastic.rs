@@ -58,7 +58,11 @@ impl OrnsteinUhlenbeck {
     pub fn new<R: Rng + ?Sized>(rng: &mut R, sigma: f64, tau_s: f64) -> Self {
         // Start in the stationary distribution.
         let state = sigma * standard_normal(rng);
-        OrnsteinUhlenbeck { sigma, tau_s, state }
+        OrnsteinUhlenbeck {
+            sigma,
+            tau_s,
+            state,
+        }
     }
 
     /// Current value of the process.

@@ -12,9 +12,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
-    println!(
-        "running {trials} seeded walk trials per codebook (3 codebooks)...\n"
-    );
+    println!("running {trials} seeded walk trials per codebook (3 codebooks)...\n");
     let results = st_bench::fig2a::run(trials);
     println!("{}", st_bench::fig2a::render(&results));
     println!(

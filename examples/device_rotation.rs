@@ -37,6 +37,9 @@ fn main() {
         );
     }
     if let Some(f) = outcome.alignment_fraction() {
-        println!("receive beam within 3 dB of optimal {:.0}% of tracked time", f * 100.0);
+        println!(
+            "receive beam within 3 dB of optimal {:.0}% of tracked time",
+            f * 100.0
+        );
     }
 }

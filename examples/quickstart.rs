@@ -32,7 +32,10 @@ fn part1_protocol_by_hand() {
     );
     let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
 
-    println!("state at start: {} (searching for a neighbor)", tracker.state());
+    println!(
+        "state at start: {} (searching for a neighbor)",
+        tracker.state()
+    );
 
     // Healthy serving link: nothing to do.
     let acts = tracker.handle(Input::ServingRss {
@@ -42,6 +45,9 @@ fn part1_protocol_by_hand() {
     println!("healthy serving sample  -> {} actions", acts.len());
 
     // A neighbor SSB heard during a measurement gap on the search beam.
+    // Acquisition is not instant: the detection kicks off a short P3
+    // receive-beam refinement (one dwell per adjacent beam), so we keep
+    // completing dwells until the acquisition is reported.
     let rx = tracker.gap_rx_beam();
     tracker.handle(Input::NeighborSsb {
         at: t(20),
@@ -50,21 +56,42 @@ fn part1_protocol_by_hand() {
         rx_beam: rx,
         rss: Dbm(-70.0),
     });
-    let acts = tracker.handle(Input::DwellComplete { at: t(22) });
-    for a in &acts {
-        if let Action::NeighborAcquired(d) = a {
-            println!("acquired neighbor {} (tx beam {}, rx {})", d.cell, d.tx_beam, d.rx_beam);
+    let mut dwell_ms = 22;
+    'acquiring: for _ in 0..4 {
+        let acts = tracker.handle(Input::DwellComplete { at: t(dwell_ms) });
+        dwell_ms += 20;
+        for a in &acts {
+            if let Action::NeighborAcquired(d) = a {
+                println!(
+                    "acquired neighbor {} (tx beam {}, rx {})",
+                    d.cell, d.tx_beam, d.rx_beam
+                );
+                break 'acquiring;
+            }
         }
     }
     println!("state now: {} (silently tracking)", tracker.state());
 
-    // The neighbor grows stronger than serving + 3 dB: handover trigger.
+    // Mature the neighbor estimate (edge E requires a few samples —
+    // one strong SSB at acquisition is not yet evidence)...
+    let tracked_rx = tracker.tracked().unwrap().2;
+    for ms in [80, 100] {
+        tracker.handle(Input::NeighborSsb {
+            at: t(ms),
+            cell: CellId(1),
+            tx_beam: 3,
+            rx_beam: tracked_rx,
+            rss: Dbm(-60.0),
+        });
+    }
+    // ...then the neighbor grows clearly stronger than serving + 3 dB
+    // (the EWMA has to cross the hysteresis, not one raw sample): trigger.
     let acts = tracker.handle(Input::NeighborSsb {
-        at: t(60),
+        at: t(120),
         cell: CellId(1),
         tx_beam: 3,
-        rx_beam: tracker.tracked().unwrap().2,
-        rss: Dbm(-58.0),
+        rx_beam: tracked_rx,
+        rss: Dbm(-50.0),
     });
     for a in &acts {
         if let Action::ExecuteHandover(h) = a {

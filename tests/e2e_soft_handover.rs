@@ -45,7 +45,10 @@ fn rotation_completes_across_seeds() {
 #[test]
 fn vehicular_completes_across_seeds() {
     let (done, total, _) = completion_rate("vehicular", 0..10);
-    assert!(done * 10 >= total * 8, "vehicular: {done}/{total} completed");
+    assert!(
+        done * 10 >= total * 8,
+        "vehicular: {done}/{total} completed"
+    );
 }
 
 #[test]

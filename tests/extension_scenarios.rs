@@ -19,7 +19,10 @@ fn walk_and_turn_completes() {
     }
     assert!(completions >= 6, "{completions}/8 under combined mobility");
     // The 90° mid-walk turn must have forced silent switches.
-    assert!(total_nrba > 8, "only {total_nrba} N-RBA switches across runs");
+    assert!(
+        total_nrba > 8,
+        "only {total_nrba} N-RBA switches across runs"
+    );
 }
 
 #[test]

@@ -1,0 +1,70 @@
+//! Workspace smoke test: the quickstart scenario runs end-to-end and is
+//! bit-identical across two runs with the same `st_des` RNG seed.
+//!
+//! This is the PR-1 bring-up gate: if this fails, either the workspace
+//! wiring (crate graph, re-exports) or the determinism contract of the
+//! DES engine has regressed — both block every other experiment.
+
+use st_net::scenarios::{eval_config, human_walk};
+use st_net::{ProtocolKind, RunOutcome};
+
+/// One quickstart trial: the seed the README tells newcomers to run.
+fn quickstart_run(seed: u64) -> RunOutcome {
+    let cfg = eval_config(ProtocolKind::SilentTracker);
+    human_walk(&cfg, seed).run()
+}
+
+#[test]
+fn quickstart_scenario_completes_end_to_end() {
+    let out = quickstart_run(42);
+    assert!(out.acquired_at.is_some(), "neighbor never acquired");
+    assert!(out.handover_succeeded(), "soft handover did not complete");
+    // The whole point of the protocol: RACH runs on an aligned beam.
+    assert!(
+        out.rach_attempts <= 8,
+        "RACH took {} attempts — beam not aligned at trigger",
+        out.rach_attempts
+    );
+    // The umbrella crate re-exports the whole stack; spot-check that the
+    // re-export surface is wired (this is what examples compile against).
+    let _cfg: silent_tracker_repro::st_net::ScenarioConfig =
+        silent_tracker_repro::st_net::scenarios::eval_config(ProtocolKind::SilentTracker);
+    let _ = silent_tracker_repro::st_phy::Codebook::for_class(
+        silent_tracker_repro::st_phy::BeamwidthClass::Narrow,
+    );
+}
+
+#[test]
+fn quickstart_is_bit_identical_across_runs() {
+    // Same `st_des::RngStreams` master seed ⇒ every derived stream, every
+    // event order, every float must match exactly — not approximately.
+    let a = quickstart_run(42);
+    let b = quickstart_run(42);
+
+    assert_eq!(a.seed, b.seed);
+    assert_eq!(a.acquired_at, b.acquired_at);
+    assert_eq!(a.handover_triggered_at, b.handover_triggered_at);
+    assert_eq!(a.handover_complete_at, b.handover_complete_at);
+    assert_eq!(a.handover_reason, b.handover_reason);
+    assert_eq!(a.interruption, b.interruption);
+    assert_eq!(a.rlf_at, b.rlf_at);
+    assert_eq!(a.rach_attempts, b.rach_attempts);
+    assert_eq!(a.search_passes, b.search_passes);
+    assert_eq!(a.tracker_stats, b.tracker_stats);
+    // Every recorded sample, bit for bit (f64 equality is intentional).
+    assert_eq!(a.serving_rss.points(), b.serving_rss.points());
+    assert_eq!(a.neighbor_rss.points(), b.neighbor_rss.points());
+    assert_eq!(a.alignment.points(), b.alignment.points());
+}
+
+#[test]
+fn different_seeds_are_not_identical() {
+    // Guard against the classic determinism bug: a hardcoded seed
+    // somewhere making "determinism" trivially true.
+    let a = quickstart_run(42);
+    let b = quickstart_run(43);
+    assert_ne!(
+        (a.handover_complete_at, a.serving_rss.points().first()),
+        (b.handover_complete_at, b.serving_rss.points().first()),
+    );
+}
