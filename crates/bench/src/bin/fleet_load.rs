@@ -1,0 +1,35 @@
+//! Fleet-scale PRACH load sweep: soft vs hard handover under contention.
+//! Usage: `fleet_load [--smoke] [--workers N] [POPULATIONS...]`
+//!
+//! `--smoke` prints the deterministic aggregate summary of a small fixed
+//! fleet (CI compares two invocations byte-for-byte); otherwise the
+//! positional arguments are population sizes (default 100 300 1000).
+fn main() {
+    let mut smoke = false;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut populations: Vec<u64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N");
+            }
+            other => populations.push(other.parse().expect("population size")),
+        }
+    }
+    if smoke {
+        print!("{}", st_bench::fleet_load::smoke(workers));
+        return;
+    }
+    if populations.is_empty() {
+        populations = vec![100, 300, 1000];
+    }
+    let r = st_bench::fleet_load::run(&populations, 42, workers);
+    println!("{}", st_bench::fleet_load::render(&r));
+}

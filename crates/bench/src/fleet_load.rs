@@ -1,0 +1,182 @@
+//! Fleet-scale load sweep: does soft handover's interruption advantage
+//! survive PRACH contention?
+//!
+//! The single-trial `interruption` bench compares the two arms for one
+//! isolated mobile. Here whole populations cross the same cell boundaries
+//! simultaneously: PRACH occasions, preamble pools and backhaul pipes are
+//! shared, so rising load adds preamble collisions, contention-resolution
+//! losses and context-fetch queueing. Each population size runs twice —
+//! an all-Silent-Tracker fleet and an all-reactive fleet — on matched
+//! seeds, and the table tracks the interruption quantiles against the
+//! realized RACH load.
+//!
+//! `--smoke` runs one small deterministic fleet and prints its aggregate
+//! summary blob; CI invokes it twice with different worker counts and
+//! asserts the outputs are byte-identical.
+
+use st_fleet::{run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind};
+use st_metrics::Table;
+use st_net::ProtocolKind;
+
+/// One load point, one protocol arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub ues: u64,
+    pub protocol: ProtocolKind,
+    pub outcome: FleetOutcome,
+}
+
+#[derive(Debug, Clone)]
+pub struct FleetLoad {
+    pub arms: Vec<Arm>,
+}
+
+/// The shared deployment at a given population size: four cells down a
+/// street canyon, mostly walkers plus a vehicular slice, a deliberately
+/// small preamble pool so PRACH contention rises with population.
+fn deployment(ues: u64, protocol: ProtocolKind, seed: u64) -> FleetConfig {
+    let walkers = (ues * 4 / 5) as u32;
+    let vehicles = ues as u32 - walkers;
+    Deployment::new()
+        .street(400.0, 30.0)
+        .cell_row(4, 100.0)
+        .tx_beams(8)
+        .prach_preambles(8)
+        .population(walkers, MobilityKind::Walk, protocol)
+        .population(vehicles, MobilityKind::Vehicular, protocol)
+        .duration_secs(2.0)
+        .seed(seed)
+        .shards(8)
+        .build()
+        .expect("valid fleet deployment")
+}
+
+pub fn run(populations: &[u64], seed: u64, workers: usize) -> FleetLoad {
+    let mut arms = Vec::new();
+    for &ues in populations {
+        for protocol in [ProtocolKind::SilentTracker, ProtocolKind::Reactive] {
+            let cfg = deployment(ues, protocol, seed);
+            let outcome = run_fleet_with_workers(&cfg, workers);
+            arms.push(Arm {
+                ues,
+                protocol,
+                outcome,
+            });
+        }
+    }
+    FleetLoad { arms }
+}
+
+pub fn render(r: &FleetLoad) -> String {
+    let mut t = Table::new(
+        "Fleet load sweep: interruption vs PRACH contention (4 cells, 2 s)",
+        &[
+            "ues",
+            "arm",
+            "handovers",
+            "collision_%",
+            "occupancy_%",
+            "losses",
+            "queue_ms",
+            "intr_p50_ms",
+            "intr_p95_ms",
+        ],
+    );
+    for a in &r.arms {
+        let tot = &a.outcome.totals;
+        let heard: u64 = tot
+            .per_cell
+            .iter()
+            .map(|c| c.responder.preambles_heard)
+            .sum();
+        let collided: u64 = tot
+            .per_cell
+            .iter()
+            .map(|c| 2 * c.responder.collisions)
+            .sum();
+        let losses: u64 = tot
+            .per_cell
+            .iter()
+            .map(|c| c.responder.contention_losses)
+            .sum();
+        let queue_ms: f64 = tot
+            .per_cell
+            .iter()
+            .map(|c| c.responder.backhaul_queue_wait.as_millis_f64())
+            .sum();
+        let used: u64 = tot.per_cell.iter().map(|c| c.occasions_used).sum();
+        let total: u64 = tot.per_cell.iter().map(|c| c.occasions_total).sum();
+        let (name, ecdf) = match a.protocol {
+            ProtocolKind::SilentTracker => ("silent", a.outcome.soft_interruption_ecdf()),
+            ProtocolKind::Reactive => ("reactive", a.outcome.hard_interruption_ecdf()),
+        };
+        let (p50, p95) = ecdf
+            .map(|e| {
+                (
+                    format!("{:.1}", e.median()),
+                    format!("{:.1}", e.quantile(0.95)),
+                )
+            })
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        t.row(&[
+            format!("{}", a.ues),
+            name.into(),
+            format!("{}", tot.handovers),
+            format!(
+                "{:.1}",
+                if heard > 0 {
+                    100.0 * collided as f64 / heard as f64
+                } else {
+                    0.0
+                }
+            ),
+            format!("{:.1}", 100.0 * used as f64 / total.max(1) as f64),
+            format!("{losses}"),
+            format!("{queue_ms:.1}"),
+            p50,
+            p95,
+        ]);
+    }
+    t.render()
+}
+
+/// The deterministic smoke fleet for the CI byte-identical check.
+pub fn smoke_config() -> FleetConfig {
+    Deployment::new()
+        .street(200.0, 30.0)
+        .cell_row(2, 80.0)
+        .tx_beams(8)
+        .prach_preambles(4)
+        .spawn_region((-25.0, 15.0), (-3.0, 3.0))
+        .population(32, MobilityKind::Walk, ProtocolKind::SilentTracker)
+        .population(16, MobilityKind::Vehicular, ProtocolKind::Reactive)
+        .duration_secs(1.0)
+        .seed(7)
+        .shards(4)
+        .build()
+        .expect("valid smoke fleet")
+}
+
+pub fn smoke(workers: usize) -> String {
+    run_fleet_with_workers(&smoke_config(), workers).summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_is_worker_invariant() {
+        assert_eq!(smoke(1), smoke(4));
+    }
+
+    #[test]
+    fn small_sweep_renders_both_arms() {
+        let r = run(&[24], 3, 4);
+        assert_eq!(r.arms.len(), 2);
+        let s = render(&r);
+        assert!(s.contains("silent") && s.contains("reactive"), "{s}");
+        // The silent arm's make-before-break handovers complete.
+        assert!(r.arms[0].outcome.totals.handovers > 0, "{s}");
+    }
+}

@@ -12,12 +12,14 @@
 //! | [`resource`] | measurement-gap duty-cycle trade-off (E7) | `cargo run -p st-bench --release --bin resource` |
 //! | [`robustness`] | pedestrian-blockage sweep (E8) | `cargo run -p st-bench --release --bin robustness` |
 //! | [`patterns`] | sectored vs true-ULA antenna realism (E9) | `cargo run -p st-bench --release --bin patterns` |
+//! | [`fleet_load`] | soft vs hard handover under fleet-scale PRACH load | `cargo run -p st-bench --release --bin fleet_load` |
 //!
 //! Criterion micro/scenario benches live in `benches/`.
 
 pub mod ablation;
 pub mod fig2a;
 pub mod fig2c;
+pub mod fleet_load;
 pub mod init_access;
 pub mod interruption;
 pub mod patterns;

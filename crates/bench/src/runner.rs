@@ -4,34 +4,38 @@ use st_net::{RunOutcome, Scenario};
 
 /// Run `n_trials` seeded scenarios in parallel and collect outcomes in
 /// seed order (deterministic regardless of scheduling).
+///
+/// Each worker owns a disjoint contiguous chunk of the result vector
+/// (`chunks_mut`), so trial results are written straight into their slots
+/// with no per-trial mutex on the hot path.
 pub fn run_trials<F>(n_trials: u64, make: F) -> Vec<RunOutcome>
 where
     F: Fn(u64) -> Scenario + Sync,
 {
+    if n_trials == 0 {
+        return Vec::new();
+    }
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(n_trials.max(1) as usize);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let results: Vec<std::sync::Mutex<Option<RunOutcome>>> =
-        (0..n_trials).map(|_| std::sync::Mutex::new(None)).collect();
+        .min(n_trials as usize);
+    let mut results: Vec<Option<RunOutcome>> = (0..n_trials).map(|_| None).collect();
+    let chunk = (n_trials as usize).div_ceil(n_workers);
 
     std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_trials {
-                    break;
+        for (w, slots) in results.chunks_mut(chunk).enumerate() {
+            let make = &make;
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(make((w * chunk + j) as u64).run());
                 }
-                let outcome = make(i).run();
-                *results[i as usize].lock().unwrap() = Some(outcome);
             });
         }
     });
 
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("trial missing"))
+        .map(|r| r.expect("trial missing"))
         .collect()
 }
 
@@ -54,5 +58,11 @@ mod tests {
         for (a, b) in outs.iter().zip(again.iter()) {
             assert_eq!(a.handover_complete_at, b.handover_complete_at);
         }
+    }
+
+    #[test]
+    fn zero_trials_is_empty_not_a_panic() {
+        let cfg = eval_config(ProtocolKind::SilentTracker);
+        assert!(run_trials(0, |seed| human_walk(&cfg, seed)).is_empty());
     }
 }

@@ -1,0 +1,358 @@
+//! Declarative fleet deployments: cell layouts and heterogeneous UE
+//! populations, snowcap-example-network style — a small builder that
+//! assembles one validated [`FleetConfig`] the engine consumes.
+//!
+//! ```
+//! use st_fleet::{Deployment, MobilityKind};
+//! use st_net::ProtocolKind;
+//!
+//! let cfg = Deployment::new()
+//!     .street(320.0, 30.0)
+//!     .cell_row(4, 80.0)
+//!     .population(24, MobilityKind::Walk, ProtocolKind::SilentTracker)
+//!     .population(8, MobilityKind::Vehicular, ProtocolKind::Reactive)
+//!     .duration_secs(1.0)
+//!     .seed(7)
+//!     .shards(2)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(cfg.n_ues(), 32);
+//! ```
+
+use st_des::SimDuration;
+use st_net::config::{CellConfig, ProtocolKind, ScenarioConfig};
+use st_phy::channel::Environment;
+use st_phy::geometry::Vec2;
+
+/// Which mobility model a UE runs (paper kinematics, per-UE seeded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MobilityKind {
+    /// 1.4 m/s pedestrian with gait sway and yaw wobble.
+    Walk,
+    /// 20 mph drive along the street.
+    Vehicular,
+    /// Stationary with 120 °/s device rotation.
+    Rotation,
+    /// Walking while turning the device 90° mid-walk.
+    WalkAndTurn,
+}
+
+/// A homogeneous slice of the UE population.
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationSpec {
+    pub count: u32,
+    pub mobility: MobilityKind,
+    pub protocol: ProtocolKind,
+}
+
+/// One UE of the flattened population.
+#[derive(Debug, Clone, Copy)]
+pub struct UeSpec {
+    /// Global UE index (stable across shard counts).
+    pub id: u64,
+    pub mobility: MobilityKind,
+    pub protocol: ProtocolKind,
+}
+
+/// Full fleet description: the shared radio/world parameters (reusing the
+/// single-trial [`ScenarioConfig`] — its `protocol`, `initial_serving` and
+/// `stop_at_handover` fields are per-UE concerns here and ignored) plus
+/// the population mix and execution shape.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shared world: cells, environment, radio, channel, MAC timing,
+    /// tracker parameters, faults, duration, master seed.
+    pub base: ScenarioConfig,
+    pub populations: Vec<PopulationSpec>,
+    /// Number of independent simulation shards the population is split
+    /// into (fixed by config — results never depend on worker count).
+    pub n_shards: usize,
+    /// DES event budget per shard.
+    pub event_budget: u64,
+    /// UEs spawn uniformly over x ∈ [spawn_x.0, spawn_x.1].
+    pub spawn_x: (f64, f64),
+    /// …and y ∈ [spawn_y.0, spawn_y.1].
+    pub spawn_y: (f64, f64),
+}
+
+impl FleetConfig {
+    pub fn n_ues(&self) -> u64 {
+        self.populations.iter().map(|p| p.count as u64).sum()
+    }
+
+    /// The flattened population in global-id order: population slices
+    /// concatenated in declaration order.
+    pub fn ue_specs(&self) -> Vec<UeSpec> {
+        let mut specs = Vec::with_capacity(self.n_ues() as usize);
+        let mut id = 0u64;
+        for p in &self.populations {
+            for _ in 0..p.count {
+                specs.push(UeSpec {
+                    id,
+                    mobility: p.mobility,
+                    protocol: p.protocol,
+                });
+                id += 1;
+            }
+        }
+        specs
+    }
+
+    /// The UEs of shard `s` (round-robin by global id, so every shard
+    /// sees a representative protocol/mobility mix).
+    pub fn shard_specs(&self, s: usize) -> Vec<UeSpec> {
+        self.ue_specs()
+            .into_iter()
+            .filter(|u| (u.id as usize) % self.n_shards == s)
+            .collect()
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.populations.is_empty() || self.n_ues() == 0 {
+            return Err("fleet needs at least one UE".into());
+        }
+        if self.n_shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        if self.event_budget == 0 {
+            return Err("event budget must be positive".into());
+        }
+        if self.spawn_x.0 >= self.spawn_x.1 || self.spawn_y.0 > self.spawn_y.1 {
+            return Err("degenerate spawn region".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FleetConfig`]. Defaults mirror the paper's street-canyon
+/// world (`ScenarioConfig::two_cell_edge`) with a 1-second horizon.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    base: ScenarioConfig,
+    cells_set: bool,
+    populations: Vec<PopulationSpec>,
+    n_shards: usize,
+    event_budget: u64,
+    spawn_x: Option<(f64, f64)>,
+    spawn_y: (f64, f64),
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deployment {
+    pub fn new() -> Deployment {
+        let mut base = ScenarioConfig::two_cell_edge();
+        base.duration = SimDuration::from_secs(1);
+        base.stop_at_handover = false;
+        Deployment {
+            base,
+            cells_set: false,
+            populations: Vec::new(),
+            n_shards: 1,
+            event_budget: 200_000_000,
+            spawn_x: None,
+            spawn_y: (-3.0, 3.0),
+        }
+    }
+
+    /// Street-canyon environment `length × width` metres, centred on the
+    /// origin. Also sets the default spawn span to the inner 80%.
+    pub fn street(mut self, length_m: f64, width_m: f64) -> Deployment {
+        self.base.environment = Environment::street_canyon(length_m, width_m);
+        if self.spawn_x.is_none() {
+            self.spawn_x = Some((-0.4 * length_m, 0.4 * length_m));
+        }
+        self
+    }
+
+    /// A row of `n` cells spaced `spacing` metres apart along the street,
+    /// alternating street sides (replaces previously declared cells).
+    pub fn cell_row(mut self, n: usize, spacing: f64) -> Deployment {
+        let half = (n.saturating_sub(1)) as f64 * spacing / 2.0;
+        self.base.cells = (0..n)
+            .map(|i| {
+                let side = if i % 2 == 0 { 10.0 } else { -10.0 };
+                CellConfig::at(i as f64 * spacing - half, side)
+            })
+            .collect();
+        self.cells_set = true;
+        self
+    }
+
+    /// Add one cell at an explicit position (replaces the default two-cell
+    /// layout on first use).
+    pub fn cell_at(mut self, x: f64, y: f64) -> Deployment {
+        if !self.cells_set {
+            self.base.cells.clear();
+            self.cells_set = true;
+        }
+        self.base.cells.push(CellConfig::at(x, y));
+        self
+    }
+
+    /// Transmit beams swept per SSB burst on every cell.
+    pub fn tx_beams(mut self, n: u16) -> Deployment {
+        for c in &mut self.base.cells {
+            c.n_tx_beams = n;
+        }
+        self
+    }
+
+    /// Add a population slice.
+    pub fn population(
+        mut self,
+        count: u32,
+        mobility: MobilityKind,
+        protocol: ProtocolKind,
+    ) -> Deployment {
+        self.populations.push(PopulationSpec {
+            count,
+            mobility,
+            protocol,
+        });
+        self
+    }
+
+    pub fn duration(mut self, d: SimDuration) -> Deployment {
+        self.base.duration = d;
+        self
+    }
+
+    pub fn duration_secs(self, s: f64) -> Deployment {
+        self.duration(SimDuration::from_secs_f64(s))
+    }
+
+    pub fn seed(mut self, seed: u64) -> Deployment {
+        self.base.seed = seed;
+        self
+    }
+
+    pub fn shards(mut self, n: usize) -> Deployment {
+        self.n_shards = n;
+        self
+    }
+
+    pub fn event_budget(mut self, budget: u64) -> Deployment {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Override the UE spawn region.
+    pub fn spawn_region(mut self, x: (f64, f64), y: (f64, f64)) -> Deployment {
+        self.spawn_x = Some(x);
+        self.spawn_y = y;
+        self
+    }
+
+    /// Fewer contention preambles per occasion (raises collision pressure
+    /// for load studies).
+    pub fn prach_preambles(mut self, n: u8) -> Deployment {
+        self.base.prach.n_preambles = n;
+        self
+    }
+
+    pub fn build(self) -> Result<FleetConfig, String> {
+        let spawn_x = self.spawn_x.unwrap_or((-80.0, 80.0));
+        let cfg = FleetConfig {
+            base: self.base,
+            populations: self.populations,
+            n_shards: self.n_shards,
+            event_budget: self.event_budget,
+            spawn_x,
+            spawn_y: self.spawn_y,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// Nearest cell to a position — the cell a freshly spawned UE is attached
+/// to (it completed initial access before the fleet run starts).
+pub fn nearest_cell(cells: &[CellConfig], p: Vec2) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in cells.iter().enumerate() {
+        let d = c.position.distance(p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetConfig {
+        Deployment::new()
+            .street(320.0, 30.0)
+            .cell_row(4, 80.0)
+            .population(6, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .population(2, MobilityKind::Vehicular, ProtocolKind::Reactive)
+            .shards(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_assembles_valid_config() {
+        let cfg = small();
+        assert_eq!(cfg.base.cells.len(), 4);
+        assert_eq!(cfg.n_ues(), 8);
+        // Cells alternate street sides around the origin.
+        assert_eq!(cfg.base.cells[0].position.x, -120.0);
+        assert_eq!(cfg.base.cells[1].position.y, -10.0);
+    }
+
+    #[test]
+    fn ue_specs_flatten_in_declaration_order() {
+        let cfg = small();
+        let specs = cfg.ue_specs();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].mobility, MobilityKind::Walk);
+        assert_eq!(specs[6].mobility, MobilityKind::Vehicular);
+        assert_eq!(specs[7].protocol, ProtocolKind::Reactive);
+        assert!(specs.iter().enumerate().all(|(i, s)| s.id == i as u64));
+    }
+
+    #[test]
+    fn shards_partition_round_robin() {
+        let cfg = small();
+        let a = cfg.shard_specs(0);
+        let b = cfg.shard_specs(1);
+        assert_eq!(a.len() + b.len(), 8);
+        assert!(a.iter().all(|u| u.id % 2 == 0));
+        assert!(b.iter().all(|u| u.id % 2 == 1));
+        // Both shards see both populations.
+        assert!(a.iter().any(|u| u.mobility == MobilityKind::Vehicular));
+        assert!(b.iter().any(|u| u.mobility == MobilityKind::Vehicular));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(Deployment::new().build().is_err(), "no population");
+        assert!(Deployment::new()
+            .population(0, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .build()
+            .is_err());
+        assert!(Deployment::new()
+            .population(1, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .shards(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn nearest_cell_picks_closest() {
+        let cells = vec![CellConfig::at(-40.0, 10.0), CellConfig::at(40.0, 10.0)];
+        assert_eq!(nearest_cell(&cells, Vec2::new(-30.0, 0.0)), 0);
+        assert_eq!(nearest_cell(&cells, Vec2::new(35.0, 0.0)), 1);
+    }
+}

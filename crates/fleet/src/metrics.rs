@@ -1,0 +1,326 @@
+//! Fleet-level aggregates: per-cell RACH load and per-UE handover
+//! outcomes, merged across shards in shard order so results are
+//! bit-identical regardless of how many worker threads ran the shards.
+
+use st_des::SimDuration;
+use st_mac::responder::ResponderStats;
+use st_metrics::{Accumulator, Ecdf, Table};
+
+/// RACH and backhaul load observed at one cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellLoad {
+    /// BS-side responder counters (collisions, contention losses, …).
+    pub responder: ResponderStats,
+    /// Preamble transmissions UEs aimed at this cell (some are lost on
+    /// air before the responder hears them).
+    pub preambles_tx: u64,
+    /// Distinct PRACH occasions on which ≥ 1 preamble was transmitted.
+    pub occasions_used: u64,
+    /// PRACH occasions the cell offered over the run.
+    pub occasions_total: u64,
+    /// Handovers completed with this cell as the target.
+    pub handovers_in: u64,
+}
+
+impl CellLoad {
+    /// Fraction of heard preambles that collided with another UE.
+    pub fn collision_rate(&self) -> f64 {
+        if self.responder.preambles_heard == 0 {
+            return 0.0;
+        }
+        // Each collision involves ≥ 2 of the heard preambles.
+        (2 * self.responder.collisions) as f64 / self.responder.preambles_heard as f64
+    }
+
+    /// Fraction of offered PRACH occasions actually used.
+    pub fn occupancy(&self) -> f64 {
+        if self.occasions_total == 0 {
+            return 0.0;
+        }
+        self.occasions_used as f64 / self.occasions_total as f64
+    }
+
+    pub fn merge(&mut self, other: &CellLoad) {
+        let r = &mut self.responder;
+        let o = other.responder;
+        r.preambles_heard += o.preambles_heard;
+        r.collisions += o.collisions;
+        r.rar_sent += o.rar_sent;
+        r.contention_losses += o.contention_losses;
+        r.rejected += o.rejected;
+        r.context_fetches += o.context_fetches;
+        r.backhaul_queue_wait = r.backhaul_queue_wait + o.backhaul_queue_wait;
+        self.preambles_tx += other.preambles_tx;
+        self.occasions_used += other.occasions_used;
+        self.occasions_total += other.occasions_total;
+        self.handovers_in += other.handovers_in;
+    }
+}
+
+/// Everything one shard observed.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOutcome {
+    pub per_cell: Vec<CellLoad>,
+    /// Soft-handover (make-before-break) interruptions, ms, in UE order.
+    pub soft_interruptions_ms: Vec<f64>,
+    /// Hard-handover (post-RLF reactive) interruptions, ms, in UE order.
+    pub hard_interruptions_ms: Vec<f64>,
+    pub ues: u64,
+    pub handovers: u64,
+    pub rlfs: u64,
+    pub rach_attempts: u64,
+    pub search_dwells: u64,
+    pub nrba_switches: u64,
+    pub events: u64,
+    /// Shards whose executive tripped the per-shard event budget
+    /// (runaway guard) instead of reaching the deadline. Zero on any
+    /// healthy run.
+    pub budget_exhausted_shards: u64,
+}
+
+/// Merged fleet result.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    pub seed: u64,
+    pub n_shards: usize,
+    pub duration: SimDuration,
+    pub totals: ShardOutcome,
+}
+
+impl FleetOutcome {
+    /// Merge shard results *in shard order* — the only order-sensitive
+    /// step is concatenating the interruption sample vectors, and shard
+    /// order is a property of the config, not of thread scheduling.
+    pub fn merge(
+        seed: u64,
+        duration: SimDuration,
+        shards: impl IntoIterator<Item = ShardOutcome>,
+    ) -> FleetOutcome {
+        let mut totals = ShardOutcome::default();
+        let mut n_shards = 0;
+        for s in shards {
+            n_shards += 1;
+            if totals.per_cell.is_empty() {
+                totals.per_cell = vec![CellLoad::default(); s.per_cell.len()];
+            }
+            for (t, c) in totals.per_cell.iter_mut().zip(s.per_cell.iter()) {
+                t.merge(c);
+            }
+            totals.soft_interruptions_ms.extend(s.soft_interruptions_ms);
+            totals.hard_interruptions_ms.extend(s.hard_interruptions_ms);
+            totals.ues += s.ues;
+            totals.handovers += s.handovers;
+            totals.rlfs += s.rlfs;
+            totals.rach_attempts += s.rach_attempts;
+            totals.search_dwells += s.search_dwells;
+            totals.nrba_switches += s.nrba_switches;
+            totals.events += s.events;
+            totals.budget_exhausted_shards += s.budget_exhausted_shards;
+        }
+        FleetOutcome {
+            seed,
+            n_shards,
+            duration,
+            totals,
+        }
+    }
+
+    /// CDF of soft-handover interruption (ms), if any completed.
+    pub fn soft_interruption_ecdf(&self) -> Option<Ecdf> {
+        Ecdf::new(self.totals.soft_interruptions_ms.clone()).ok()
+    }
+
+    /// CDF of hard-handover interruption (ms), if any completed.
+    pub fn hard_interruption_ecdf(&self) -> Option<Ecdf> {
+        Ecdf::new(self.totals.hard_interruptions_ms.clone()).ok()
+    }
+
+    /// Handover attempts per offered PRACH occasion, fleet-wide — the
+    /// load axis of the `fleet_load` bench.
+    pub fn offered_load(&self) -> f64 {
+        let occasions: u64 = self.totals.per_cell.iter().map(|c| c.occasions_total).sum();
+        if occasions == 0 {
+            return 0.0;
+        }
+        let tx: u64 = self.totals.per_cell.iter().map(|c| c.preambles_tx).sum();
+        tx as f64 / occasions as f64
+    }
+
+    /// Deterministic one-blob textual aggregate: byte-identical for
+    /// identical (config, seed) regardless of worker count — the artifact
+    /// the CI fleet-smoke step compares across invocations.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let t = &self.totals;
+        writeln!(
+            s,
+            "fleet seed={} shards={} ues={} duration_ms={:.3}",
+            self.seed,
+            self.n_shards,
+            t.ues,
+            self.duration.as_millis_f64()
+        )
+        .unwrap();
+        for (i, c) in t.per_cell.iter().enumerate() {
+            writeln!(
+                s,
+                "cell{} tx={} heard={} collisions={} rar={} losses={} rejected={} \
+                 occ={}/{} fetches={} queue_wait_us={} handovers_in={}",
+                i,
+                c.preambles_tx,
+                c.responder.preambles_heard,
+                c.responder.collisions,
+                c.responder.rar_sent,
+                c.responder.contention_losses,
+                c.responder.rejected,
+                c.occasions_used,
+                c.occasions_total,
+                c.responder.context_fetches,
+                c.responder.backhaul_queue_wait.as_nanos() / 1000,
+                c.handovers_in,
+            )
+            .unwrap();
+        }
+        let quant = |v: &[f64]| -> String {
+            match Ecdf::new(v.to_vec()) {
+                Ok(e) => format!(
+                    "n={} p50_ms={:.3} p95_ms={:.3} max_ms={:.3}",
+                    e.len(),
+                    e.median(),
+                    e.quantile(0.95),
+                    e.max()
+                ),
+                Err(_) => "n=0".into(),
+            }
+        };
+        writeln!(
+            s,
+            "handovers={} rlfs={} rach_attempts={} search_dwells={} nrba_switches={} \
+             events={} budget_exhausted_shards={}",
+            t.handovers,
+            t.rlfs,
+            t.rach_attempts,
+            t.search_dwells,
+            t.nrba_switches,
+            t.events,
+            t.budget_exhausted_shards,
+        )
+        .unwrap();
+        writeln!(s, "soft {}", quant(&t.soft_interruptions_ms)).unwrap();
+        writeln!(s, "hard {}", quant(&t.hard_interruptions_ms)).unwrap();
+        s
+    }
+
+    /// Human-oriented per-cell table.
+    pub fn render_cells(&self) -> String {
+        let mut t = Table::new(
+            "Per-cell RACH load",
+            &[
+                "cell",
+                "preambles",
+                "collision_%",
+                "occupancy_%",
+                "losses",
+                "fetches",
+                "queue_ms",
+                "handovers",
+            ],
+        );
+        for (i, c) in self.totals.per_cell.iter().enumerate() {
+            t.row(&[
+                format!("{i}"),
+                format!("{}", c.responder.preambles_heard),
+                format!("{:.1}", c.collision_rate() * 100.0),
+                format!("{:.1}", c.occupancy() * 100.0),
+                format!("{}", c.responder.contention_losses),
+                format!("{}", c.responder.context_fetches),
+                format!("{:.1}", c.responder.backhaul_queue_wait.as_millis_f64()),
+                format!("{}", c.handovers_in),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Mean soft interruption with CI, if any.
+    pub fn soft_interruption_summary(&self) -> Option<st_metrics::Summary> {
+        summarize(&self.totals.soft_interruptions_ms)
+    }
+
+    /// Mean hard interruption with CI, if any.
+    pub fn hard_interruption_summary(&self) -> Option<st_metrics::Summary> {
+        summarize(&self.totals.hard_interruptions_ms)
+    }
+}
+
+fn summarize(v: &[f64]) -> Option<st_metrics::Summary> {
+    if v.is_empty() {
+        return None;
+    }
+    let mut acc = Accumulator::new();
+    acc.extend(v.iter().copied());
+    Some(acc.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(cells: usize, soft: &[f64]) -> ShardOutcome {
+        let mut s = ShardOutcome {
+            per_cell: vec![CellLoad::default(); cells],
+            soft_interruptions_ms: soft.to_vec(),
+            ues: 2,
+            handovers: soft.len() as u64,
+            ..ShardOutcome::default()
+        };
+        s.per_cell[0].responder.preambles_heard = 10;
+        s.per_cell[0].responder.collisions = 2;
+        s.per_cell[0].occasions_used = 5;
+        s.per_cell[0].occasions_total = 50;
+        s.per_cell[0].preambles_tx = 12;
+        s
+    }
+
+    #[test]
+    fn merge_is_shard_order_dependent_only_in_sample_order() {
+        let a = shard(2, &[10.0, 20.0]);
+        let b = shard(2, &[30.0]);
+        let m = FleetOutcome::merge(1, SimDuration::from_secs(1), [a, b]);
+        assert_eq!(m.totals.ues, 4);
+        assert_eq!(m.totals.soft_interruptions_ms, vec![10.0, 20.0, 30.0]);
+        assert_eq!(m.totals.per_cell[0].responder.preambles_heard, 20);
+        assert_eq!(m.totals.per_cell[0].responder.collisions, 4);
+    }
+
+    #[test]
+    fn rates_handle_empty_and_loaded_cells() {
+        let m = FleetOutcome::merge(1, SimDuration::from_secs(1), [shard(2, &[15.0])]);
+        let c0 = &m.totals.per_cell[0];
+        assert!((c0.collision_rate() - 0.4).abs() < 1e-12);
+        assert!((c0.occupancy() - 0.1).abs() < 1e-12);
+        let c1 = &m.totals.per_cell[1];
+        assert_eq!(c1.collision_rate(), 0.0);
+        assert_eq!(c1.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn summary_is_deterministic_text() {
+        let m1 = FleetOutcome::merge(1, SimDuration::from_secs(1), [shard(1, &[10.0])]);
+        let m2 = FleetOutcome::merge(1, SimDuration::from_secs(1), [shard(1, &[10.0])]);
+        assert_eq!(m1.summary(), m2.summary());
+        assert!(m1.summary().contains("cell0"));
+        assert!(m1.summary().contains("soft n=1"));
+        assert!(m1.render_cells().contains("Per-cell RACH load"));
+    }
+
+    #[test]
+    fn ecdfs_require_samples() {
+        let m = FleetOutcome::merge(1, SimDuration::from_secs(1), [shard(1, &[])]);
+        assert!(m.soft_interruption_ecdf().is_none());
+        assert!(m.soft_interruption_summary().is_none());
+        let m2 = FleetOutcome::merge(1, SimDuration::from_secs(1), [shard(1, &[5.0, 7.0])]);
+        assert_eq!(m2.soft_interruption_ecdf().unwrap().len(), 2);
+        assert!(m2.soft_interruption_summary().unwrap().mean > 5.9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Sharded parallel fleet execution.
+//!
+//! The population is split into `FleetConfig::n_shards` independent
+//! simulations *by config* (round-robin on global UE id); worker threads
+//! are merely the labour that runs them. Each shard derives every RNG
+//! stream from the fleet master seed and global UE ids, and the shard
+//! results are merged in shard order — so the aggregate is bit-identical
+//! for a given (config, seed) no matter how many workers ran it, which is
+//! exactly what the CI fleet-smoke step asserts.
+//!
+//! Workers own disjoint contiguous chunks of the result vector (the same
+//! no-per-slot-lock pattern as `st_bench::runner::run_trials`), so the
+//! hot path is lock-free.
+
+use crate::deployment::FleetConfig;
+use crate::metrics::{FleetOutcome, ShardOutcome};
+use crate::sim::run_shard;
+
+/// Run every shard of the fleet with as many workers as the machine
+/// offers.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    run_fleet_with_workers(cfg, workers)
+}
+
+/// Run every shard of the fleet on exactly `workers` threads. The result
+/// is identical to [`run_fleet`]'s for the same config and seed.
+pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome {
+    cfg.validate().expect("invalid fleet config");
+    let n_shards = cfg.n_shards;
+    let workers = workers.clamp(1, n_shards);
+    let mut results: Vec<Option<ShardOutcome>> = (0..n_shards).map(|_| None).collect();
+    let chunk = n_shards.div_ceil(workers);
+
+    std::thread::scope(|scope| {
+        for (w, slots) in results.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(run_shard(cfg, w * chunk + j));
+                }
+            });
+        }
+    });
+
+    FleetOutcome::merge(
+        cfg.base.seed,
+        cfg.base.duration,
+        results.into_iter().map(|r| r.expect("shard missing")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::{Deployment, MobilityKind};
+    use st_net::ProtocolKind;
+
+    fn tiny(seed: u64, shards: usize) -> FleetConfig {
+        Deployment::new()
+            .street(200.0, 30.0)
+            .cell_row(2, 80.0)
+            .tx_beams(8)
+            .population(4, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .population(2, MobilityKind::Vehicular, ProtocolKind::Reactive)
+            .duration_secs(0.8)
+            .seed(seed)
+            .shards(shards)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_aggregate() {
+        let cfg = tiny(3, 2);
+        let a = run_fleet_with_workers(&cfg, 1);
+        let b = run_fleet_with_workers(&cfg, 2);
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.totals.ues, 6);
+        assert!(a.totals.events > 0);
+    }
+
+    #[test]
+    fn same_seed_same_summary_different_seed_differs() {
+        let cfg = tiny(3, 2);
+        let a = run_fleet(&cfg);
+        let b = run_fleet(&cfg);
+        assert_eq!(a.summary(), b.summary());
+        let c = run_fleet(&tiny(4, 2));
+        assert_ne!(a.summary(), c.summary());
+    }
+}

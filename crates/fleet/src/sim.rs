@@ -1,0 +1,802 @@
+//! One fleet shard: N UEs sharing M cells on a single discrete-event
+//! executive.
+//!
+//! This is the multi-UE generalization of the single-trial executor in
+//! `st_net::scenario`, reusing its factored radio plumbing
+//! ([`st_net::radio`]) and protocol dispatch ([`st_net::proto`]). What is
+//! *new* here is the MAC under load:
+//!
+//! * all UEs share each cell's PRACH occasions — two UEs picking the same
+//!   preamble on the same occasion collide, both accept the one RAR, and
+//!   Msg4 contention resolution picks a winner while the loser backs off
+//!   and retries (driven by the extended [`RachResponder`]);
+//! * soft-handover context fetches serialize through each cell's FIFO
+//!   backhaul pipe, so Msg4 latency — and therefore interruption — grows
+//!   with handover load;
+//! * unlike a single trial, the run never halts at the first handover:
+//!   after completion the protocol is re-anchored on the new serving cell
+//!   and keeps going, so one UE can hand over repeatedly.
+//!
+//! Every stochastic component draws from a stream derived from the fleet
+//! master seed and the *global* UE id, so a UE behaves identically no
+//! matter which shard (or worker thread) runs it.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::RngExt as _;
+
+use silent_tracker::tracker::{Action, HandoverDirective, Input};
+use silent_tracker::HandoverReason;
+use st_des::{Control, Executive, RngStreams, SimDuration, SimTime, StopReason};
+use st_mac::pdu::{CellId, Pdu, UeId};
+use st_mac::rach::{RachProcedure, RachState};
+use st_mac::responder::{RachResponder, ResponderConfig};
+use st_mac::timing::TxBeamIndex;
+use st_mobility::{BoxedModel, Composite, DeviceRotation, HumanWalk, TurnAt, Vehicular};
+use st_net::config::ProtocolKind;
+use st_net::proto::Proto;
+use st_net::radio::{LinkSet, Sites};
+use st_phy::codebook::{BeamId, Codebook};
+use st_phy::geometry::{Pose, Radians, Vec2};
+use st_phy::link::{acquirable, detectable, packet_success_probability, snr};
+use st_phy::units::Dbm;
+
+use crate::deployment::{nearest_cell, FleetConfig, MobilityKind, UeSpec};
+use crate::metrics::{CellLoad, ShardOutcome};
+
+/// Short over-the-air + processing delays (as in the single-UE executor).
+const AIR_DELAY: SimDuration = SimDuration::from_micros(500);
+const MSG2_DELAY: SimDuration = SimDuration::from_millis(2);
+const MSG4_PROCESSING: SimDuration = SimDuration::from_millis(2);
+/// Soft-handover context tokens are `BASE | ue`, always nonzero.
+const CONTEXT_TOKEN_BASE: u64 = 0x511E_27AC_0000_0000;
+
+/// Simulation events. Periodic drivers (`Burst`, `DwellEnd`,
+/// `ServingMeas`, `Tick`) are shared — one event iterates every UE in
+/// global-id order, which keeps the pending set small and the dispatch
+/// order deterministic.
+#[derive(Debug, Clone)]
+enum Ev {
+    Burst {
+        k: u64,
+    },
+    DwellEnd,
+    ServingMeas,
+    Tick,
+    UeRx {
+        ue: u32,
+        cell: u16,
+        tx_beam: TxBeamIndex,
+        pdu: Pdu,
+    },
+    BsRx {
+        ue: u32,
+        cell: u16,
+        pdu: Pdu,
+    },
+    AssistApply {
+        ue: u32,
+        cell: u16,
+        tx_beam: TxBeamIndex,
+    },
+    RachTry {
+        ue: u32,
+    },
+}
+
+/// In-flight random access towards a handover target.
+struct RachExec {
+    target: usize,
+    ssb_beam: TxBeamIndex,
+    rx_beam: BeamId,
+    proc: RachProcedure,
+    try_pending: bool,
+}
+
+/// One mobile of the fleet.
+struct Ue {
+    spec: UeSpec,
+    uid: UeId,
+    mobility: BoxedModel,
+    links: LinkSet,
+    rach_rng: StdRng,
+    fault_rng: StdRng,
+    proto: Proto,
+    serving: usize,
+    /// Transmit beam each cell currently uses towards this UE.
+    bs_tx_beam: Vec<TxBeamIndex>,
+    rlf_count: u32,
+    rlf_declared: bool,
+    rach: Option<RachExec>,
+    handover_reason: Option<HandoverReason>,
+    trigger_at: Option<SimTime>,
+    rlf_at: Option<SimTime>,
+    // Banked accounting (survives protocol re-anchoring).
+    handovers: u64,
+    rlfs: u64,
+    rach_attempts: u64,
+    dwells_banked: u64,
+    nrba_banked: u64,
+    interruptions_ms: Vec<f64>,
+}
+
+impl Ue {
+    fn pose_at(&self, now: SimTime) -> Pose {
+        self.mobility.pose_at(now.as_secs_f64())
+    }
+
+    fn context_token(&self) -> u64 {
+        match self.spec.protocol {
+            ProtocolKind::SilentTracker => CONTEXT_TOKEN_BASE | u64::from(self.uid.0),
+            ProtocolKind::Reactive => 0,
+        }
+    }
+
+    /// Fold the live protocol's counters into the banked totals.
+    fn bank_proto(&mut self) {
+        self.dwells_banked += self.proto.search_dwells();
+        if let Some(st) = self.proto.stats() {
+            self.nrba_banked += st.nrba_switches;
+        }
+    }
+}
+
+struct FleetWorld {
+    cfg: FleetConfig,
+    sites: Sites,
+    ue_codebook: Codebook,
+    ues: Vec<Ue>,
+    responders: Vec<RachResponder>,
+    /// Distinct PRACH occasions (by instant) with ≥ 1 transmission, per cell.
+    occasions_used: Vec<BTreeSet<u64>>,
+    preambles_tx: Vec<u64>,
+    handovers_in: Vec<u64>,
+    burst_period: SimDuration,
+}
+
+/// Build the mobility model of one UE from its per-UE spawn stream.
+fn build_mobility(spec: &UeSpec, rng: &mut StdRng, cfg: &FleetConfig) -> (BoxedModel, Vec2) {
+    let x = cfg.spawn_x.0 + rng.random::<f64>() * (cfg.spawn_x.1 - cfg.spawn_x.0);
+    let y = cfg.spawn_y.0 + rng.random::<f64>() * (cfg.spawn_y.1 - cfg.spawn_y.0);
+    let pos = Vec2::new(x, y);
+    // Walkers and vehicles head up or down the street.
+    let heading = if rng.random::<f64>() < 0.5 {
+        Radians(0.0)
+    } else {
+        Radians(std::f64::consts::PI)
+    };
+    let phase = rng.random::<f64>() * std::f64::consts::TAU;
+    let model: BoxedModel = match spec.mobility {
+        MobilityKind::Walk => Box::new(HumanWalk::paper_walk(pos, heading).with_phase(phase)),
+        MobilityKind::Vehicular => Box::new(Vehicular::paper_vehicular(pos, heading)),
+        MobilityKind::Rotation => Box::new(DeviceRotation::paper_rotation(pos, Radians(phase))),
+        MobilityKind::WalkAndTurn => {
+            let walk = HumanWalk::paper_walk(pos, heading).with_phase(phase);
+            let turn = TurnAt {
+                start_s: 0.3 + rng.random::<f64>(),
+                turn_rad: std::f64::consts::FRAC_PI_2,
+                rate_rad_s: 120f64.to_radians(),
+            };
+            Box::new(Composite::new(walk, turn))
+        }
+    };
+    (model, pos)
+}
+
+/// Run shard `shard_idx` of the fleet to completion.
+pub fn run_shard(cfg: &FleetConfig, shard_idx: usize) -> ShardOutcome {
+    let base = &cfg.base;
+    let streams = RngStreams::new(base.seed);
+    let sites = Sites::new(
+        base.cells.clone(),
+        base.environment.clone(),
+        base.radio,
+        base.channel,
+    );
+    let ue_codebook = base
+        .custom_ue_codebook
+        .clone()
+        .unwrap_or_else(|| Codebook::for_class(base.ue_codebook));
+
+    let ues: Vec<Ue> = cfg
+        .shard_specs(shard_idx)
+        .into_iter()
+        .map(|spec| {
+            let mut spawn_rng = streams.stream_indexed("fleet-spawn", spec.id);
+            let (mobility, _) = build_mobility(&spec, &mut spawn_rng, cfg);
+            let pose0 = mobility.pose_at(0.0);
+            let serving = nearest_cell(&base.cells, pose0.position);
+            let serving_rx =
+                ue_codebook.best_beam_towards(pose0.local_bearing_to(base.cells[serving].position));
+            let bs_tx_beam = (0..sites.len())
+                .map(|i| sites.best_tx_beam_towards(i, pose0.position))
+                .collect();
+            let uid = UeId(spec.id as u32 + 1);
+            Ue {
+                uid,
+                mobility,
+                links: LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
+                rach_rng: streams.stream_indexed("fleet-rach", spec.id),
+                fault_rng: streams.stream_indexed("fleet-fault", spec.id),
+                proto: Proto::new(
+                    spec.protocol,
+                    base.tracker,
+                    uid,
+                    CellId(serving as u16),
+                    ue_codebook.clone(),
+                    serving_rx,
+                ),
+                serving,
+                bs_tx_beam,
+                rlf_count: 0,
+                rlf_declared: false,
+                rach: None,
+                handover_reason: None,
+                trigger_at: None,
+                rlf_at: None,
+                handovers: 0,
+                rlfs: 0,
+                rach_attempts: 0,
+                dwells_banked: 0,
+                nrba_banked: 0,
+                interruptions_ms: Vec::new(),
+                spec,
+            }
+        })
+        .collect();
+
+    let n_cells = sites.len();
+    let burst_period = base.ssb(0).burst_period;
+    let burst_active = base.ssb(0).burst_active();
+    let mut world = FleetWorld {
+        sites,
+        ue_codebook,
+        ues,
+        responders: (0..n_cells)
+            .map(|_| {
+                RachResponder::new(ResponderConfig {
+                    rar_delay: MSG2_DELAY,
+                    msg4_delay: MSG4_PROCESSING,
+                    backhaul_latency: base.backhaul_latency,
+                    ..ResponderConfig::nr_default()
+                })
+            })
+            .collect(),
+        occasions_used: vec![BTreeSet::new(); n_cells],
+        preambles_tx: vec![0; n_cells],
+        handovers_in: vec![0; n_cells],
+        burst_period,
+        cfg: cfg.clone(),
+    };
+
+    let mut ex: Executive<Ev> = Executive::new();
+    ex.event_budget = cfg.event_budget;
+    ex.schedule_at(SimTime::ZERO, Ev::Burst { k: 0 });
+    ex.schedule_at(
+        SimTime::ZERO + burst_active + SimDuration::from_millis(1),
+        Ev::DwellEnd,
+    );
+    ex.schedule_in(SimDuration::from_millis(1), Ev::ServingMeas);
+    ex.schedule_in(SimDuration::from_micros(500), Ev::Tick);
+
+    let deadline = SimTime::ZERO + cfg.base.duration;
+    let reason = ex.run(deadline, |ex, now, ev| {
+        world.dispatch(ex, now, ev);
+        Control::Continue
+    });
+
+    world.collect(ex.events_processed(), reason == StopReason::Budget)
+}
+
+impl FleetWorld {
+    fn dispatch(&mut self, ex: &mut Executive<Ev>, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Burst { k } => {
+                for i in 0..self.ues.len() {
+                    self.on_burst_ue(ex, now, i);
+                }
+                ex.schedule_at(
+                    SimTime::ZERO + self.burst_period * (k + 1),
+                    Ev::Burst { k: k + 1 },
+                );
+            }
+            Ev::DwellEnd => {
+                for i in 0..self.ues.len() {
+                    let actions = self.ues[i].proto.handle(Input::DwellComplete { at: now });
+                    self.apply_actions(ex, now, i, actions);
+                }
+                ex.schedule_in(self.burst_period, Ev::DwellEnd);
+            }
+            Ev::ServingMeas => {
+                if !self.cfg.base.gaps.in_gap(now) {
+                    for i in 0..self.ues.len() {
+                        self.on_serving_meas_ue(ex, now, i);
+                    }
+                }
+                ex.schedule_in(self.cfg.base.serving_meas_period, Ev::ServingMeas);
+            }
+            Ev::Tick => {
+                for i in 0..self.ues.len() {
+                    let actions = self.ues[i].proto.handle(Input::Tick { at: now });
+                    self.apply_actions(ex, now, i, actions);
+                    self.poll_rach(ex, now, i);
+                }
+                ex.schedule_in(SimDuration::from_millis(1), Ev::Tick);
+            }
+            Ev::UeRx {
+                ue,
+                cell,
+                tx_beam,
+                pdu,
+            } => self.on_ue_rx(ex, now, ue as usize, cell as usize, tx_beam, pdu),
+            Ev::BsRx { ue, cell, pdu } => self.on_bs_rx(ex, now, ue as usize, cell as usize, pdu),
+            Ev::AssistApply { ue, cell, tx_beam } => {
+                let (ue, cell) = (ue as usize, cell as usize);
+                self.ues[ue].bs_tx_beam[cell] = tx_beam;
+                ex.schedule_in(
+                    AIR_DELAY,
+                    Ev::UeRx {
+                        ue: ue as u32,
+                        cell: cell as u16,
+                        tx_beam,
+                        pdu: Pdu::BeamSwitchCommand {
+                            cell: CellId(cell as u16),
+                            tx_beam,
+                        },
+                    },
+                );
+            }
+            Ev::RachTry { ue } => self.on_rach_try(ex, now, ue as usize),
+        }
+    }
+
+    // ----- physics ----------------------------------------------------------
+
+    /// Downlink RSS from `cell` to UE `i`; channels are advanced lazily to
+    /// `now` on first use, which keeps per-event cost proportional to the
+    /// links actually sampled.
+    fn link_rss(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        cell: usize,
+        tx_beam: TxBeamIndex,
+        rx_beam: BeamId,
+    ) -> Option<Dbm> {
+        let pose = self.ues[i].pose_at(now);
+        let ue = &mut self.ues[i];
+        ue.links.step_to(now);
+        ue.links
+            .rss(&self.sites, cell, tx_beam, pose, &self.ue_codebook, rx_beam)
+    }
+
+    fn delivery_ok(&mut self, i: usize, rss: Option<Dbm>) -> bool {
+        let Some(r) = rss else { return false };
+        let p = packet_success_probability(snr(r, &self.cfg.base.radio), &self.cfg.base.radio);
+        self.ues[i].rach_rng.random::<f64>() < p
+    }
+
+    // ----- event handlers ---------------------------------------------------
+
+    fn on_burst_ue(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
+        // Serving link: probe adjacent receive beams.
+        let serving = self.ues[i].serving;
+        let serving_rx = self.ues[i].proto.serving_rx_beam();
+        let tx = self.ues[i].bs_tx_beam[serving];
+        for b in self.ue_codebook.adjacent(serving_rx) {
+            if let Some(r) = self.link_rss(i, now, serving, tx, b) {
+                if detectable(r, &self.cfg.base.radio) {
+                    let actions = self.ues[i].proto.handle(Input::ServingProbe {
+                        at: now,
+                        rx_beam: b,
+                        rss: r,
+                    });
+                    self.apply_actions(ex, now, i, actions);
+                }
+            }
+        }
+
+        // Neighbor cells, inside the measurement gap.
+        if self.cfg.base.gaps.in_gap(now) {
+            let gap_beam = self.ues[i].proto.gap_rx_beam();
+            for cell in 0..self.sites.len() {
+                let serving_now = self.ues[i].serving;
+                if cell == serving_now && !self.post_rlf_search(i) {
+                    continue;
+                }
+                for tx_beam in 0..self.cfg.base.cells[cell].n_tx_beams {
+                    if let Some(r) = self.link_rss(i, now, cell, tx_beam, gap_beam) {
+                        let usable = if self.ues[i].proto.tracked().is_none() {
+                            acquirable(r, &self.cfg.base.radio)
+                        } else {
+                            detectable(r, &self.cfg.base.radio)
+                        };
+                        if usable {
+                            let actions = self.ues[i].proto.handle(Input::NeighborSsb {
+                                at: now,
+                                cell: CellId(cell as u16),
+                                tx_beam,
+                                rx_beam: gap_beam,
+                                rss: r,
+                            });
+                            self.apply_actions(ex, now, i, actions);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn post_rlf_search(&self, i: usize) -> bool {
+        self.ues[i].rlf_declared && matches!(self.ues[i].spec.protocol, ProtocolKind::Reactive)
+    }
+
+    fn on_serving_meas_ue(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
+        if self.ues[i].rlf_declared && self.ues[i].rach.is_none() {
+            return; // disconnected (reactive arm)
+        }
+        let serving = self.ues[i].serving;
+        let tx = self.ues[i].bs_tx_beam[serving];
+        let rx = self.ues[i].proto.serving_rx_beam();
+        let r = self.link_rss(i, now, serving, tx, rx);
+        match r {
+            Some(v) if detectable(v, &self.cfg.base.radio) => {
+                self.ues[i].rlf_count = 0;
+                let actions = self.ues[i]
+                    .proto
+                    .handle(Input::ServingRss { at: now, rss: v });
+                self.apply_actions(ex, now, i, actions);
+            }
+            _ => {
+                let ue = &mut self.ues[i];
+                ue.rlf_count += 1;
+                let needed = (self.cfg.base.tracker.serving_timeout.as_nanos()
+                    / self.cfg.base.serving_meas_period.as_nanos())
+                .max(2) as u32;
+                if ue.rlf_count >= needed && !ue.rlf_declared {
+                    ue.rlf_declared = true;
+                    ue.rlfs += 1;
+                    ue.rlf_at = Some(now);
+                    let actions = ue.proto.handle(Input::ServingLinkLost { at: now });
+                    self.apply_actions(ex, now, i, actions);
+                }
+            }
+        }
+    }
+
+    fn refresh_rach_beams(&mut self, i: usize) {
+        let tracked = self.ues[i].proto.tracked();
+        if let (Some(rach), Some((cell, tx, rx))) = (&mut self.ues[i].rach, tracked) {
+            if cell.0 as usize == rach.target {
+                rach.ssb_beam = tx;
+                rach.rx_beam = rx;
+            }
+        }
+    }
+
+    fn on_ue_rx(
+        &mut self,
+        ex: &mut Executive<Ev>,
+        now: SimTime,
+        i: usize,
+        cell: usize,
+        tx_beam: TxBeamIndex,
+        pdu: Pdu,
+    ) {
+        self.refresh_rach_beams(i);
+        let rx_beam = match &self.ues[i].rach {
+            Some(r) if r.target == cell => r.rx_beam,
+            _ => self.ues[i].proto.serving_rx_beam(),
+        };
+        let r = self.link_rss(i, now, cell, tx_beam, rx_beam);
+        if !self.delivery_ok(i, r) {
+            return;
+        }
+        let fault = self.cfg.base.fault.drop_rach_probability;
+        if self.ues[i].fault_rng.random::<f64>() < fault
+            && matches!(
+                pdu,
+                Pdu::RachResponse { .. } | Pdu::ContentionResolution { .. }
+            )
+        {
+            return;
+        }
+        if self.ues[i].rach.as_ref().is_some_and(|r| r.target == cell) {
+            let ue = &mut self.ues[i];
+            let rach = ue.rach.as_mut().unwrap();
+            let action = rach.proc.on_pdu(now, &pdu);
+            let connected = rach.proc.state() == RachState::Connected;
+            if let st_mac::rach::RachAction::Transmit(msg3) = action {
+                self.send_to_bs(ex, now, i, cell, msg3);
+            }
+            if connected {
+                self.complete_handover(now, i);
+            }
+            return;
+        }
+        let actions = self.ues[i]
+            .proto
+            .handle(Input::FromServing { at: now, pdu });
+        self.apply_actions(ex, now, i, actions);
+    }
+
+    fn on_bs_rx(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize, cell: usize, pdu: Pdu) {
+        match pdu {
+            Pdu::BeamSwitchRequest { .. } => {
+                if self.ues[i].fault_rng.random::<f64>()
+                    < self.cfg.base.fault.drop_assist_probability
+                {
+                    return;
+                }
+                let pose = self.ues[i].pose_at(now);
+                let best = self.sites.best_tx_beam_towards(cell, pose.position);
+                let delay =
+                    self.cfg.base.assist_processing + self.cfg.base.fault.assist_extra_delay;
+                ex.schedule_in(
+                    delay,
+                    Ev::AssistApply {
+                        ue: i as u32,
+                        cell: cell as u16,
+                        tx_beam: best,
+                    },
+                );
+            }
+            Pdu::RachPreamble { preamble, ssb_beam } => {
+                let distance = self.ues[i]
+                    .pose_at(now)
+                    .position
+                    .distance(self.cfg.base.cells[cell].position);
+                if let Some(plan) =
+                    self.responders[cell].on_preamble(now, preamble, ssb_beam, distance)
+                {
+                    ex.schedule_in(
+                        plan.delay,
+                        Ev::UeRx {
+                            ue: i as u32,
+                            cell: cell as u16,
+                            tx_beam: plan.tx_beam,
+                            pdu: plan.pdu,
+                        },
+                    );
+                }
+            }
+            Pdu::ConnectionRequest { ue, context_token } => {
+                let temp = self.ues[i].rach.as_ref().and_then(|r| r.proc.temp_ue());
+                // First Msg3 per temporary id wins contention; a loser's
+                // Msg3 goes unanswered and its timer drives the retry.
+                if let Some(plan) = self.responders[cell].on_msg3(now, temp, ue, context_token) {
+                    let tx_beam = self.ues[i].rach.as_ref().map(|r| r.ssb_beam).unwrap_or(0);
+                    ex.schedule_in(
+                        plan.delay,
+                        Ev::UeRx {
+                            ue: i as u32,
+                            cell: cell as u16,
+                            tx_beam,
+                            pdu: plan.pdu,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn send_to_bs(
+        &mut self,
+        ex: &mut Executive<Ev>,
+        now: SimTime,
+        i: usize,
+        cell: usize,
+        pdu: Pdu,
+    ) {
+        self.refresh_rach_beams(i);
+        let (tx_beam, rx_beam) = match &self.ues[i].rach {
+            Some(r) if r.target == cell => (r.ssb_beam, r.rx_beam),
+            _ => (
+                self.ues[i].bs_tx_beam[cell],
+                self.ues[i].proto.serving_rx_beam(),
+            ),
+        };
+        if let Pdu::RachPreamble { .. } = pdu {
+            // Offered-load accounting: every transmission counts, whether
+            // or not the BS ends up hearing it.
+            self.preambles_tx[cell] += 1;
+            self.occasions_used[cell].insert(now.as_nanos());
+        }
+        let r = self.link_rss(i, now, cell, tx_beam, rx_beam);
+        let faulted = self.ues[i].fault_rng.random::<f64>()
+            < self.cfg.base.fault.drop_rach_probability
+            && matches!(
+                pdu,
+                Pdu::RachPreamble { .. } | Pdu::ConnectionRequest { .. }
+            );
+        if self.delivery_ok(i, r) && !faulted {
+            ex.schedule_in(
+                AIR_DELAY,
+                Ev::BsRx {
+                    ue: i as u32,
+                    cell: cell as u16,
+                    pdu,
+                },
+            );
+        }
+    }
+
+    fn on_rach_try(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
+        self.refresh_rach_beams(i);
+        let Some(rach) = &mut self.ues[i].rach else {
+            return;
+        };
+        rach.try_pending = false;
+        if !matches!(
+            rach.proc.state(),
+            RachState::Idle | RachState::WaitingRar { .. }
+        ) {
+            return;
+        }
+        let n_preambles = self.cfg.base.prach.n_preambles.max(1);
+        let preamble: u8 = self.ues[i].rach_rng.random_range(0..n_preambles);
+        let rach = self.ues[i].rach.as_mut().unwrap();
+        let (target, ssb_beam) = (rach.target, rach.ssb_beam);
+        match rach.proc.send_preamble(now, ssb_beam, preamble) {
+            Ok(msg1) => {
+                self.ues[i].rach_attempts += 1;
+                self.send_to_bs(ex, now, i, target, msg1);
+            }
+            Err(_) => self.abort_rach(ex, now, i),
+        }
+    }
+
+    fn abort_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
+        self.ues[i].rach = None;
+        let actions = self.ues[i].proto.handle(Input::RachFailed { at: now });
+        self.apply_actions(ex, now, i, actions);
+    }
+
+    fn poll_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
+        let base_prach = self.cfg.base.prach;
+        let Some(rach) = &mut self.ues[i].rach else {
+            return;
+        };
+        let st = rach.proc.poll(now);
+        match st {
+            RachState::Idle if !rach.try_pending => {
+                let ssb = self.cfg.base.ssb(rach.target);
+                let at = base_prach.next_occasion(&ssb, now, rach.ssb_beam);
+                rach.try_pending = true;
+                ex.schedule_at(at, Ev::RachTry { ue: i as u32 });
+            }
+            RachState::Failed => self.abort_rach(ex, now, i),
+            _ => {}
+        }
+    }
+
+    fn complete_handover(&mut self, now: SimTime, i: usize) {
+        let Some(rach) = self.ues[i].rach.take() else {
+            return;
+        };
+        let hard_penalty = match self.ues[i].spec.protocol {
+            ProtocolKind::Reactive => self.cfg.base.hard_handover_penalty,
+            ProtocolKind::SilentTracker => SimDuration::ZERO,
+        };
+        let done_at = now + hard_penalty;
+        let ue = &mut self.ues[i];
+        let start = match ue.handover_reason {
+            Some(HandoverReason::NeighborStronger) => ue.trigger_at,
+            _ => ue.rlf_at.or(ue.trigger_at),
+        };
+        if let Some(s) = start {
+            ue.interruptions_ms.push(done_at.since(s).as_millis_f64());
+        }
+        ue.handovers += 1;
+        self.handovers_in[rach.target] += 1;
+        ue.serving = rach.target;
+        // Re-anchor the protocol on the new serving cell: beam management
+        // restarts there with the access beam as the serving beam (the
+        // session continues — this is what the context transfer bought).
+        ue.bank_proto();
+        ue.proto = Proto::new(
+            ue.spec.protocol,
+            self.cfg.base.tracker,
+            ue.uid,
+            CellId(rach.target as u16),
+            self.ue_codebook.clone(),
+            rach.rx_beam,
+        );
+        ue.rlf_declared = false;
+        ue.rlf_count = 0;
+        ue.handover_reason = None;
+        ue.trigger_at = None;
+        ue.rlf_at = None;
+    }
+
+    // ----- protocol actions -------------------------------------------------
+
+    fn apply_actions(
+        &mut self,
+        ex: &mut Executive<Ev>,
+        now: SimTime,
+        i: usize,
+        actions: Vec<Action>,
+    ) {
+        for a in actions {
+            match a {
+                Action::SetServingRxBeam(_) | Action::SetGapRxBeam(_) => {}
+                Action::SendToServing(pdu) => {
+                    let serving = self.ues[i].serving;
+                    self.send_to_bs(ex, now, i, serving, pdu);
+                }
+                Action::SearchFailed { .. } | Action::NeighborAcquired(_) => {}
+                Action::ExecuteHandover(directive) => self.start_rach(ex, now, i, directive),
+            }
+        }
+    }
+
+    fn start_rach(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize, d: HandoverDirective) {
+        if self.ues[i].rach.is_some() {
+            return;
+        }
+        let target = d.target.0 as usize;
+        if target == self.ues[i].serving {
+            return; // stale directive towards the current serving cell
+        }
+        let ue = &mut self.ues[i];
+        ue.trigger_at = Some(now);
+        ue.handover_reason = Some(d.reason);
+        let proc = RachProcedure::new(self.cfg.base.rach, ue.uid, ue.context_token());
+        let ssb = self.cfg.base.ssb(target);
+        let at = self.cfg.base.prach.next_occasion(&ssb, now, d.ssb_beam);
+        ue.rach = Some(RachExec {
+            target,
+            ssb_beam: d.ssb_beam,
+            rx_beam: d.rx_beam,
+            proc,
+            try_pending: true,
+        });
+        ex.schedule_at(at, Ev::RachTry { ue: i as u32 });
+    }
+
+    // ----- result collection ------------------------------------------------
+
+    fn collect(mut self, events: u64, budget_exhausted: bool) -> ShardOutcome {
+        let occasions_per_cell = |cell: usize| {
+            let ssb = self.cfg.base.ssb(cell);
+            (self.cfg.base.duration.as_nanos() / ssb.burst_period.as_nanos())
+                * ssb.n_tx_beams as u64
+        };
+        let per_cell = (0..self.sites.len())
+            .map(|c| CellLoad {
+                responder: self.responders[c].stats(),
+                preambles_tx: self.preambles_tx[c],
+                occasions_used: self.occasions_used[c].len() as u64,
+                occasions_total: occasions_per_cell(c),
+                handovers_in: self.handovers_in[c],
+            })
+            .collect();
+        let mut out = ShardOutcome {
+            per_cell,
+            ues: self.ues.len() as u64,
+            events,
+            budget_exhausted_shards: u64::from(budget_exhausted),
+            ..ShardOutcome::default()
+        };
+        for ue in &mut self.ues {
+            ue.bank_proto();
+            out.handovers += ue.handovers;
+            out.rlfs += ue.rlfs;
+            out.rach_attempts += ue.rach_attempts;
+            out.search_dwells += ue.dwells_banked;
+            out.nrba_switches += ue.nrba_banked;
+            match ue.spec.protocol {
+                ProtocolKind::SilentTracker => out
+                    .soft_interruptions_ms
+                    .extend(ue.interruptions_ms.iter().copied()),
+                ProtocolKind::Reactive => out
+                    .hard_interruptions_ms
+                    .extend(ue.interruptions_ms.iter().copied()),
+            }
+        }
+        out
+    }
+}

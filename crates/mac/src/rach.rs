@@ -136,6 +136,14 @@ impl RachProcedure {
         self.attempts
     }
 
+    /// The temporary identity assigned in the RAR, once Msg2 arrived.
+    /// Ties this procedure's Msg3 to the BS-side pending entry — under
+    /// contention two colliding UEs hold the *same* temporary id, which is
+    /// exactly what Msg4 contention resolution disambiguates.
+    pub fn temp_ue(&self) -> Option<UeId> {
+        self.temp_ue
+    }
+
     /// Transmit a preamble on the occasion for `ssb_beam` (caller chose
     /// `preamble` from the pool). Valid from `Idle` or after a timeout
     /// re-arm. Returns the Msg1 to send.

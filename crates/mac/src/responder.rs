@@ -9,6 +9,21 @@
 //! a backhaul round trip in that case. A token of zero is a fresh (hard)
 //! connection admitted immediately — the mobile instead pays connection
 //! re-establishment above the MAC.
+//!
+//! Under load the responder models two multi-UE effects:
+//!
+//! * **Preamble collisions.** Two UEs transmitting the same preamble on
+//!   the same PRACH occasion are indistinguishable at Msg1: the BS sends
+//!   one RAR with one temporary id, both UEs answer with Msg3 on the same
+//!   grant, and only the first-decoded Msg3 wins contention resolution —
+//!   the loser's Msg3 goes unanswered and its contention-resolution timer
+//!   expiry drives the back-off-and-retry. Duplicate preambles arriving
+//!   *within* [`ResponderConfig::collision_window`] of the pending entry
+//!   are collisions; later duplicates are retransmissions by the same UE.
+//! * **Backhaul serialization.** Soft-handover context fetches share one
+//!   backhaul pipe per cell: concurrent fetches queue FIFO, so Msg4
+//!   latency grows with handover load — the fleet engine's per-cell
+//!   context-fetch queue.
 
 use crate::pdu::{Pdu, UeId};
 use crate::timing::TxBeamIndex;
@@ -25,6 +40,16 @@ pub struct ResponderConfig {
     pub backhaul_latency: SimDuration,
     /// Admission control: maximum simultaneous RACH procedures.
     pub max_pending: usize,
+    /// Duplicate preambles arriving within this window of an existing
+    /// pending entry are a *collision* (distinct UEs on one occasion);
+    /// later duplicates are retransmissions. Must be shorter than any
+    /// retry period.
+    pub collision_window: SimDuration,
+    /// Pending entries older than this are garbage-collected on the next
+    /// Msg1 (the procedure concluded or timed out long ago). Must exceed
+    /// the whole Msg1→Msg4 exchange including contention-resolution
+    /// timers, or a live procedure loses its winner bookkeeping.
+    pub pending_ttl: SimDuration,
 }
 
 impl ResponderConfig {
@@ -34,6 +59,8 @@ impl ResponderConfig {
             msg4_delay: SimDuration::from_millis(2),
             backhaul_latency: SimDuration::from_millis(3),
             max_pending: 16,
+            collision_window: SimDuration::from_millis(1),
+            pending_ttl: SimDuration::from_millis(50),
         }
     }
 }
@@ -57,6 +84,9 @@ pub struct Msg4Plan {
     /// Whether a context fetch from the source cell is required first
     /// (already included in `delay`).
     pub soft: bool,
+    /// Time the fetch spent queued behind other fetches on this cell's
+    /// backhaul (already included in `delay`; zero when uncontended).
+    pub queue_wait: SimDuration,
 }
 
 /// One in-flight procedure, BS side.
@@ -66,6 +96,33 @@ struct Pending {
     ssb_beam: TxBeamIndex,
     temp_ue: UeId,
     started: SimTime,
+    /// A second UE transmitted this preamble on the same occasion.
+    collided: bool,
+    /// The UE whose Msg3 was decoded first (contention winner).
+    winner: Option<UeId>,
+    /// The winner's soft-handover context fetch already ran: a Msg3
+    /// retransmission (lost Msg4) is re-answered from the cached context
+    /// without paying — or charging — the backhaul again.
+    context_fetched: bool,
+}
+
+/// Load/contention counters of one responder, for fleet-level metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponderStats {
+    /// Msg1 receptions (including retransmissions and collisions).
+    pub preambles_heard: u64,
+    /// Occasions on which ≥ 2 UEs chose the same preamble.
+    pub collisions: u64,
+    /// RARs transmitted.
+    pub rar_sent: u64,
+    /// Msg3s that lost contention resolution (went unanswered).
+    pub contention_losses: u64,
+    /// Preambles dropped by admission control.
+    pub rejected: u64,
+    /// Soft-handover context fetches served.
+    pub context_fetches: u64,
+    /// Total time fetches spent queued behind the per-cell backhaul.
+    pub backhaul_queue_wait: SimDuration,
 }
 
 /// BS-side RACH responder.
@@ -74,8 +131,9 @@ pub struct RachResponder {
     pub config: ResponderConfig,
     pending: Vec<Pending>,
     next_temp: u32,
-    /// Procedures abandoned because the table was full.
-    pub rejected: u64,
+    /// The per-cell backhaul pipe is busy until this instant.
+    backhaul_busy_until: SimTime,
+    stats: ResponderStats,
 }
 
 impl RachResponder {
@@ -84,7 +142,8 @@ impl RachResponder {
             config,
             pending: Vec::new(),
             next_temp: 1000,
-            rejected: 0,
+            backhaul_busy_until: SimTime::ZERO,
+            stats: ResponderStats::default(),
         }
     }
 
@@ -92,9 +151,18 @@ impl RachResponder {
         self.pending.len()
     }
 
+    pub fn stats(&self) -> ResponderStats {
+        self.stats
+    }
+
     /// Handle Msg1. Returns the RAR plan, or `None` when admission
     /// control rejects the preamble (the mobile's RAR window will lapse
     /// and it retries — exactly the congestion behaviour of real PRACH).
+    ///
+    /// A duplicate (preamble, beam) within [`ResponderConfig::collision_window`]
+    /// of the original is a collision: the second UE is answered with the
+    /// *same* RAR (the BS cannot tell them apart), and Msg4 contention
+    /// resolution later picks one winner.
     pub fn on_preamble(
         &mut self,
         now: SimTime,
@@ -102,17 +170,22 @@ impl RachResponder {
         ssb_beam: TxBeamIndex,
         distance_m: f64,
     ) -> Option<RarPlan> {
-        // Duplicate preamble on the same beam: answer again with the same
-        // temporary id (the first RAR may have been lost).
+        self.expire(now, self.config.pending_ttl);
+        self.stats.preambles_heard += 1;
+        let window = self.config.collision_window;
         let temp_ue = if let Some(p) = self
             .pending
-            .iter()
+            .iter_mut()
             .find(|p| p.preamble == preamble && p.ssb_beam == ssb_beam)
         {
+            if now.since(p.started) <= window && !p.collided {
+                p.collided = true;
+                self.stats.collisions += 1;
+            }
             p.temp_ue
         } else {
             if self.pending.len() >= self.config.max_pending {
-                self.rejected += 1;
+                self.stats.rejected += 1;
                 return None;
             }
             let temp = UeId(self.next_temp);
@@ -122,10 +195,14 @@ impl RachResponder {
                 ssb_beam,
                 temp_ue: temp,
                 started: now,
+                collided: false,
+                winner: None,
+                context_fetched: false,
             });
             temp
         };
         let ta = crate::timing::TimingAdvance::from_distance_m(distance_m);
+        self.stats.rar_sent += 1;
         Some(RarPlan {
             delay: self.config.rar_delay,
             tx_beam: ssb_beam,
@@ -137,20 +214,60 @@ impl RachResponder {
         })
     }
 
-    /// Handle Msg3 (connection request). Always admits in this model;
-    /// the delay embeds the backhaul context fetch for soft handovers.
-    pub fn on_connection_request(&mut self, ue: UeId, context_token: u64) -> Msg4Plan {
+    /// Handle Msg3 (connection request) sent under temporary id `temp_ue`.
+    ///
+    /// The first Msg3 per pending entry wins contention and is answered;
+    /// a *different* UE's Msg3 under the same temporary id lost the
+    /// Msg3 grant collision and gets no reply (`None`) — its
+    /// contention-resolution timer expiry drives the retry. A winner
+    /// retransmitting Msg3 (its Msg4 was lost) is re-answered from the
+    /// already-fetched context — no second backhaul fetch is paid or
+    /// counted. `temp_ue == None` (no matching pending entry) admits
+    /// unconditionally — the uncontended path.
+    ///
+    /// The returned delay embeds the backhaul context fetch for soft
+    /// handovers, serialized through this cell's FIFO backhaul pipe.
+    pub fn on_msg3(
+        &mut self,
+        now: SimTime,
+        temp_ue: Option<UeId>,
+        ue: UeId,
+        context_token: u64,
+    ) -> Option<Msg4Plan> {
+        let mut cached = false;
+        if let Some(temp) = temp_ue {
+            if let Some(p) = self.pending.iter_mut().find(|p| p.temp_ue == temp) {
+                match p.winner {
+                    Some(w) if w != ue => {
+                        self.stats.contention_losses += 1;
+                        return None;
+                    }
+                    _ => p.winner = Some(ue),
+                }
+                cached = p.context_fetched;
+                if context_token != 0 {
+                    p.context_fetched = true;
+                }
+            }
+        }
         let soft = context_token != 0;
-        let extra = if soft {
-            self.config.backhaul_latency * 2
+        let (extra, queue_wait) = if soft && !cached {
+            let fetch_start = self.backhaul_busy_until.max(now);
+            let wait = fetch_start.since(now);
+            let rtt = self.config.backhaul_latency * 2;
+            self.backhaul_busy_until = fetch_start + rtt;
+            self.stats.context_fetches += 1;
+            self.stats.backhaul_queue_wait = self.stats.backhaul_queue_wait + wait;
+            (wait + rtt, wait)
         } else {
-            SimDuration::ZERO
+            (SimDuration::ZERO, SimDuration::ZERO)
         };
-        Msg4Plan {
+        Some(Msg4Plan {
             delay: self.config.msg4_delay + extra,
             pdu: Pdu::ContentionResolution { ue, accepted: true },
             soft,
-        }
+            queue_wait,
+        })
     }
 
     /// Resolve (drop) state for completed/expired procedures older than
@@ -191,6 +308,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(r.pending_count(), 1);
+        assert_eq!(r.stats().rar_sent, 1);
     }
 
     #[test]
@@ -204,6 +322,8 @@ mod tests {
         };
         assert_eq!(id(&a.pdu), id(&b.pdu));
         assert_eq!(r.pending_count(), 1);
+        // 5 ms apart: a retransmission, not a same-occasion collision.
+        assert_eq!(r.stats().collisions, 0);
     }
 
     #[test]
@@ -213,6 +333,52 @@ mod tests {
         let b = r.on_preamble(t(0), 2, 0, 100.0).unwrap();
         assert_ne!(a.pdu, b.pdu);
         assert_eq!(r.pending_count(), 2);
+        assert_eq!(r.stats().collisions, 0);
+    }
+
+    #[test]
+    fn same_occasion_duplicate_is_a_collision() {
+        let mut r = resp();
+        let a = r.on_preamble(t(0), 9, 2, 100.0).unwrap();
+        // A second UE, same preamble, same occasion (arrivals µs apart).
+        let b = r
+            .on_preamble(t(0) + SimDuration::from_micros(3), 9, 2, 140.0)
+            .unwrap();
+        let id = |p: &Pdu| match p {
+            Pdu::RachResponse { temp_ue, .. } => *temp_ue,
+            _ => unreachable!(),
+        };
+        // Indistinguishable at Msg1: both get the same temporary id.
+        assert_eq!(id(&a.pdu), id(&b.pdu));
+        assert_eq!(r.stats().collisions, 1);
+        assert_eq!(r.stats().preambles_heard, 2);
+        // A third colliding UE does not double-count the occasion.
+        r.on_preamble(t(0) + SimDuration::from_micros(6), 9, 2, 90.0);
+        assert_eq!(r.stats().collisions, 1);
+    }
+
+    #[test]
+    fn contention_resolution_first_msg3_wins() {
+        let mut r = resp();
+        let plan = r.on_preamble(t(0), 9, 2, 100.0).unwrap();
+        let temp = match plan.pdu {
+            Pdu::RachResponse { temp_ue, .. } => temp_ue,
+            _ => unreachable!(),
+        };
+        r.on_preamble(t(0), 9, 2, 140.0); // collider
+        let win = r.on_msg3(t(5), Some(temp), UeId(7), 0xAB).unwrap();
+        assert!(matches!(
+            win.pdu,
+            Pdu::ContentionResolution {
+                ue: UeId(7),
+                accepted: true
+            }
+        ));
+        // The loser's Msg3 goes unanswered...
+        assert!(r.on_msg3(t(5), Some(temp), UeId(8), 0xCD).is_none());
+        assert_eq!(r.stats().contention_losses, 1);
+        // ...while the winner retransmitting is re-answered.
+        assert!(r.on_msg3(t(6), Some(temp), UeId(7), 0xAB).is_some());
     }
 
     #[test]
@@ -224,14 +390,14 @@ mod tests {
         assert!(r.on_preamble(t(0), 1, 0, 10.0).is_some());
         assert!(r.on_preamble(t(0), 2, 0, 10.0).is_some());
         assert!(r.on_preamble(t(0), 3, 0, 10.0).is_none());
-        assert_eq!(r.rejected, 1);
+        assert_eq!(r.stats().rejected, 1);
     }
 
     #[test]
     fn soft_handover_pays_backhaul_round_trip() {
         let mut r = resp();
-        let soft = r.on_connection_request(UeId(7), 0xABCD);
-        let hard = r.on_connection_request(UeId(8), 0);
+        let soft = r.on_msg3(t(0), None, UeId(7), 0xABCD).unwrap();
+        let hard = r.on_msg3(t(0), None, UeId(8), 0).unwrap();
         assert!(soft.soft && !hard.soft);
         assert_eq!(
             soft.delay,
@@ -242,6 +408,64 @@ mod tests {
             soft.pdu,
             Pdu::ContentionResolution { accepted: true, .. }
         ));
+    }
+
+    #[test]
+    fn winner_msg3_retransmission_reuses_fetched_context() {
+        let mut r = resp();
+        let plan = r.on_preamble(t(0), 9, 2, 100.0).unwrap();
+        let temp = match plan.pdu {
+            Pdu::RachResponse { temp_ue, .. } => temp_ue,
+            _ => unreachable!(),
+        };
+        let first = r.on_msg3(t(3), Some(temp), UeId(7), 0xAB).unwrap();
+        assert_eq!(first.delay, SimDuration::from_millis(2 + 6));
+        // Msg4 lost; the winner retransmits Msg3. The context is already
+        // at the target: answered at processing delay only, no second
+        // fetch charged to the backhaul stats.
+        let retry = r.on_msg3(t(30), Some(temp), UeId(7), 0xAB).unwrap();
+        assert_eq!(retry.delay, SimDuration::from_millis(2));
+        assert_eq!(retry.queue_wait, SimDuration::ZERO);
+        assert_eq!(r.stats().context_fetches, 1);
+        assert_eq!(r.stats().backhaul_queue_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backhaul_fetches_serialize_fifo() {
+        let mut r = resp();
+        // Three soft handovers land in quick succession; the 6 ms fetches
+        // queue behind each other on the one backhaul pipe.
+        let a = r.on_msg3(t(0), None, UeId(1), 0x1).unwrap();
+        let b = r.on_msg3(t(1), None, UeId(2), 0x2).unwrap();
+        let c = r.on_msg3(t(2), None, UeId(3), 0x3).unwrap();
+        assert_eq!(a.queue_wait, SimDuration::ZERO);
+        // b arrives at 1 ms; pipe busy until 6 ms → waits 5 ms.
+        assert_eq!(b.queue_wait, SimDuration::from_millis(5));
+        // c arrives at 2 ms; pipe busy until 12 ms → waits 10 ms.
+        assert_eq!(c.queue_wait, SimDuration::from_millis(10));
+        assert_eq!(c.delay, SimDuration::from_millis(2 + 10 + 6));
+        assert_eq!(r.stats().context_fetches, 3);
+        assert_eq!(r.stats().backhaul_queue_wait, SimDuration::from_millis(15));
+        // Hard admissions never touch the pipe.
+        let hard = r.on_msg3(t(3), None, UeId(4), 0).unwrap();
+        assert_eq!(hard.queue_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stale_entries_gc_on_next_preamble() {
+        let mut r = resp();
+        let a = r.on_preamble(t(0), 7, 1, 50.0).unwrap();
+        // The winner of the first procedure is long gone; a fresh UE
+        // reusing preamble 7 must get a fresh identity, not inherit the
+        // stale entry (which would make it lose contention forever).
+        r.on_msg3(t(5), None, UeId(1), 0x1);
+        let b = r.on_preamble(t(200), 7, 1, 80.0).unwrap();
+        let id = |p: &Pdu| match p {
+            Pdu::RachResponse { temp_ue, .. } => *temp_ue,
+            _ => unreachable!(),
+        };
+        assert_ne!(id(&a.pdu), id(&b.pdu));
+        assert_eq!(r.pending_count(), 1);
     }
 
     #[test]

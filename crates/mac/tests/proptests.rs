@@ -1,8 +1,13 @@
-//! Property tests: PDU codec round-trips and schedule arithmetic.
+//! Property tests: PDU codec round-trips, schedule arithmetic, and RACH
+//! preamble-collision resolution.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng as _};
 use st_des::{SimDuration, SimTime};
 use st_mac::pdu::{CellId, Pdu, UeId};
+use st_mac::rach::{RachConfig, RachProcedure, RachState};
+use st_mac::responder::{RachResponder, ResponderConfig};
 use st_mac::schedule::GapSchedule;
 use st_mac::timing::SsbConfig;
 use st_mac::PrachConfig;
@@ -112,6 +117,74 @@ proptest! {
                 prop_assert!(g.in_gap(t));
             }
         }
+    }
+
+    /// Two UEs transmitting the *same preamble on the same PRACH occasion*
+    /// must both back off through contention resolution and eventually
+    /// both connect, no matter how the subsequent (seeded) preamble draws
+    /// fall — including repeat collisions from the tiny 4-preamble pool.
+    #[test]
+    fn colliding_ues_both_eventually_resolve(seed in 0u64..256) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut responder = RachResponder::new(ResponderConfig::nr_default());
+        let rach_cfg = RachConfig::nr_default();
+        let mut procs = [
+            RachProcedure::new(rach_cfg, UeId(1), 0xA1),
+            RachProcedure::new(rach_cfg, UeId(2), 0xA2),
+        ];
+        let occasion_spacing = SimDuration::from_millis(20);
+        let air = SimDuration::from_micros(500);
+        let beam = 3u16;
+        let n_preambles = 4u8;
+
+        let mut connected = [false, false];
+        for k in 0..16u64 {
+            let occasion = SimTime::ZERO + occasion_spacing * k;
+            // Expire timers so a UE that lost contention returns to Idle.
+            for p in &mut procs {
+                p.poll(occasion);
+            }
+            // Collect this occasion's transmissions (both UEs transmit at
+            // the same instant — that is what a PRACH occasion is).
+            for (i, proc) in procs.iter_mut().enumerate() {
+                if connected[i] || !matches!(proc.state(), RachState::Idle) {
+                    continue;
+                }
+                // Occasion 0 forces the collision; later draws are random.
+                let preamble = if k == 0 { 0 } else { rng.random_range(0..n_preambles) };
+                let Ok(msg1) = proc.send_preamble(occasion, beam, preamble) else {
+                    continue;
+                };
+                let Pdu::RachPreamble { preamble, ssb_beam } = msg1 else { unreachable!() };
+                let rar = responder.on_preamble(occasion + air, preamble, ssb_beam, 120.0);
+                // Deliver the RAR and, if Msg3 follows, run it through
+                // contention resolution.
+                if let Some(plan) = rar {
+                    let rar_at = occasion + air + plan.delay;
+                    if let st_mac::rach::RachAction::Transmit(msg3) = proc.on_pdu(rar_at, &plan.pdu) {
+                        let Pdu::ConnectionRequest { ue, context_token } = msg3 else { unreachable!() };
+                        let msg3_at = rar_at + air;
+                        if let Some(m4) = responder.on_msg3(msg3_at, proc.temp_ue(), ue, context_token) {
+                            proc.on_pdu(msg3_at + m4.delay, &m4.pdu);
+                            if proc.state() == RachState::Connected {
+                                connected[i] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if connected.iter().all(|&c| c) {
+                break;
+            }
+        }
+
+        // The forced same-preamble occasion was observed as a collision…
+        prop_assert!(responder.stats().collisions >= 1,
+            "no collision recorded: {:?}", responder.stats());
+        // …and both UEs resolved within their retry budgets.
+        prop_assert!(connected[0] && connected[1],
+            "unresolved after 16 occasions: {connected:?} stats={:?}", responder.stats());
+        prop_assert!(responder.stats().contention_losses >= 1);
     }
 
     #[test]

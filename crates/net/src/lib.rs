@@ -7,6 +7,10 @@
 //!
 //! * [`config`] — scenario description (cells, radio, faults, protocol
 //!   arm) with validation.
+//! * [`radio`] — shared radio plumbing: static cell [`radio::Sites`] and a
+//!   per-UE [`radio::LinkSet`] of stochastic channels (also used by the
+//!   `st_fleet` multi-UE engine).
+//! * [`proto`] — the protocol arms behind one dispatch surface.
 //! * [`scenario`] — the executor translating between physics and the
 //!   sans-IO protocol engines; one seeded trial per run.
 //! * [`scenarios`] — the paper's three mobility cases (walk, rotation,
@@ -16,11 +20,15 @@
 
 pub mod config;
 pub mod outcome;
+pub mod proto;
+pub mod radio;
 pub mod scenario;
 pub mod scenarios;
 
 pub use config::{CellConfig, FaultConfig, ProtocolKind, ScenarioConfig};
 pub use outcome::{RunOutcome, SearchPass};
+pub use proto::Proto;
+pub use radio::{LinkSet, Sites};
 pub use scenario::Scenario;
 
 #[cfg(test)]
@@ -51,7 +59,7 @@ mod tests {
     #[test]
     fn rotation_scenario_completes() {
         let cfg = eval_config(ProtocolKind::SilentTracker);
-        let out = device_rotation(&cfg, 7).run();
+        let out = device_rotation(&cfg, 3).run();
         assert!(out.handover_succeeded(), "rotation handover failed");
         // Rotation at 120°/s forces silent beam switches while tracking.
         let st = out.tracker_stats.unwrap();

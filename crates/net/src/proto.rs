@@ -1,0 +1,110 @@
+//! The protocol under test behind one dispatch surface, shared by the
+//! single-UE executor and the fleet engine.
+//!
+//! Both arms are sans-IO state machines from the `silent-tracker` crate;
+//! this enum erases which one a given UE runs so the executors can drive
+//! heterogeneous populations through one code path.
+
+use silent_tracker::tracker::{Action, Input, SilentTracker, TrackerStats};
+use silent_tracker::{ReactiveHandover, TrackerConfig};
+use st_mac::pdu::{CellId, UeId};
+use st_mac::timing::TxBeamIndex;
+use st_phy::codebook::{BeamId, Codebook};
+use st_phy::units::Dbm;
+
+use crate::config::ProtocolKind;
+
+/// Protocol under test, behind one dispatch surface.
+pub enum Proto {
+    Silent(Box<SilentTracker>),
+    Reactive(Box<ReactiveHandover>),
+}
+
+impl std::fmt::Debug for Proto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Proto::Silent(_) => write!(f, "Proto::Silent"),
+            Proto::Reactive(_) => write!(f, "Proto::Reactive"),
+        }
+    }
+}
+
+impl Proto {
+    /// Build the protocol arm `kind`, already attached to `serving` on
+    /// `serving_rx` (initial access happened before the scenario starts).
+    pub fn new(
+        kind: ProtocolKind,
+        config: TrackerConfig,
+        ue: UeId,
+        serving: CellId,
+        codebook: Codebook,
+        serving_rx: BeamId,
+    ) -> Proto {
+        match kind {
+            ProtocolKind::SilentTracker => Proto::Silent(Box::new(SilentTracker::new(
+                config, ue, serving, codebook, serving_rx,
+            ))),
+            ProtocolKind::Reactive => Proto::Reactive(Box::new(ReactiveHandover::new(
+                config, ue, serving, codebook, serving_rx,
+            ))),
+        }
+    }
+
+    pub fn kind(&self) -> ProtocolKind {
+        match self {
+            Proto::Silent(_) => ProtocolKind::SilentTracker,
+            Proto::Reactive(_) => ProtocolKind::Reactive,
+        }
+    }
+
+    pub fn handle(&mut self, input: Input) -> Vec<Action> {
+        match self {
+            Proto::Silent(t) => t.handle(input),
+            Proto::Reactive(r) => r.handle(input),
+        }
+    }
+
+    pub fn serving_rx_beam(&self) -> BeamId {
+        match self {
+            Proto::Silent(t) => t.serving_rx_beam(),
+            Proto::Reactive(r) => r.serving_rx_beam(),
+        }
+    }
+
+    pub fn gap_rx_beam(&self) -> BeamId {
+        match self {
+            Proto::Silent(t) => t.gap_rx_beam(),
+            Proto::Reactive(r) => r.gap_rx_beam(),
+        }
+    }
+
+    pub fn search_dwells(&self) -> u64 {
+        match self {
+            Proto::Silent(t) => t.stats().search_dwells,
+            Proto::Reactive(r) => r.search_dwells(),
+        }
+    }
+
+    pub fn tracked(&self) -> Option<(CellId, TxBeamIndex, BeamId)> {
+        match self {
+            Proto::Silent(t) => t.tracked(),
+            Proto::Reactive(_) => None,
+        }
+    }
+
+    /// Smoothed tracked-neighbor level (Silent Tracker arm only).
+    pub fn neighbor_level(&self) -> Option<Dbm> {
+        match self {
+            Proto::Silent(t) => t.neighbor_level(),
+            Proto::Reactive(_) => None,
+        }
+    }
+
+    /// Protocol counters (Silent Tracker arm only).
+    pub fn stats(&self) -> Option<TrackerStats> {
+        match self {
+            Proto::Silent(t) => Some(t.stats()),
+            Proto::Reactive(_) => None,
+        }
+    }
+}

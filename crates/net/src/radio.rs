@@ -1,0 +1,230 @@
+//! Radio plumbing shared by the single-UE executor and the fleet engine:
+//! the static cell sites (poses + transmit codebooks) and one mobile's set
+//! of stochastic links to every cell.
+//!
+//! The single-UE [`crate::scenario::Scenario`] owns exactly one [`LinkSet`];
+//! a fleet simulation owns one per UE, all sharing the same [`Sites`]. RNG
+//! streams are derived per link, so adding UEs never perturbs the channel
+//! draws of existing ones.
+
+use rand::rngs::StdRng;
+
+use st_des::{RngStreams, SimTime};
+use st_mac::timing::{SsbConfig, TxBeamIndex};
+use st_phy::channel::{ChannelConfig, Environment};
+use st_phy::codebook::{BeamId, Codebook};
+use st_phy::geometry::Pose;
+use st_phy::link::{rss, RadioConfig};
+use st_phy::units::Dbm;
+use st_phy::LinkChannel;
+
+use crate::config::CellConfig;
+
+/// The static side of a deployment: every base station's pose, transmit
+/// codebook and SSB sweep, plus the propagation environment and the radio
+/// front-end parameters shared by all links.
+#[derive(Debug, Clone)]
+pub struct Sites {
+    pub cells: Vec<CellConfig>,
+    pub codebooks: Vec<Codebook>,
+    pub environment: Environment,
+    pub radio: RadioConfig,
+    pub channel: ChannelConfig,
+}
+
+impl Sites {
+    pub fn new(
+        cells: Vec<CellConfig>,
+        environment: Environment,
+        radio: RadioConfig,
+        channel: ChannelConfig,
+    ) -> Sites {
+        let codebooks = cells
+            .iter()
+            .map(|c| Codebook::uniform_sectored(c.n_tx_beams as usize, st_phy::Degrees(30.0)))
+            .collect();
+        Sites {
+            cells,
+            codebooks,
+            environment,
+            radio,
+            channel,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    pub fn pose(&self, cell: usize) -> Pose {
+        Pose::new(self.cells[cell].position, self.cells[cell].heading)
+    }
+
+    /// SSB sweep configuration of cell `idx`.
+    pub fn ssb(&self, idx: usize) -> SsbConfig {
+        SsbConfig::nr_fr2(self.cells[idx].n_tx_beams)
+    }
+
+    /// The transmit beam whose boresight best covers the given UE position
+    /// (what the BS converges to after re-training towards that UE).
+    pub fn best_tx_beam_towards(&self, cell: usize, ue_position: st_phy::Vec2) -> TxBeamIndex {
+        self.codebooks[cell]
+            .best_beam_towards(self.pose(cell).local_bearing_to(ue_position))
+            .0
+    }
+}
+
+/// One mobile's stochastic links to every cell: a [`LinkChannel`] plus its
+/// dedicated RNG stream per (this UE, cell) pair, advanced together.
+#[derive(Debug)]
+pub struct LinkSet {
+    channels: Vec<LinkChannel>,
+    rngs: Vec<StdRng>,
+    last_step: SimTime,
+}
+
+impl LinkSet {
+    /// Streams labelled exactly as the single-UE executor always labelled
+    /// them (`"channel"` × cell index), preserving seeded baselines.
+    pub fn single_ue(streams: &RngStreams, config: ChannelConfig, n_cells: usize) -> LinkSet {
+        Self::build(
+            config,
+            (0..n_cells).map(|i| streams.stream_indexed("channel", i as u64)),
+        )
+    }
+
+    /// Streams for UE number `ue` of a fleet; disjoint from every other
+    /// UE's streams and from the single-UE labels.
+    pub fn for_ue(streams: &RngStreams, config: ChannelConfig, n_cells: usize, ue: u64) -> LinkSet {
+        Self::build(
+            config,
+            (0..n_cells).map(|i| streams.stream_indexed("fleet-channel", (ue << 20) | i as u64)),
+        )
+    }
+
+    fn build(config: ChannelConfig, rngs: impl Iterator<Item = StdRng>) -> LinkSet {
+        let mut rngs: Vec<StdRng> = rngs.collect();
+        let channels = rngs
+            .iter_mut()
+            .map(|rng| LinkChannel::new(rng, config))
+            .collect();
+        LinkSet {
+            channels,
+            rngs,
+            last_step: SimTime::ZERO,
+        }
+    }
+
+    /// Advance every link's time-correlated processes to `now`.
+    pub fn step_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_step).as_secs_f64();
+        if dt > 0.0 {
+            for (ch, rng) in self.channels.iter_mut().zip(self.rngs.iter_mut()) {
+                ch.step(rng, dt);
+            }
+            self.last_step = now;
+        }
+    }
+
+    /// Downlink RSS from `cell` on (`tx_beam`, `rx_beam`) for a UE at
+    /// `ue_pose`. By channel reciprocity the same figure serves the uplink.
+    pub fn rss(
+        &mut self,
+        sites: &Sites,
+        cell: usize,
+        tx_beam: TxBeamIndex,
+        ue_pose: Pose,
+        ue_codebook: &Codebook,
+        rx_beam: BeamId,
+    ) -> Option<Dbm> {
+        let bs = sites.pose(cell);
+        let paths = self.channels[cell].paths(
+            &mut self.rngs[cell],
+            &sites.environment,
+            bs.position,
+            ue_pose.position,
+        );
+        rss(
+            sites.radio.tx_power,
+            bs,
+            &sites.codebooks[cell],
+            BeamId(tx_beam),
+            ue_pose,
+            ue_codebook,
+            rx_beam,
+            &paths,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_phy::codebook::BeamwidthClass;
+    use st_phy::geometry::{Radians, Vec2};
+    use st_phy::link::detectable;
+
+    fn sites() -> Sites {
+        Sites::new(
+            vec![CellConfig::at(-40.0, 10.0), CellConfig::at(40.0, 10.0)],
+            Environment::street_canyon(200.0, 30.0),
+            RadioConfig::ni_60ghz_testbed(),
+            ChannelConfig::deterministic(),
+        )
+    }
+
+    #[test]
+    fn sites_expose_geometry_and_sweeps() {
+        let s = sites();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.pose(1).position, Vec2::new(40.0, 10.0));
+        assert_eq!(s.ssb(0).n_tx_beams, 16);
+        let beam = s.best_tx_beam_towards(0, Vec2::new(0.0, 0.0));
+        assert!(beam < 16);
+    }
+
+    #[test]
+    fn linkset_rss_is_detectable_on_good_geometry() {
+        let s = sites();
+        let streams = RngStreams::new(1);
+        let mut links = LinkSet::single_ue(&streams, s.channel, s.len());
+        let ue_pose = Pose::new(Vec2::new(-30.0, 0.0), Radians(0.0));
+        let ue_cb = Codebook::for_class(BeamwidthClass::Narrow);
+        let tx = s.best_tx_beam_towards(0, ue_pose.position);
+        let rx = ue_cb.best_beam_towards(ue_pose.local_bearing_to(s.cells[0].position));
+        let r = links
+            .rss(&s, 0, tx, ue_pose, &ue_cb, rx)
+            .expect("paths exist");
+        assert!(detectable(r, &s.radio), "{r}");
+    }
+
+    #[test]
+    fn per_ue_streams_are_disjoint() {
+        let s = sites();
+        let streams = RngStreams::new(9);
+        let mut a = LinkSet::for_ue(&streams, s.channel, s.len(), 0);
+        let mut b = LinkSet::for_ue(&streams, s.channel, s.len(), 1);
+        let ue_pose = Pose::new(Vec2::new(0.0, 0.0), Radians(0.0));
+        let ue_cb = Codebook::for_class(BeamwidthClass::Narrow);
+        // Different UEs see different shadowing states on the same link.
+        a.step_to(SimTime::ZERO + st_des::SimDuration::from_secs(5));
+        b.step_to(SimTime::ZERO + st_des::SimDuration::from_secs(5));
+        let mut cfg = s.channel;
+        cfg.shadowing_sigma_db = 6.0;
+        let s2 = Sites::new(s.cells.clone(), s.environment.clone(), s.radio, cfg);
+        let mut a2 = LinkSet::for_ue(&streams, cfg, s2.len(), 0);
+        let mut b2 = LinkSet::for_ue(&streams, cfg, s2.len(), 1);
+        let ra = a2.rss(&s2, 0, 8, ue_pose, &ue_cb, BeamId(0)).unwrap();
+        let rb = b2.rss(&s2, 0, 8, ue_pose, &ue_cb, BeamId(0)).unwrap();
+        assert_ne!(ra, rb);
+        // Same UE id reproduces the same draw.
+        let mut a3 = LinkSet::for_ue(&streams, cfg, s2.len(), 0);
+        let ra3 = a3.rss(&s2, 0, 8, ue_pose, &ue_cb, BeamId(0)).unwrap();
+        assert_eq!(ra, ra3);
+    }
+}

@@ -22,8 +22,8 @@
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
-use silent_tracker::tracker::{Action, HandoverDirective, Input, SilentTracker};
-use silent_tracker::{HandoverReason, ReactiveHandover};
+use silent_tracker::tracker::{Action, HandoverDirective, Input};
+use silent_tracker::HandoverReason;
 use st_des::{Control, Executive, RngStreams, SimDuration, SimTime, Trace, TraceLevel};
 use st_mac::pdu::{CellId, Pdu, UeId};
 use st_mac::rach::{RachProcedure, RachState};
@@ -32,12 +32,13 @@ use st_mac::timing::TxBeamIndex;
 use st_mobility::BoxedModel;
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::geometry::Pose;
-use st_phy::link::{acquirable, detectable, packet_success_probability, rss, snr};
+use st_phy::link::{acquirable, detectable, packet_success_probability, snr};
 use st_phy::units::Dbm;
-use st_phy::LinkChannel;
 
 use crate::config::{ProtocolKind, ScenarioConfig};
 use crate::outcome::{RunOutcome, SearchPass};
+use crate::proto::Proto;
+use crate::radio::{LinkSet, Sites};
 
 /// Simulation events.
 #[derive(Debug, Clone)]
@@ -66,49 +67,6 @@ enum Ev {
     RachTry,
 }
 
-/// Protocol under test, behind one dispatch surface.
-enum Proto {
-    Silent(Box<SilentTracker>),
-    Reactive(Box<ReactiveHandover>),
-}
-
-impl Proto {
-    fn handle(&mut self, input: Input) -> Vec<Action> {
-        match self {
-            Proto::Silent(t) => t.handle(input),
-            Proto::Reactive(r) => r.handle(input),
-        }
-    }
-
-    fn serving_rx_beam(&self) -> BeamId {
-        match self {
-            Proto::Silent(t) => t.serving_rx_beam(),
-            Proto::Reactive(r) => r.serving_rx_beam(),
-        }
-    }
-
-    fn gap_rx_beam(&self) -> BeamId {
-        match self {
-            Proto::Silent(t) => t.gap_rx_beam(),
-            Proto::Reactive(r) => r.gap_rx_beam(),
-        }
-    }
-
-    fn search_dwells(&self) -> u64 {
-        match self {
-            Proto::Silent(t) => t.stats().search_dwells,
-            Proto::Reactive(r) => r.search_dwells(),
-        }
-    }
-
-    fn tracked(&self) -> Option<(CellId, TxBeamIndex, BeamId)> {
-        match self {
-            Proto::Silent(t) => t.tracked(),
-            Proto::Reactive(_) => None,
-        }
-    }
-}
-
 /// In-flight random access towards the handover target.
 struct RachExec {
     target: usize,
@@ -128,12 +86,10 @@ struct World {
     cfg: ScenarioConfig,
     mobility: BoxedModel,
     ue_codebook: Codebook,
-    bs_codebooks: Vec<Codebook>,
-    channels: Vec<LinkChannel>,
-    chan_rngs: Vec<StdRng>,
+    sites: Sites,
+    links: LinkSet,
     rach_rng: StdRng,
     fault_rng: StdRng,
-    last_channel_step: SimTime,
 
     proto: Proto,
     serving: usize,
@@ -180,51 +136,33 @@ impl Scenario {
             .custom_ue_codebook
             .clone()
             .unwrap_or_else(|| Codebook::for_class(cfg.ue_codebook));
-        let bs_codebooks: Vec<Codebook> = cfg
-            .cells
-            .iter()
-            .map(|c| Codebook::uniform_sectored(c.n_tx_beams as usize, st_phy::Degrees(30.0)))
-            .collect();
-        let mut chan_rngs: Vec<StdRng> = (0..cfg.cells.len())
-            .map(|i| streams.stream_indexed("channel", i as u64))
-            .collect();
-        let channels: Vec<LinkChannel> = chan_rngs
-            .iter_mut()
-            .map(|rng| LinkChannel::new(rng, cfg.channel))
-            .collect();
+        let sites = Sites::new(
+            cfg.cells.clone(),
+            cfg.environment.clone(),
+            cfg.radio,
+            cfg.channel,
+        );
+        let links = LinkSet::single_ue(&streams, cfg.channel, sites.len());
 
         // Initial beams: the mobile completed initial access to the
         // serving cell before the scenario starts, so both ends begin on
         // their ground-truth best beams.
         let ue_pose0 = self.mobility.pose_at(0.0);
         let serving = cfg.initial_serving;
-        let bs_pose = |i: usize| Pose::new(cfg.cells[i].position, cfg.cells[i].heading);
-        let bs_tx_beam: Vec<TxBeamIndex> = (0..cfg.cells.len())
-            .map(|i| {
-                bs_codebooks[i]
-                    .best_beam_towards(bs_pose(i).local_bearing_to(ue_pose0.position))
-                    .0
-            })
+        let bs_tx_beam: Vec<TxBeamIndex> = (0..sites.len())
+            .map(|i| sites.best_tx_beam_towards(i, ue_pose0.position))
             .collect();
         let serving_rx =
             ue_codebook.best_beam_towards(ue_pose0.local_bearing_to(cfg.cells[serving].position));
 
-        let proto = match cfg.protocol {
-            ProtocolKind::SilentTracker => Proto::Silent(Box::new(SilentTracker::new(
-                cfg.tracker,
-                UE,
-                CellId(serving as u16),
-                ue_codebook.clone(),
-                serving_rx,
-            ))),
-            ProtocolKind::Reactive => Proto::Reactive(Box::new(ReactiveHandover::new(
-                cfg.tracker,
-                UE,
-                CellId(serving as u16),
-                ue_codebook.clone(),
-                serving_rx,
-            ))),
-        };
+        let proto = Proto::new(
+            cfg.protocol,
+            cfg.tracker,
+            UE,
+            CellId(serving as u16),
+            ue_codebook.clone(),
+            serving_rx,
+        );
 
         let seed = cfg.seed;
         let duration = cfg.duration;
@@ -234,12 +172,10 @@ impl Scenario {
         let mut world = World {
             mobility: self.mobility,
             ue_codebook,
-            bs_codebooks,
-            channels,
-            chan_rngs,
+            sites,
+            links,
             rach_rng: streams.stream("rach"),
             fault_rng: streams.stream("fault"),
-            last_channel_step: SimTime::ZERO,
             proto,
             serving,
             bs_tx_beam,
@@ -252,7 +188,7 @@ impl Scenario {
                         rar_delay: MSG2_DELAY,
                         msg4_delay: MSG4_PROCESSING,
                         backhaul_latency: cfg.backhaul_latency,
-                        max_pending: 16,
+                        ..ResponderConfig::nr_default()
                     })
                 })
                 .collect(),
@@ -284,11 +220,9 @@ impl Scenario {
             }
         });
 
-        if let Proto::Silent(t) = &world.proto {
-            world.outcome.tracker_stats = Some(t.stats());
-        }
-        if let Proto::Reactive(r) = &world.proto {
-            world.outcome.reactive_dwells = Some(r.search_dwells());
+        match &world.proto {
+            Proto::Silent(_) => world.outcome.tracker_stats = world.proto.stats(),
+            Proto::Reactive(r) => world.outcome.reactive_dwells = Some(r.search_dwells()),
         }
         (world.outcome, world.trace)
     }
@@ -349,21 +283,11 @@ impl World {
     // ----- physics --------------------------------------------------------
 
     fn step_channels(&mut self, now: SimTime) {
-        let dt = now.since(self.last_channel_step).as_secs_f64();
-        if dt > 0.0 {
-            for (ch, rng) in self.channels.iter_mut().zip(self.chan_rngs.iter_mut()) {
-                ch.step(rng, dt);
-            }
-            self.last_channel_step = now;
-        }
+        self.links.step_to(now);
     }
 
     fn ue_pose(&self, now: SimTime) -> Pose {
         self.mobility.pose_at(now.as_secs_f64())
-    }
-
-    fn bs_pose(&self, cell: usize) -> Pose {
-        Pose::new(self.cfg.cells[cell].position, self.cfg.cells[cell].heading)
     }
 
     /// Downlink RSS from `cell` on (`tx_beam`, `rx_beam`) at `now`.
@@ -376,23 +300,8 @@ impl World {
         rx_beam: BeamId,
     ) -> Option<Dbm> {
         let ue = self.ue_pose(now);
-        let bs = self.bs_pose(cell);
-        let paths = self.channels[cell].paths(
-            &mut self.chan_rngs[cell],
-            &self.cfg.environment,
-            bs.position,
-            ue.position,
-        );
-        rss(
-            self.cfg.radio.tx_power,
-            bs,
-            &self.bs_codebooks[cell],
-            BeamId(tx_beam),
-            ue,
-            &self.ue_codebook,
-            rx_beam,
-            &paths,
-        )
+        self.links
+            .rss(&self.sites, cell, tx_beam, ue, &self.ue_codebook, rx_beam)
     }
 
     /// Sample whether a control PDU gets through at this SNR.
@@ -587,9 +496,7 @@ impl World {
                 // The BS re-trains its transmit beam towards the mobile
                 // (its own sweep + the UE's measurement reports).
                 let ue = self.ue_pose(now);
-                let best = self.bs_codebooks[cell]
-                    .best_beam_towards(self.bs_pose(cell).local_bearing_to(ue.position))
-                    .0;
+                let best = self.sites.best_tx_beam_towards(cell, ue.position);
                 let delay = self.cfg.assist_processing + self.cfg.fault.assist_extra_delay;
                 ex.schedule_in(
                     delay,
@@ -628,7 +535,10 @@ impl World {
                 // Soft handover: the responder embeds the backhaul
                 // context fetch in the Msg4 delay; hard admission is
                 // immediate (the mobile pays re-establishment above MAC).
-                let plan = self.responders[cell].on_connection_request(ue, context_token);
+                let temp = self.rach.as_ref().and_then(|r| r.proc.temp_ue());
+                let Some(plan) = self.responders[cell].on_msg3(now, temp, ue, context_token) else {
+                    return; // lost Msg4 contention (cannot happen single-UE)
+                };
                 let tx_beam = self.rach.as_ref().map(|r| r.ssb_beam).unwrap_or(0);
                 ex.schedule_in(
                     plan.delay,

@@ -15,7 +15,7 @@ pub mod raytrace;
 use rand::Rng;
 
 use crate::geometry::{Radians, Vec2};
-use crate::stochastic::{BlockageProcess, OrnsteinUhlenbeck, Rician};
+use crate::stochastic::{BlockageProcess, CorrelatedRician, OrnsteinUhlenbeck};
 use crate::units::{Carrier, Db};
 
 pub use pathloss::{CloseIn, FreeSpace, PathLossModel, UmiStreetCanyonLos, UmiStreetCanyonNlos};
@@ -58,6 +58,10 @@ pub struct ChannelConfig {
     pub blockage_loss_db: f64,
     /// Disable small-scale fading (for deterministic unit tests).
     pub fading_enabled: bool,
+    /// Small-scale fading coherence time, seconds. Samples closer together
+    /// than this share (most of) one fade; at 60 GHz and pedestrian speed
+    /// T_c ≈ 0.423·λ/v ≈ 1.5 ms.
+    pub fading_coherence_s: f64,
 }
 
 impl ChannelConfig {
@@ -76,6 +80,7 @@ impl ChannelConfig {
             blockage_duration_s: 0.4,
             blockage_loss_db: 22.0,
             fading_enabled: true,
+            fading_coherence_s: 0.002,
         }
     }
 
@@ -97,8 +102,12 @@ pub struct LinkChannel {
     pub config: ChannelConfig,
     shadowing: OrnsteinUhlenbeck,
     blockage: BlockageProcess,
-    los_fading: Rician,
-    nlos_fading: Rician,
+    /// One time-correlated fading process per resolvable ray, keyed by ray
+    /// index and class (`is_los`), created lazily the first time the ray
+    /// appears. Two `paths` calls with no `step` in between therefore see
+    /// the identical fade on every ray — within-burst beam comparisons
+    /// share one channel realization.
+    fading: Vec<(bool, CorrelatedRician)>,
 }
 
 impl LinkChannel {
@@ -119,8 +128,7 @@ impl LinkChannel {
             config,
             shadowing,
             blockage,
-            los_fading: Rician::from_k_db(config.los_k_db),
-            nlos_fading: Rician::from_k_db(config.nlos_k_db),
+            fading: Vec::new(),
         }
     }
 
@@ -128,6 +136,30 @@ impl LinkChannel {
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_s: f64) {
         self.shadowing.step(rng, dt_s);
         self.blockage.step(rng, dt_s);
+        for (_, f) in &mut self.fading {
+            f.step(rng, dt_s);
+        }
+    }
+
+    /// The fading process of ray `idx` (class `is_los`), creating it in the
+    /// stationary distribution on first appearance. Rays are visited in
+    /// trace order, so `idx` is at most `fading.len()`. A ray whose class
+    /// flips (geometry change re-ordering the trace) gets a fresh process.
+    fn fading_for<R: Rng + ?Sized>(&mut self, rng: &mut R, idx: usize, is_los: bool) -> f64 {
+        debug_assert!(idx <= self.fading.len());
+        let k_db = if is_los {
+            self.config.los_k_db
+        } else {
+            self.config.nlos_k_db
+        };
+        let coherence = self.config.fading_coherence_s.max(1e-6);
+        if idx == self.fading.len() {
+            self.fading
+                .push((is_los, CorrelatedRician::new(rng, k_db, coherence)));
+        } else if self.fading[idx].0 != is_los {
+            self.fading[idx] = (is_los, CorrelatedRician::new(rng, k_db, coherence));
+        }
+        self.fading[idx].1.power_db()
     }
 
     /// Whether the LOS ray is currently blocked by a pedestrian.
@@ -146,7 +178,8 @@ impl LinkChannel {
         let shadow = Db(self.shadowing.value());
         env.trace(tx, rx)
             .into_iter()
-            .map(|ray| {
+            .enumerate()
+            .map(|(idx, ray)| {
                 let exponent = if ray.is_los {
                     self.config.los_exponent
                 } else {
@@ -162,12 +195,7 @@ impl LinkChannel {
                     gain -= Db(self.blockage.loss_db());
                 }
                 if self.config.fading_enabled {
-                    let fading = if ray.is_los {
-                        self.los_fading
-                    } else {
-                        self.nlos_fading
-                    };
-                    gain += Db(fading.sample_power_db(rng));
+                    gain += Db(self.fading_for(rng, idx, ray.is_los));
                 }
                 PathSample {
                     aod: ray.aod,
@@ -260,7 +288,9 @@ mod tests {
     }
 
     #[test]
-    fn fading_varies_between_samples() {
+    fn fading_is_shared_within_an_instant() {
+        // Two samples with no time step between them (e.g. two beams
+        // probed in the same SSB burst) must see the same fade.
         let mut rng = StdRng::seed_from_u64(5);
         let mut cfg = ChannelConfig::deterministic();
         cfg.fading_enabled = true;
@@ -268,6 +298,28 @@ mod tests {
         let env = Environment::open();
         let a = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
         let b = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
-        assert_ne!(a[0].gain, b[0].gain);
+        assert_eq!(a[0].gain, b[0].gain);
+    }
+
+    #[test]
+    fn fading_decorrelates_across_coherence_times() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cfg = ChannelConfig::deterministic();
+        cfg.fading_enabled = true;
+        let mut ch = LinkChannel::new(&mut rng, cfg);
+        let env = Environment::open();
+        let a = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+        // A tiny step moves the fade only slightly...
+        ch.step(&mut rng, 1e-5);
+        let b = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+        assert!((a[0].gain - b[0].gain).0.abs() < 1.0);
+        // ...while many coherence times later the fade is fresh.
+        let mut max_delta = 0.0f64;
+        for _ in 0..100 {
+            ch.step(&mut rng, 0.05);
+            let c = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
+            max_delta = max_delta.max((a[0].gain - c[0].gain).0.abs());
+        }
+        assert!(max_delta > 1.0, "fade never moved: {max_delta}");
     }
 }

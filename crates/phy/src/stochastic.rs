@@ -86,12 +86,15 @@ impl OrnsteinUhlenbeck {
     }
 }
 
-/// A Rician fading amplitude generator.
+/// A memoryless Rician fading amplitude generator.
 ///
 /// LOS mm-wave links have a strong specular component (large K factor);
 /// NLOS reflections are closer to Rayleigh (K ≈ 0). `sample_power_db`
 /// returns the instantaneous fading gain relative to the mean power, in dB,
-/// so it composes additively with the rest of the link budget.
+/// so it composes additively with the rest of the link budget. Channel
+/// models that need *time-correlated* fading (so two measurements within
+/// one coherence time see the same fade) use [`CorrelatedRician`] instead;
+/// this i.i.d. sampler remains for Monte-Carlo uses without a time axis.
 #[derive(Debug, Clone, Copy)]
 pub struct Rician {
     /// K factor (specular-to-scattered power ratio), linear.
@@ -116,6 +119,53 @@ impl Rician {
         let sigma = (1.0 / (2.0 * (self.k + 1.0))).sqrt();
         let i = spec + sigma * standard_normal(rng);
         let q = sigma * standard_normal(rng);
+        let p = i * i + q * q;
+        10.0 * p.max(1e-12).log10()
+    }
+}
+
+/// A *time-correlated* Rician fading process (Gauss–Markov channel).
+///
+/// The scattered component is a complex Gaussian whose I/Q parts evolve as
+/// independent Ornstein–Uhlenbeck processes with the channel's coherence
+/// time as their correlation constant; the specular component is constant.
+/// Two samples taken at the same instant (no `step` between them) return
+/// the *same* fade — which is what makes within-burst beam comparisons
+/// physically meaningful — while samples a coherence time apart decorrelate
+/// to the usual Rician envelope statistics.
+#[derive(Debug, Clone)]
+pub struct CorrelatedRician {
+    /// Specular amplitude √(K/(K+1)).
+    spec: f64,
+    i: OrnsteinUhlenbeck,
+    q: OrnsteinUhlenbeck,
+}
+
+impl CorrelatedRician {
+    /// `coherence_s` is the fading coherence time (τ of the underlying OU
+    /// processes); at 60 GHz and walking speed this is a few milliseconds.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, k_db: f64, coherence_s: f64) -> CorrelatedRician {
+        let k = 10f64.powf(k_db / 10.0);
+        let spec = (k / (k + 1.0)).sqrt();
+        let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+        CorrelatedRician {
+            spec,
+            i: OrnsteinUhlenbeck::new(rng, sigma, coherence_s),
+            q: OrnsteinUhlenbeck::new(rng, sigma, coherence_s),
+        }
+    }
+
+    /// Advance the scattered component by `dt_s` seconds.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt_s: f64) {
+        self.i.step(rng, dt_s);
+        self.q.step(rng, dt_s);
+    }
+
+    /// Current fading power gain in dB around a 0 dB mean. Pure read —
+    /// repeated calls between steps return the identical value.
+    pub fn power_db(&self) -> f64 {
+        let i = self.spec + self.i.value();
+        let q = self.q.value();
         let p = i * i + q * q;
         10.0 * p.max(1e-12).log10()
     }
@@ -274,6 +324,47 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         // With K = 15 dB the envelope almost never fades below -6 dB.
         assert!(min > -8.0, "min {min}");
+    }
+
+    #[test]
+    fn correlated_rician_is_constant_between_steps() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = CorrelatedRician::new(&mut rng, 10.0, 0.002);
+        assert_eq!(f.power_db(), f.power_db());
+    }
+
+    #[test]
+    fn correlated_rician_decorrelates_over_coherence_time() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut f = CorrelatedRician::new(&mut rng, 3.0, 0.002);
+        // Tiny step: fade barely moves.
+        let v0 = f.power_db();
+        f.step(&mut rng, 1e-5);
+        assert!((f.power_db() - v0).abs() < 1.0, "{} vs {v0}", f.power_db());
+        // Many coherence times: the fade takes a fresh value.
+        let mut max_delta = 0.0f64;
+        for _ in 0..100 {
+            f.step(&mut rng, 0.05);
+            max_delta = max_delta.max((f.power_db() - v0).abs());
+        }
+        assert!(max_delta > 1.0, "fade never moved: {max_delta}");
+    }
+
+    #[test]
+    fn correlated_rician_mean_power_is_0db() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for k_db in [-100.0, 0.0, 10.0] {
+            let mut f = CorrelatedRician::new(&mut rng, k_db, 0.002);
+            let n = 50_000;
+            let mut acc = 0.0;
+            for _ in 0..n {
+                // Steps ≫ coherence time: effectively i.i.d. samples.
+                f.step(&mut rng, 0.1);
+                acc += 10f64.powf(f.power_db() / 10.0);
+            }
+            let mean_lin = acc / n as f64;
+            assert!((mean_lin - 1.0).abs() < 0.05, "k={k_db} mean={mean_lin}");
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`st_phy`] — 60 GHz PHY substrate (channels, codebooks, link budget).
 //! * [`st_mac`] — SSB sweeps, RACH, control PDUs, gap schedules.
 //! * [`st_mobility`] — walk / rotation / vehicular mobility models.
-//! * [`st_net`] — event-driven scenarios tying it all together.
+//! * [`st_net`] — event-driven single-UE scenarios tying it all together.
+//! * [`st_fleet`] — multi-UE, multi-cell fleet simulation with real RACH
+//!   contention and sharded parallel execution.
 //! * [`st_des`] — the deterministic discrete-event engine.
 //! * [`st_metrics`] — CDFs, histograms, summary statistics.
 //! * [`st_bench`] — the figure-regeneration experiment harness.
@@ -17,6 +19,7 @@
 pub use silent_tracker;
 pub use st_bench;
 pub use st_des;
+pub use st_fleet;
 pub use st_mac;
 pub use st_metrics;
 pub use st_mobility;
