@@ -1,0 +1,114 @@
+//! Event-queue throughput microbench: raw events/sec through the DES
+//! executive under the workloads the fleet engine generates.
+//! Usage: `des_throughput [--smoke]`
+//!
+//! Three workloads:
+//! * `churn`    — hold-and-replace: every pop schedules a successor at a
+//!   pseudo-random future offset (the steady-state timer pattern).
+//! * `cancel`   — schedule bursts and cancel 90% before they fire (the
+//!   RACH-retry / timer-rearm pattern the tombstone compaction exists
+//!   for); heap occupancy is asserted bounded as it runs.
+//! * `fifo`     — all events at one instant (burst dispatch), pure
+//!   push/pop ordering cost.
+//!
+//! `--smoke` shrinks the workloads for the CI perf-smoke step.
+
+use std::time::Instant;
+
+use st_des::{EventQueue, SimDuration, SimTime};
+
+/// Deterministic offset source (no `rand` dependency in the bin target).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn churn(events: u64) -> (f64, u64) {
+    let mut q = EventQueue::new();
+    let mut lcg = Lcg(42);
+    for i in 0..1024u64 {
+        q.schedule(SimTime::from_nanos(lcg.next() % 1_000_000), i);
+    }
+    let start = Instant::now();
+    let mut processed = 0u64;
+    while processed < events {
+        let (t, v) = q.pop().expect("queue never drains");
+        q.schedule(t + SimDuration::from_nanos(1 + lcg.next() % 1_000_000), v);
+        processed += 1;
+    }
+    (start.elapsed().as_secs_f64(), processed)
+}
+
+fn cancel_heavy(rounds: u64, burst: u64) -> (f64, u64) {
+    let mut q = EventQueue::new();
+    let mut lcg = Lcg(7);
+    let mut ops = 0u64;
+    let start = Instant::now();
+    // The compaction contract, checked after every cancel and every pop
+    // (tombstones can outnumber survivors in either phase).
+    let bounded = |q: &EventQueue<u64>| {
+        assert!(
+            q.heap_occupancy() <= 2 * q.len() + 1,
+            "compaction failed to bound the heap: {} entries for {} live",
+            q.heap_occupancy(),
+            q.len()
+        );
+    };
+    for _ in 0..rounds {
+        let handles: Vec<_> = (0..burst)
+            .map(|i| q.schedule(SimTime::from_nanos(lcg.next() % 1_000_000), i))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            if i % 10 != 0 {
+                assert!(q.cancel(h));
+                ops += 1;
+                bounded(&q);
+            }
+        }
+        while q.pop().is_some() {
+            ops += 1;
+            bounded(&q);
+        }
+        ops += burst;
+    }
+    (start.elapsed().as_secs_f64(), ops)
+}
+
+fn fifo(events: u64) -> (f64, u64) {
+    let mut q = EventQueue::new();
+    let t = SimTime::from_nanos(5);
+    let start = Instant::now();
+    for i in 0..events {
+        q.schedule(t, i);
+    }
+    let mut last = 0;
+    while let Some((_, v)) = q.pop() {
+        last = v;
+    }
+    assert_eq!(last, events - 1);
+    (start.elapsed().as_secs_f64(), 2 * events)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale: u64 = if smoke { 1 } else { 20 };
+
+    println!("== des_throughput (events/sec through the slab+heap queue) ==");
+    for (name, (secs, ops)) in [
+        ("churn", churn(100_000 * scale)),
+        ("cancel", cancel_heavy(10 * scale, 10_000)),
+        ("fifo", fifo(100_000 * scale)),
+    ] {
+        println!(
+            "{name:>8}: {:>12.0} events/sec  ({ops} ops in {secs:.3}s)",
+            ops as f64 / secs
+        );
+    }
+}

@@ -1,14 +1,20 @@
 //! Fleet-scale PRACH load sweep: soft vs hard handover under contention.
-//! Usage: `fleet_load [--smoke] [--workers N] [POPULATIONS...]`
+//! Usage: `fleet_load [--smoke] [--workers N] [--json PATH] [POPULATIONS...]`
 //!
 //! `--smoke` prints the deterministic aggregate summary of a small fixed
 //! fleet (CI compares two invocations byte-for-byte); otherwise the
 //! positional arguments are population sizes (default 100 300 1000).
+//!
+//! Either mode also writes the `BENCH_fleet.json` perf artifact (per-run
+//! wall-clock, UE-seconds simulated per wall-second, and the recorded
+//! pre-refactor baseline) to `--json PATH` (default `BENCH_fleet.json`);
+//! the artifact goes to a file so the smoke stdout stays byte-comparable.
 fn main() {
     let mut smoke = false;
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let mut json_path = String::from("BENCH_fleet.json");
     let mut populations: Vec<u64> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -20,11 +26,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--workers N");
             }
+            "--json" => {
+                json_path = args.next().expect("--json PATH");
+            }
             other => populations.push(other.parse().expect("population size")),
         }
     }
     if smoke {
-        print!("{}", st_bench::fleet_load::smoke(workers));
+        let (summary, load) = st_bench::fleet_load::smoke_timed(workers);
+        print!("{summary}");
+        if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &load, "smoke") {
+            eprintln!("warning: could not write {json_path}: {e}");
+        }
         return;
     }
     if populations.is_empty() {
@@ -32,4 +45,8 @@ fn main() {
     }
     let r = st_bench::fleet_load::run(&populations, 42, workers);
     println!("{}", st_bench::fleet_load::render(&r));
+    if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, "sweep") {
+        eprintln!("warning: could not write {json_path}: {e}");
+    }
+    println!("perf artifact: {json_path}");
 }

@@ -1,0 +1,125 @@
+//! Measurement-pipeline microbench: beam-evaluations/sec through the
+//! batched `rss_sweep_tx` path versus the legacy per-beam loop (re-trace
+//! plus fresh `Vec` per probe — what every SSB sweep used to cost).
+//! Usage: `sweep [--smoke]`
+//!
+//! One beam-evaluation = one (transmit beam, instant) RSS figure at the
+//! mobile. Both paths produce bit-identical values (asserted here);
+//! the ratio is the single-trace-many-beams win.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use st_phy::channel::{ChannelConfig, Environment, LinkChannel, PathSet};
+use st_phy::codebook::{BeamId, BeamwidthClass, Codebook};
+use st_phy::geometry::{Degrees, Pose, Radians, Vec2};
+use st_phy::link::{rss, rss_sweep_rx, rss_sweep_tx};
+use st_phy::units::Dbm;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let instants: u64 = if smoke { 2_000 } else { 50_000 };
+
+    let env = Environment::street_canyon(400.0, 30.0);
+    let bs_codebook = Codebook::uniform_sectored(16, Degrees(30.0));
+    let ue_codebook = Codebook::for_class(BeamwidthClass::Narrow);
+    let bs_pose = Pose::new(Vec2::new(0.0, 10.0), Radians(0.0));
+    let tx_power = Dbm(10.0);
+    let rx_beam = BeamId(4);
+    let n_beams = bs_codebook.len();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ch = LinkChannel::new(&mut rng, ChannelConfig::outdoor_60ghz());
+
+    // Batched path: one trace into a reused PathSet, one pass over rays.
+    let mut set = PathSet::new();
+    let mut out = vec![Dbm(0.0); n_beams];
+    let mut ch_a = ch.clone();
+    let mut rng_a = rng.clone();
+    let start = Instant::now();
+    for k in 0..instants {
+        let ue = Pose::new(Vec2::new(-50.0 + 0.001 * k as f64, 0.0), Radians(0.1));
+        ch_a.step(&mut rng_a, 0.005);
+        ch_a.trace_into(&mut rng_a, &env, bs_pose.position, ue.position, &mut set);
+        rss_sweep_tx(
+            tx_power,
+            bs_pose,
+            &bs_codebook,
+            ue,
+            &ue_codebook,
+            rx_beam,
+            set.samples(),
+            &mut out,
+        );
+    }
+    let batched_s = start.elapsed().as_secs_f64();
+    let batched_evals = instants * n_beams as u64;
+
+    // Legacy path: per-beam trace + collect + rss (the pre-refactor cost).
+    let start = Instant::now();
+    let mut check = Dbm(0.0);
+    for k in 0..instants {
+        let ue = Pose::new(Vec2::new(-50.0 + 0.001 * k as f64, 0.0), Radians(0.1));
+        ch.step(&mut rng, 0.005);
+        for b in 0..n_beams {
+            let paths = ch.paths(&mut rng, &env, bs_pose.position, ue.position);
+            check = rss(
+                tx_power,
+                bs_pose,
+                &bs_codebook,
+                BeamId(b as u16),
+                ue,
+                &ue_codebook,
+                rx_beam,
+                &paths,
+            )
+            .expect("LOS always exists");
+        }
+    }
+    let legacy_s = start.elapsed().as_secs_f64();
+
+    // Both arms consumed identical RNG streams, so the last beam's value
+    // must agree bit-for-bit with the batched result.
+    assert_eq!(check, out[n_beams - 1], "sweep diverged from per-beam rss");
+
+    // Receive-side sweep (the P3 refinement direction): every UE beam
+    // against one fixed transmit beam, over the last snapshot.
+    let mut out_rx = vec![Dbm(0.0); ue_codebook.len()];
+    let ue_final = Pose::new(
+        Vec2::new(-50.0 + 0.001 * (instants - 1) as f64, 0.0),
+        Radians(0.1),
+    );
+    let start = Instant::now();
+    let rx_iters = instants / 4;
+    for _ in 0..rx_iters {
+        rss_sweep_rx(
+            tx_power,
+            bs_pose,
+            &bs_codebook,
+            BeamId(7),
+            ue_final,
+            &ue_codebook,
+            set.samples(),
+            &mut out_rx,
+        );
+    }
+    let rx_s = start.elapsed().as_secs_f64();
+    let rx_evals = rx_iters * ue_codebook.len() as u64;
+
+    println!("== sweep (beam-evaluations/sec, {n_beams}-beam codebook) ==");
+    println!(
+        "rx-sweep: {:>12.0} evals/sec  ({rx_evals} evals in {rx_s:.3}s, {}-beam UE codebook)",
+        rx_evals as f64 / rx_s,
+        ue_codebook.len()
+    );
+    println!(
+        " batched: {:>12.0} evals/sec  ({batched_evals} evals in {batched_s:.3}s)",
+        batched_evals as f64 / batched_s
+    );
+    println!(
+        "  legacy: {:>12.0} evals/sec  ({batched_evals} evals in {legacy_s:.3}s)",
+        batched_evals as f64 / legacy_s
+    );
+    println!("speedup: {:.2}x", legacy_s / batched_s);
+}

@@ -14,9 +14,17 @@
 //! summary blob; CI invokes it twice with different worker counts and
 //! asserts the outputs are byte-identical.
 
+use std::time::Instant;
+
 use st_fleet::{run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind};
 use st_metrics::Table;
 use st_net::ProtocolKind;
+
+/// Wall-clock of the 1,000-UE / 4-cell sweep point (both arms) measured
+/// on the PR build machine *before* the zero-allocation measurement
+/// pipeline + indexed event queue refactor — the denominator of the
+/// recorded speedup in `BENCH_fleet.json` and the README.
+pub const PRE_REFACTOR_1000UE_WALL_S: f64 = 4.2;
 
 /// One load point, one protocol arm.
 #[derive(Debug, Clone)]
@@ -24,6 +32,16 @@ pub struct Arm {
     pub ues: u64,
     pub protocol: ProtocolKind,
     pub outcome: FleetOutcome,
+    /// Wall-clock seconds this arm's fleet run took.
+    pub wall_s: f64,
+}
+
+impl Arm {
+    /// UE-seconds of simulated radio time delivered per wall-clock
+    /// second — the fleet engine's headline throughput figure.
+    pub fn ue_seconds_per_wall_second(&self) -> f64 {
+        self.ues as f64 * self.outcome.duration.as_secs_f64() / self.wall_s
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -56,15 +74,80 @@ pub fn run(populations: &[u64], seed: u64, workers: usize) -> FleetLoad {
     for &ues in populations {
         for protocol in [ProtocolKind::SilentTracker, ProtocolKind::Reactive] {
             let cfg = deployment(ues, protocol, seed);
+            let start = Instant::now();
             let outcome = run_fleet_with_workers(&cfg, workers);
+            let wall_s = start.elapsed().as_secs_f64();
             arms.push(Arm {
                 ues,
                 protocol,
                 outcome,
+                wall_s,
             });
         }
     }
     FleetLoad { arms }
+}
+
+fn arm_label(p: ProtocolKind) -> &'static str {
+    match p {
+        ProtocolKind::SilentTracker => "silent",
+        ProtocolKind::Reactive => "reactive",
+    }
+}
+
+/// Serialize the sweep into the `BENCH_fleet.json` perf artifact: per-arm
+/// wall-clock and UE-seconds-per-wall-second plus the recorded
+/// pre-refactor baseline, so the perf trajectory of the hot path is
+/// tracked run over run.
+pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"bench\": \"fleet_load\",").unwrap();
+    writeln!(s, "  \"mode\": \"{mode}\",").unwrap();
+    writeln!(s, "  \"baseline\": {{").unwrap();
+    writeln!(
+        s,
+        "    \"scenario\": \"fleet_load 1000 (1,000 UEs, 4 cells, 2 s simulated, both arms)\","
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "    \"pre_refactor_wall_s\": {PRE_REFACTOR_1000UE_WALL_S},"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "    \"note\": \"measured before the zero-allocation pipeline + indexed queue refactor\""
+    )
+    .unwrap();
+    writeln!(s, "  }},").unwrap();
+    let total_wall: f64 = r.arms.iter().map(|a| a.wall_s).sum();
+    writeln!(s, "  \"total_wall_s\": {total_wall:.3},").unwrap();
+    writeln!(s, "  \"arms\": [").unwrap();
+    for (i, a) in r.arms.iter().enumerate() {
+        let sep = if i + 1 == r.arms.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"wall_s\": {:.3}, \
+             \"ue_seconds_per_wall_second\": {:.0}, \"handovers\": {}, \"events\": {}}}{sep}",
+            a.ues,
+            arm_label(a.protocol),
+            a.wall_s,
+            a.ue_seconds_per_wall_second(),
+            a.outcome.totals.handovers,
+            a.outcome.totals.events,
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Write [`bench_json`] to `path`.
+pub fn write_bench_json(path: &str, r: &FleetLoad, mode: &str) -> std::io::Result<()> {
+    std::fs::write(path, bench_json(r, mode))
 }
 
 pub fn render(r: &FleetLoad) -> String {
@@ -80,6 +163,7 @@ pub fn render(r: &FleetLoad) -> String {
             "queue_ms",
             "intr_p50_ms",
             "intr_p95_ms",
+            "ue_s/wall_s",
         ],
     );
     for a in &r.arms {
@@ -135,6 +219,7 @@ pub fn render(r: &FleetLoad) -> String {
             format!("{queue_ms:.1}"),
             p50,
             p95,
+            format!("{:.0}", a.ue_seconds_per_wall_second()),
         ]);
     }
     t.render()
@@ -159,6 +244,28 @@ pub fn smoke_config() -> FleetConfig {
 
 pub fn smoke(workers: usize) -> String {
     run_fleet_with_workers(&smoke_config(), workers).summary()
+}
+
+/// Smoke run with timing, packaged as a one-arm [`FleetLoad`] so the CI
+/// perf-smoke step can emit a `BENCH_fleet.json` artifact from the same
+/// code path as the full sweep. The returned summary string is identical
+/// to [`smoke`]'s (the byte-compare contract).
+pub fn smoke_timed(workers: usize) -> (String, FleetLoad) {
+    let cfg = smoke_config();
+    let ues = cfg.n_ues();
+    let start = Instant::now();
+    let outcome = run_fleet_with_workers(&cfg, workers);
+    let wall_s = start.elapsed().as_secs_f64();
+    let summary = outcome.summary();
+    let load = FleetLoad {
+        arms: vec![Arm {
+            ues,
+            protocol: ProtocolKind::SilentTracker,
+            outcome,
+            wall_s,
+        }],
+    };
+    (summary, load)
 }
 
 #[cfg(test)]

@@ -15,6 +15,8 @@
 
 use st_des::SimTime;
 use st_mac::pdu::{CellId, UeId};
+use std::sync::Arc;
+
 use st_phy::codebook::{BeamId, Codebook};
 
 use crate::config::TrackerConfig;
@@ -39,7 +41,8 @@ pub struct ReactiveHandover {
     #[allow(dead_code)]
     ue: UeId,
     serving_cell: CellId,
-    codebook: Codebook,
+    /// Shared receive codebook (one `Arc` per fleet, not one clone per UE).
+    codebook: Arc<Codebook>,
     serving_rx_beam: BeamId,
     monitor: LinkMonitor,
     table: BeamTable,
@@ -56,10 +59,11 @@ impl ReactiveHandover {
         config: TrackerConfig,
         ue: UeId,
         serving_cell: CellId,
-        codebook: Codebook,
+        codebook: impl Into<Arc<Codebook>>,
         serving_rx_beam: BeamId,
     ) -> ReactiveHandover {
         config.validate().expect("invalid config");
+        let codebook = codebook.into();
         ReactiveHandover {
             monitor: LinkMonitor::new(config.ewma_alpha),
             table: BeamTable::new(config.ewma_alpha),

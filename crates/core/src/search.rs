@@ -22,10 +22,12 @@
 //! adjacent to the detected one, acquiring the strongest of the three.
 //! Refinement dwells are charged to the same Fig. 2a dwell count.
 
+use std::sync::Arc;
+
 use st_des::SimTime;
 use st_mac::pdu::CellId;
 use st_mac::timing::TxBeamIndex;
-use st_phy::codebook::{BeamId, Codebook};
+use st_phy::codebook::{AdjacentBeams, BeamId, Codebook};
 use st_phy::units::Dbm;
 
 /// A detected neighbor-cell beam.
@@ -56,7 +58,9 @@ pub struct SearchController {
     /// The receive codebook, kept for the refinement sweep (adjacency of
     /// the detected beam is resolved lazily — controllers are rebuilt on
     /// every re-acquisition, so precomputing all rows would be churn).
-    codebook: Codebook,
+    /// Shared, not cloned: every protocol instance of a fleet points at
+    /// the same codebook.
+    codebook: Arc<Codebook>,
     pos: usize,
     dwells_used: usize,
     max_dwells: usize,
@@ -70,7 +74,7 @@ pub struct SearchController {
 #[derive(Debug, Clone)]
 struct Refinement {
     best: Discovery,
-    queue: Vec<BeamId>,
+    queue: AdjacentBeams,
     next: usize,
 }
 
@@ -95,12 +99,12 @@ fn spiral_order(codebook: &Codebook, hint: BeamId) -> Vec<BeamId> {
 impl SearchController {
     /// Start a search. `hint` biases the dwell order (e.g. the serving
     /// receive beam, or the last-known neighbor beam on re-acquisition).
-    pub fn new(codebook: &Codebook, hint: BeamId, max_dwells: usize) -> SearchController {
+    pub fn new(codebook: &Arc<Codebook>, hint: BeamId, max_dwells: usize) -> SearchController {
         assert!(max_dwells >= 1);
         assert!((hint.0 as usize) < codebook.len(), "hint outside codebook");
         SearchController {
             order: spiral_order(codebook, hint),
-            codebook: codebook.clone(),
+            codebook: Arc::clone(codebook),
             pos: 0,
             dwells_used: 0,
             max_dwells,
@@ -177,8 +181,8 @@ mod tests {
     use super::*;
     use st_phy::codebook::BeamwidthClass;
 
-    fn narrow() -> Codebook {
-        Codebook::for_class(BeamwidthClass::Narrow)
+    fn narrow() -> Arc<Codebook> {
+        Arc::new(Codebook::for_class(BeamwidthClass::Narrow))
     }
 
     fn disc(rx: BeamId, rss: f64) -> Discovery {
@@ -290,7 +294,7 @@ mod tests {
 
     #[test]
     fn wraps_past_codebook_size() {
-        let cb = Codebook::for_class(BeamwidthClass::Wide); // 6 beams
+        let cb = Arc::new(Codebook::for_class(BeamwidthClass::Wide)); // 6 beams
         let mut s = SearchController::new(&cb, BeamId(0), 20);
         let mut seen = Vec::new();
         for _ in 0..12 {
@@ -303,7 +307,7 @@ mod tests {
 
     #[test]
     fn omni_codebook_single_dwell_order() {
-        let cb = Codebook::for_class(BeamwidthClass::Omni);
+        let cb = Arc::new(Codebook::for_class(BeamwidthClass::Omni));
         let mut s = SearchController::new(&cb, BeamId(0), 3);
         assert_eq!(s.current_beam(), BeamId(0));
         assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(b) if b == BeamId(0)));
@@ -312,6 +316,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "hint outside codebook")]
     fn bad_hint_panics() {
-        SearchController::new(&Codebook::for_class(BeamwidthClass::Wide), BeamId(9), 5);
+        SearchController::new(
+            &Arc::new(Codebook::for_class(BeamwidthClass::Wide)),
+            BeamId(9),
+            5,
+        );
     }
 }

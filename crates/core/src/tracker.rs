@@ -26,6 +26,8 @@
 use st_des::{SimDuration, SimTime};
 use st_mac::pdu::{CellId, Pdu, UeId};
 use st_mac::timing::TxBeamIndex;
+use std::sync::Arc;
+
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::units::Dbm;
 
@@ -173,7 +175,9 @@ pub struct SilentTracker {
     pub config: TrackerConfig,
     ue: UeId,
     serving_cell: CellId,
-    codebook: Codebook,
+    /// Shared receive codebook — an `Arc` so a fleet's worth of protocol
+    /// instances reference one codebook instead of cloning it per UE.
+    codebook: Arc<Codebook>,
 
     serving_phase: ServingPhase,
     serving_rx_beam: BeamId,
@@ -207,10 +211,11 @@ impl SilentTracker {
         config: TrackerConfig,
         ue: UeId,
         serving_cell: CellId,
-        codebook: Codebook,
+        codebook: impl Into<Arc<Codebook>>,
         serving_rx_beam: BeamId,
     ) -> SilentTracker {
         config.validate().expect("invalid tracker config");
+        let codebook = codebook.into();
         let search = SearchController::new(&codebook, serving_rx_beam, config.max_search_dwells);
         let mut neighbor_log = TransitionLog::default();
         neighbor_log.push(

@@ -14,7 +14,7 @@
 
 use crate::deployment::FleetConfig;
 use crate::metrics::{FleetOutcome, ShardOutcome};
-use crate::sim::run_shard;
+use crate::sim::{build_world, run_shard};
 
 /// Run every shard of the fleet with as many workers as the machine
 /// offers.
@@ -31,14 +31,19 @@ pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome
     cfg.validate().expect("invalid fleet config");
     let n_shards = cfg.n_shards;
     let workers = workers.clamp(1, n_shards);
+    // The static world (cells, codebooks, environment) is built once and
+    // shared by every shard and every UE via `Arc` — workers reference it,
+    // they do not clone it.
+    let (sites, ue_codebook) = build_world(cfg);
     let mut results: Vec<Option<ShardOutcome>> = (0..n_shards).map(|_| None).collect();
     let chunk = n_shards.div_ceil(workers);
 
     std::thread::scope(|scope| {
         for (w, slots) in results.chunks_mut(chunk).enumerate() {
+            let (sites, ue_codebook) = (&sites, &ue_codebook);
             scope.spawn(move || {
                 for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(run_shard(cfg, w * chunk + j));
+                    *slot = Some(run_shard(cfg, w * chunk + j, sites, ue_codebook));
                 }
             });
         }

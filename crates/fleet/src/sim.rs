@@ -22,6 +22,7 @@
 //! matter which shard (or worker thread) runs it.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::RngExt as _;
@@ -39,7 +40,7 @@ use st_net::proto::Proto;
 use st_net::radio::{LinkSet, Sites};
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::geometry::{Pose, Radians, Vec2};
-use st_phy::link::{acquirable, detectable, packet_success_probability, snr};
+use st_phy::link::RadioCal;
 use st_phy::units::Dbm;
 
 use crate::deployment::{nearest_cell, FleetConfig, MobilityKind, UeSpec};
@@ -99,6 +100,9 @@ struct Ue {
     spec: UeSpec,
     uid: UeId,
     mobility: BoxedModel,
+    /// Pose memoized per instant: every RSS evaluation of one dispatch
+    /// re-reads the same pose, and mobility models are trigonometry-heavy.
+    pose_cache: (SimTime, Pose),
     links: LinkSet,
     rach_rng: StdRng,
     fault_rng: StdRng,
@@ -122,8 +126,11 @@ struct Ue {
 }
 
 impl Ue {
-    fn pose_at(&self, now: SimTime) -> Pose {
-        self.mobility.pose_at(now.as_secs_f64())
+    fn pose_at(&mut self, now: SimTime) -> Pose {
+        if self.pose_cache.0 != now {
+            self.pose_cache = (now, self.mobility.pose_at(now.as_secs_f64()));
+        }
+        self.pose_cache.1
     }
 
     fn context_token(&self) -> u64 {
@@ -144,8 +151,18 @@ impl Ue {
 
 struct FleetWorld {
     cfg: FleetConfig,
-    sites: Sites,
-    ue_codebook: Codebook,
+    /// Shared across every shard of the fleet (cells, codebooks,
+    /// environment) — built once by the runner, never cloned per shard
+    /// or per UE.
+    sites: Arc<Sites>,
+    ue_codebook: Arc<Codebook>,
+    /// Precomputed receiver thresholds, one per world instead of a
+    /// `log10` per probe.
+    cal: RadioCal,
+    /// Batched-sweep scratch: one slot per transmit beam of the cell
+    /// being swept. Shared by all UEs of the shard (used transiently
+    /// within one sweep).
+    sweep_scratch: Vec<Dbm>,
     ues: Vec<Ue>,
     responders: Vec<RachResponder>,
     /// Distinct PRACH occasions (by instant) with ≥ 1 transmission, per cell.
@@ -184,20 +201,37 @@ fn build_mobility(spec: &UeSpec, rng: &mut StdRng, cfg: &FleetConfig) -> (BoxedM
     (model, pos)
 }
 
-/// Run shard `shard_idx` of the fleet to completion.
-pub fn run_shard(cfg: &FleetConfig, shard_idx: usize) -> ShardOutcome {
+/// Build the shared static side of a fleet: one [`Sites`] and one UE
+/// codebook behind `Arc`s, handed to every shard (and from there to every
+/// UE's protocol instance) instead of being rebuilt/cloned per shard.
+pub fn build_world(cfg: &FleetConfig) -> (Arc<Sites>, Arc<Codebook>) {
     let base = &cfg.base;
-    let streams = RngStreams::new(base.seed);
-    let sites = Sites::new(
+    let sites = Arc::new(Sites::new(
         base.cells.clone(),
         base.environment.clone(),
         base.radio,
         base.channel,
+    ));
+    let ue_codebook = Arc::new(
+        base.custom_ue_codebook
+            .clone()
+            .unwrap_or_else(|| Codebook::for_class(base.ue_codebook)),
     );
-    let ue_codebook = base
-        .custom_ue_codebook
-        .clone()
-        .unwrap_or_else(|| Codebook::for_class(base.ue_codebook));
+    (sites, ue_codebook)
+}
+
+/// Run shard `shard_idx` of the fleet to completion against the shared
+/// static world from [`build_world`].
+pub fn run_shard(
+    cfg: &FleetConfig,
+    shard_idx: usize,
+    sites: &Arc<Sites>,
+    ue_codebook: &Arc<Codebook>,
+) -> ShardOutcome {
+    let base = &cfg.base;
+    let streams = RngStreams::new(base.seed);
+    let sites = Arc::clone(sites);
+    let ue_codebook = Arc::clone(ue_codebook);
 
     let ues: Vec<Ue> = cfg
         .shard_specs(shard_idx)
@@ -215,6 +249,7 @@ pub fn run_shard(cfg: &FleetConfig, shard_idx: usize) -> ShardOutcome {
             let uid = UeId(spec.id as u32 + 1);
             Ue {
                 uid,
+                pose_cache: (SimTime::ZERO, pose0),
                 mobility,
                 links: LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
                 rach_rng: streams.stream_indexed("fleet-rach", spec.id),
@@ -224,7 +259,7 @@ pub fn run_shard(cfg: &FleetConfig, shard_idx: usize) -> ShardOutcome {
                     base.tracker,
                     uid,
                     CellId(serving as u16),
-                    ue_codebook.clone(),
+                    Arc::clone(&ue_codebook),
                     serving_rx,
                 ),
                 serving,
@@ -252,6 +287,8 @@ pub fn run_shard(cfg: &FleetConfig, shard_idx: usize) -> ShardOutcome {
     let mut world = FleetWorld {
         sites,
         ue_codebook,
+        cal: base.radio.cal(),
+        sweep_scratch: Vec::new(),
         ues,
         responders: (0..n_cells)
             .map(|_| {
@@ -364,8 +401,8 @@ impl FleetWorld {
         tx_beam: TxBeamIndex,
         rx_beam: BeamId,
     ) -> Option<Dbm> {
-        let pose = self.ues[i].pose_at(now);
         let ue = &mut self.ues[i];
+        let pose = ue.pose_at(now);
         ue.links.step_to(now);
         ue.links
             .rss(&self.sites, cell, tx_beam, pose, &self.ue_codebook, rx_beam)
@@ -373,20 +410,21 @@ impl FleetWorld {
 
     fn delivery_ok(&mut self, i: usize, rss: Option<Dbm>) -> bool {
         let Some(r) = rss else { return false };
-        let p = packet_success_probability(snr(r, &self.cfg.base.radio), &self.cfg.base.radio);
+        let p = self.cal.packet_success_probability(self.cal.snr(r));
         self.ues[i].rach_rng.random::<f64>() < p
     }
 
     // ----- event handlers ---------------------------------------------------
 
     fn on_burst_ue(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
-        // Serving link: probe adjacent receive beams.
+        // Serving link: probe adjacent receive beams (snapshot traced
+        // once, both probes reuse it).
         let serving = self.ues[i].serving;
         let serving_rx = self.ues[i].proto.serving_rx_beam();
         let tx = self.ues[i].bs_tx_beam[serving];
         for b in self.ue_codebook.adjacent(serving_rx) {
             if let Some(r) = self.link_rss(i, now, serving, tx, b) {
-                if detectable(r, &self.cfg.base.radio) {
+                if self.cal.detectable(r) {
                     let actions = self.ues[i].proto.handle(Input::ServingProbe {
                         at: now,
                         rx_beam: b,
@@ -397,7 +435,11 @@ impl FleetWorld {
             }
         }
 
-        // Neighbor cells, inside the measurement gap.
+        // Neighbor cells, inside the measurement gap: each cell's whole
+        // SSB sweep is one batched evaluation (single trace, one pass
+        // over the rays), then the SSBs feed the protocol in beam order —
+        // identical inputs and RNG draws to per-beam probing, without the
+        // N-beam re-traces.
         if self.cfg.base.gaps.in_gap(now) {
             let gap_beam = self.ues[i].proto.gap_rx_beam();
             for cell in 0..self.sites.len() {
@@ -405,23 +447,37 @@ impl FleetWorld {
                 if cell == serving_now && !self.post_rlf_search(i) {
                     continue;
                 }
+                let n_beams = self.cfg.base.cells[cell].n_tx_beams as usize;
+                self.sweep_scratch.resize(n_beams, Dbm(f64::NEG_INFINITY));
+                let ue = &mut self.ues[i];
+                let pose = ue.pose_at(now);
+                ue.links.step_to(now);
+                if !ue.links.rss_tx_sweep(
+                    &self.sites,
+                    cell,
+                    pose,
+                    &self.ue_codebook,
+                    gap_beam,
+                    &mut self.sweep_scratch[..n_beams],
+                ) {
+                    continue;
+                }
                 for tx_beam in 0..self.cfg.base.cells[cell].n_tx_beams {
-                    if let Some(r) = self.link_rss(i, now, cell, tx_beam, gap_beam) {
-                        let usable = if self.ues[i].proto.tracked().is_none() {
-                            acquirable(r, &self.cfg.base.radio)
-                        } else {
-                            detectable(r, &self.cfg.base.radio)
-                        };
-                        if usable {
-                            let actions = self.ues[i].proto.handle(Input::NeighborSsb {
-                                at: now,
-                                cell: CellId(cell as u16),
-                                tx_beam,
-                                rx_beam: gap_beam,
-                                rss: r,
-                            });
-                            self.apply_actions(ex, now, i, actions);
-                        }
+                    let r = self.sweep_scratch[tx_beam as usize];
+                    let usable = if self.ues[i].proto.tracked().is_none() {
+                        self.cal.acquirable(r)
+                    } else {
+                        self.cal.detectable(r)
+                    };
+                    if usable {
+                        let actions = self.ues[i].proto.handle(Input::NeighborSsb {
+                            at: now,
+                            cell: CellId(cell as u16),
+                            tx_beam,
+                            rx_beam: gap_beam,
+                            rss: r,
+                        });
+                        self.apply_actions(ex, now, i, actions);
                     }
                 }
             }
@@ -441,7 +497,7 @@ impl FleetWorld {
         let rx = self.ues[i].proto.serving_rx_beam();
         let r = self.link_rss(i, now, serving, tx, rx);
         match r {
-            Some(v) if detectable(v, &self.cfg.base.radio) => {
+            Some(v) if self.cal.detectable(v) => {
                 self.ues[i].rlf_count = 0;
                 let actions = self.ues[i]
                     .proto
@@ -701,7 +757,7 @@ impl FleetWorld {
             self.cfg.base.tracker,
             ue.uid,
             CellId(rach.target as u16),
-            self.ue_codebook.clone(),
+            Arc::clone(&self.ue_codebook),
             rach.rx_beam,
         );
         ue.rlf_declared = false;

@@ -5,6 +5,8 @@
 //! this enum erases which one a given UE runs so the executors can drive
 //! heterogeneous populations through one code path.
 
+use std::sync::Arc;
+
 use silent_tracker::tracker::{Action, Input, SilentTracker, TrackerStats};
 use silent_tracker::{ReactiveHandover, TrackerConfig};
 use st_mac::pdu::{CellId, UeId};
@@ -32,12 +34,15 @@ impl std::fmt::Debug for Proto {
 impl Proto {
     /// Build the protocol arm `kind`, already attached to `serving` on
     /// `serving_rx` (initial access happened before the scenario starts).
+    /// The codebook is shared by reference count — a fleet hands the same
+    /// `Arc` to every UE (and to every re-anchored protocol) instead of
+    /// cloning the beam table per instance.
     pub fn new(
         kind: ProtocolKind,
         config: TrackerConfig,
         ue: UeId,
         serving: CellId,
-        codebook: Codebook,
+        codebook: Arc<Codebook>,
         serving_rx: BeamId,
     ) -> Proto {
         match kind {

@@ -11,10 +11,10 @@ use rand::rngs::StdRng;
 
 use st_des::{RngStreams, SimTime};
 use st_mac::timing::{SsbConfig, TxBeamIndex};
-use st_phy::channel::{ChannelConfig, Environment};
+use st_phy::channel::{ChannelConfig, Environment, PathSet};
 use st_phy::codebook::{BeamId, Codebook};
-use st_phy::geometry::Pose;
-use st_phy::link::{rss, RadioConfig};
+use st_phy::geometry::{Pose, Vec2};
+use st_phy::link::{rss, rss_sweep_tx, RadioConfig};
 use st_phy::units::Dbm;
 use st_phy::LinkChannel;
 
@@ -80,11 +80,24 @@ impl Sites {
 
 /// One mobile's stochastic links to every cell: a [`LinkChannel`] plus its
 /// dedicated RNG stream per (this UE, cell) pair, advanced together.
+///
+/// Each link keeps a [`PathSet`] snapshot tagged with the (instant, UE
+/// position) it was traced at. Every RSS evaluation at the same instant —
+/// all beams of an SSB sweep, the serving probe fan, a PDU delivery
+/// sample — reuses the snapshot, so one measurement instant costs one
+/// trace per touched link and zero heap allocation in steady state.
+/// Snapshot reuse is RNG-neutral by construction: within one instant the
+/// geometry is fixed, so a re-trace would create no new fading processes
+/// and consume no draws (see [`LinkChannel::trace_into`]).
 #[derive(Debug)]
 pub struct LinkSet {
     channels: Vec<LinkChannel>,
     rngs: Vec<StdRng>,
     last_step: SimTime,
+    /// Per-cell path snapshot (scratch buffers, reused forever).
+    snaps: Vec<PathSet>,
+    /// The (instant, UE position) each snapshot was taken at.
+    snap_key: Vec<Option<(SimTime, Vec2)>>,
 }
 
 impl LinkSet {
@@ -108,18 +121,23 @@ impl LinkSet {
 
     fn build(config: ChannelConfig, rngs: impl Iterator<Item = StdRng>) -> LinkSet {
         let mut rngs: Vec<StdRng> = rngs.collect();
-        let channels = rngs
+        let channels: Vec<LinkChannel> = rngs
             .iter_mut()
             .map(|rng| LinkChannel::new(rng, config))
             .collect();
+        let n = channels.len();
         LinkSet {
             channels,
             rngs,
             last_step: SimTime::ZERO,
+            snaps: (0..n).map(|_| PathSet::new()).collect(),
+            snap_key: vec![None; n],
         }
     }
 
-    /// Advance every link's time-correlated processes to `now`.
+    /// Advance every link's time-correlated processes to `now`. Snapshots
+    /// stay valid only within one instant: their key carries the step
+    /// time, so advancing the clock invalidates them implicitly.
     pub fn step_to(&mut self, now: SimTime) {
         let dt = now.since(self.last_step).as_secs_f64();
         if dt > 0.0 {
@@ -128,6 +146,24 @@ impl LinkSet {
             }
             self.last_step = now;
         }
+    }
+
+    /// The path snapshot of `cell` for a UE at `ue_pos`, traced at most
+    /// once per (instant, position) and reused for every beam evaluated
+    /// against it.
+    fn snapshot(&mut self, sites: &Sites, cell: usize, ue_pos: Vec2) -> &PathSet {
+        let key = Some((self.last_step, ue_pos));
+        if self.snap_key[cell] != key {
+            self.channels[cell].trace_into(
+                &mut self.rngs[cell],
+                &sites.environment,
+                sites.pose(cell).position,
+                ue_pos,
+                &mut self.snaps[cell],
+            );
+            self.snap_key[cell] = key;
+        }
+        &self.snaps[cell]
     }
 
     /// Downlink RSS from `cell` on (`tx_beam`, `rx_beam`) for a UE at
@@ -142,12 +178,7 @@ impl LinkSet {
         rx_beam: BeamId,
     ) -> Option<Dbm> {
         let bs = sites.pose(cell);
-        let paths = self.channels[cell].paths(
-            &mut self.rngs[cell],
-            &sites.environment,
-            bs.position,
-            ue_pose.position,
-        );
+        let set = self.snapshot(sites, cell, ue_pose.position);
         rss(
             sites.radio.tx_power,
             bs,
@@ -156,7 +187,34 @@ impl LinkSet {
             ue_pose,
             ue_codebook,
             rx_beam,
-            &paths,
+            set.samples(),
+        )
+    }
+
+    /// RSS of *every* transmit beam of `cell` on the fixed `rx_beam`, in
+    /// one trace and one pass over the rays — the SSB-sweep hot path.
+    /// `out` must be `sites.codebooks[cell].len()` long; returns `false`
+    /// (out untouched) when the link has no paths.
+    pub fn rss_tx_sweep(
+        &mut self,
+        sites: &Sites,
+        cell: usize,
+        ue_pose: Pose,
+        ue_codebook: &Codebook,
+        rx_beam: BeamId,
+        out: &mut [Dbm],
+    ) -> bool {
+        let bs = sites.pose(cell);
+        let set = self.snapshot(sites, cell, ue_pose.position);
+        rss_sweep_tx(
+            sites.radio.tx_power,
+            bs,
+            &sites.codebooks[cell],
+            ue_pose,
+            ue_codebook,
+            rx_beam,
+            set.samples(),
+            out,
         )
     }
 }
@@ -201,6 +259,41 @@ mod tests {
             .rss(&s, 0, tx, ue_pose, &ue_cb, rx)
             .expect("paths exist");
         assert!(detectable(r, &s.radio), "{r}");
+    }
+
+    #[test]
+    fn tx_sweep_matches_per_beam_rss_and_snapshot_is_rng_neutral() {
+        let s = sites();
+        let mut cfg = s.channel;
+        cfg.fading_enabled = true; // exercise the stochastic path
+        let s = Sites::new(s.cells.clone(), s.environment.clone(), s.radio, cfg);
+        let streams = RngStreams::new(11);
+        let ue_cb = Codebook::for_class(BeamwidthClass::Narrow);
+        let ue_pose = Pose::new(Vec2::new(-20.0, 0.0), Radians(0.3));
+        let rx = BeamId(5);
+
+        // Sweep vs per-beam on identically-seeded link sets; interleave
+        // time steps so the fading processes actually advance.
+        let mut a = LinkSet::single_ue(&streams, cfg, s.len());
+        let mut b = LinkSet::single_ue(&streams, cfg, s.len());
+        let n = s.codebooks[0].len();
+        let mut out = vec![Dbm(0.0); n];
+        for step in 1..=10u64 {
+            let now = SimTime::ZERO + st_des::SimDuration::from_millis(step * 3);
+            a.step_to(now);
+            b.step_to(now);
+            assert!(a.rss_tx_sweep(&s, 0, ue_pose, &ue_cb, rx, &mut out));
+            for (beam, &got) in out.iter().enumerate() {
+                let want = b
+                    .rss(&s, 0, beam as TxBeamIndex, ue_pose, &ue_cb, rx)
+                    .unwrap();
+                assert_eq!(got, want, "beam {beam} at step {step}");
+            }
+            // Mixing snapshot reuse (sweep, then single rss at the same
+            // instant) must not perturb the draws of later instants.
+            let again = a.rss(&s, 0, 3, ue_pose, &ue_cb, rx).unwrap();
+            assert_eq!(again, out[3]);
+        }
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   context fetched over the backhaul (soft) or rebuilt from scratch
 //!   after the hard-handover penalty (reactive baseline).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
@@ -32,7 +34,7 @@ use st_mac::timing::TxBeamIndex;
 use st_mobility::BoxedModel;
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::geometry::Pose;
-use st_phy::link::{acquirable, detectable, packet_success_probability, snr};
+use st_phy::link::RadioCal;
 use st_phy::units::Dbm;
 
 use crate::config::{ProtocolKind, ScenarioConfig};
@@ -85,9 +87,15 @@ pub struct Scenario {
 struct World {
     cfg: ScenarioConfig,
     mobility: BoxedModel,
-    ue_codebook: Codebook,
+    ue_codebook: Arc<Codebook>,
     sites: Sites,
     links: LinkSet,
+    /// Precomputed receiver thresholds (noise floor et al.), derived once
+    /// from `cfg.radio` instead of re-deriving a `log10` per probe.
+    cal: RadioCal,
+    /// Scratch for batched SSB sweeps: one slot per transmit beam of the
+    /// cell currently being swept. Reused across cells and bursts.
+    sweep_scratch: Vec<Dbm>,
     rach_rng: StdRng,
     fault_rng: StdRng,
 
@@ -132,10 +140,11 @@ impl Scenario {
     pub fn run_traced(self) -> (RunOutcome, Trace) {
         let cfg = self.config;
         let streams = RngStreams::new(cfg.seed);
-        let ue_codebook = cfg
-            .custom_ue_codebook
-            .clone()
-            .unwrap_or_else(|| Codebook::for_class(cfg.ue_codebook));
+        let ue_codebook = Arc::new(
+            cfg.custom_ue_codebook
+                .clone()
+                .unwrap_or_else(|| Codebook::for_class(cfg.ue_codebook)),
+        );
         let sites = Sites::new(
             cfg.cells.clone(),
             cfg.environment.clone(),
@@ -160,7 +169,7 @@ impl Scenario {
             cfg.tracker,
             UE,
             CellId(serving as u16),
-            ue_codebook.clone(),
+            Arc::clone(&ue_codebook),
             serving_rx,
         );
 
@@ -174,6 +183,8 @@ impl Scenario {
             ue_codebook,
             sites,
             links,
+            cal: cfg.radio.cal(),
+            sweep_scratch: Vec::new(),
             rach_rng: streams.stream("rach"),
             fault_rng: streams.stream("fault"),
             proto,
@@ -307,7 +318,7 @@ impl World {
     /// Sample whether a control PDU gets through at this SNR.
     fn delivery_ok(&mut self, rss: Option<Dbm>) -> bool {
         let Some(r) = rss else { return false };
-        let p = packet_success_probability(snr(r, &self.cfg.radio), &self.cfg.radio);
+        let p = self.cal.packet_success_probability(self.cal.snr(r));
         self.rach_rng.random::<f64>() < p
     }
 
@@ -322,7 +333,7 @@ impl World {
         let tx = self.bs_tx_beam[serving];
         for b in self.ue_codebook.adjacent(serving_rx) {
             if let Some(r) = self.link_rss(now, serving, tx, b) {
-                if detectable(r, &self.cfg.radio) {
+                if self.cal.detectable(r) {
                     let actions = self.proto.handle(Input::ServingProbe {
                         at: now,
                         rx_beam: b,
@@ -334,39 +345,56 @@ impl World {
         }
 
         // Neighbor cells: the mobile listens on its gap beam during the
-        // measurement gap that covers the burst. Every swept transmit
-        // beam whose SSB is detectable is reported.
+        // measurement gap that covers the burst. The whole sweep of a
+        // cell is evaluated in one batched pass (single trace, one ray
+        // loop), then each SSB is fed to the protocol in beam order —
+        // the same inputs, RSS values and RNG draws as probing beam by
+        // beam, minus the redundant re-traces. Every swept transmit beam
+        // whose SSB is detectable is reported.
         if self.cfg.gaps.in_gap(now) {
             let gap_beam = self.proto.gap_rx_beam();
             for cell in 0..self.cfg.cells.len() {
                 if cell == serving && !self.post_rlf_search() {
                     continue;
                 }
+                let n_beams = self.cfg.cells[cell].n_tx_beams as usize;
+                let ue = self.ue_pose(now);
+                self.sweep_scratch.resize(n_beams, Dbm(f64::NEG_INFINITY));
+                let ue_codebook = Arc::clone(&self.ue_codebook);
+                if !self.links.rss_tx_sweep(
+                    &self.sites,
+                    cell,
+                    ue,
+                    &ue_codebook,
+                    gap_beam,
+                    &mut self.sweep_scratch[..n_beams],
+                ) {
+                    continue;
+                }
                 for tx_beam in 0..self.cfg.cells[cell].n_tx_beams {
-                    if let Some(r) = self.link_rss(now, cell, tx_beam, gap_beam) {
-                        // While no neighbor beam is tracked the protocol is
-                        // *acquiring*: an SSB must be decodable (detection +
-                        // PBCH margin), or a fading spike through a side
-                        // lobe gets latched as a "found" beam pointing 100°+
-                        // away. Once tracking, RSRP-style energy detection
-                        // on the known beam/probes is enough. Evaluated per
-                        // SSB — an earlier SSB of this same burst can flip
-                        // the protocol from tracking back to searching.
-                        let usable = if self.proto.tracked().is_none() {
-                            acquirable(r, &self.cfg.radio)
-                        } else {
-                            detectable(r, &self.cfg.radio)
-                        };
-                        if usable {
-                            let actions = self.proto.handle(Input::NeighborSsb {
-                                at: now,
-                                cell: CellId(cell as u16),
-                                tx_beam,
-                                rx_beam: gap_beam,
-                                rss: r,
-                            });
-                            self.apply_actions(ex, now, actions);
-                        }
+                    let r = self.sweep_scratch[tx_beam as usize];
+                    // While no neighbor beam is tracked the protocol is
+                    // *acquiring*: an SSB must be decodable (detection +
+                    // PBCH margin), or a fading spike through a side
+                    // lobe gets latched as a "found" beam pointing 100°+
+                    // away. Once tracking, RSRP-style energy detection
+                    // on the known beam/probes is enough. Evaluated per
+                    // SSB — an earlier SSB of this same burst can flip
+                    // the protocol from tracking back to searching.
+                    let usable = if self.proto.tracked().is_none() {
+                        self.cal.acquirable(r)
+                    } else {
+                        self.cal.detectable(r)
+                    };
+                    if usable {
+                        let actions = self.proto.handle(Input::NeighborSsb {
+                            at: now,
+                            cell: CellId(cell as u16),
+                            tx_beam,
+                            rx_beam: gap_beam,
+                            rss: r,
+                        });
+                        self.apply_actions(ex, now, actions);
                     }
                 }
             }
@@ -410,7 +438,7 @@ impl World {
         let rx = self.proto.serving_rx_beam();
         let r = self.link_rss(now, serving, tx, rx);
         match r {
-            Some(v) if detectable(v, &self.cfg.radio) => {
+            Some(v) if self.cal.detectable(v) => {
                 self.rlf_count = 0;
                 let actions = self.proto.handle(Input::ServingRss { at: now, rss: v });
                 self.apply_actions(ex, now, actions);

@@ -34,6 +34,45 @@ pub struct PathSample {
     pub is_los: bool,
 }
 
+/// The propagation paths of one link at one measurement instant, plus the
+/// ray-trace scratch they were built from. Both buffers are reused across
+/// instants, so steady-state sampling allocates nothing: take the snapshot
+/// once per (link, instant) with [`LinkChannel::trace_into`] and evaluate
+/// every beam of an SSB sweep against it.
+#[derive(Debug, Clone, Default)]
+pub struct PathSet {
+    /// Ray-trace scratch (geometry only, reused between traces).
+    rays: Vec<Ray>,
+    samples: Vec<PathSample>,
+}
+
+impl PathSet {
+    pub fn new() -> PathSet {
+        PathSet::default()
+    }
+
+    /// The path samples of the snapshot instant.
+    pub fn samples(&self) -> &[PathSample] {
+        &self.samples
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl std::ops::Deref for PathSet {
+    type Target = [PathSample];
+
+    fn deref(&self) -> &[PathSample] {
+        &self.samples
+    }
+}
+
 /// Configuration of the stochastic channel components.
 #[derive(Debug, Clone, Copy)]
 pub struct ChannelConfig {
@@ -167,7 +206,57 @@ impl LinkChannel {
         self.blockage.is_blocked()
     }
 
+    /// Sample every propagation path between `tx` and `rx` through `env`,
+    /// reusing `set`'s buffers — the zero-allocation hot-path entry point.
+    ///
+    /// RNG discipline: fading processes are created lazily per ray in
+    /// trace order, exactly as many and in exactly the order the
+    /// allocating [`paths`](LinkChannel::paths) would create them, so
+    /// swapping call sites between the two (or snapshotting once instead
+    /// of sampling per beam within one instant) never perturbs the
+    /// stream — the determinism contracts depend on this.
+    pub fn trace_into<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        env: &Environment,
+        tx: Vec2,
+        rx: Vec2,
+        set: &mut PathSet,
+    ) {
+        let PathSet { rays, samples } = set;
+        env.trace_into(tx, rx, rays);
+        samples.clear();
+        let shadow = Db(self.shadowing.value());
+        for (idx, ray) in rays.iter().enumerate() {
+            let exponent = if ray.is_los {
+                self.config.los_exponent
+            } else {
+                self.config.nlos_exponent
+            };
+            let pl = CloseIn {
+                carrier: self.config.carrier,
+                exponent,
+            }
+            .loss(ray.length_m);
+            let mut gain = -(pl + ray.excess_loss) - shadow;
+            if ray.is_los {
+                gain -= Db(self.blockage.loss_db());
+            }
+            if self.config.fading_enabled {
+                gain += Db(self.fading_for(rng, idx, ray.is_los));
+            }
+            samples.push(PathSample {
+                aod: ray.aod,
+                aoa: ray.aoa,
+                gain,
+                is_los: ray.is_los,
+            });
+        }
+    }
+
     /// Sample every propagation path between `tx` and `rx` through `env`.
+    /// Allocating convenience wrapper around
+    /// [`trace_into`](LinkChannel::trace_into) for tests and one-shot use.
     pub fn paths<R: Rng + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -175,36 +264,9 @@ impl LinkChannel {
         tx: Vec2,
         rx: Vec2,
     ) -> Vec<PathSample> {
-        let shadow = Db(self.shadowing.value());
-        env.trace(tx, rx)
-            .into_iter()
-            .enumerate()
-            .map(|(idx, ray)| {
-                let exponent = if ray.is_los {
-                    self.config.los_exponent
-                } else {
-                    self.config.nlos_exponent
-                };
-                let pl = CloseIn {
-                    carrier: self.config.carrier,
-                    exponent,
-                }
-                .loss(ray.length_m);
-                let mut gain = -(pl + ray.excess_loss) - shadow;
-                if ray.is_los {
-                    gain -= Db(self.blockage.loss_db());
-                }
-                if self.config.fading_enabled {
-                    gain += Db(self.fading_for(rng, idx, ray.is_los));
-                }
-                PathSample {
-                    aod: ray.aod,
-                    aoa: ray.aoa,
-                    gain,
-                    is_los: ray.is_los,
-                }
-            })
-            .collect()
+        let mut set = PathSet::new();
+        self.trace_into(rng, env, tx, rx, &mut set);
+        set.samples
     }
 }
 
@@ -299,6 +361,39 @@ mod tests {
         let a = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
         let b = ch.paths(&mut rng, &env, Vec2::ZERO, Vec2::new(10.0, 0.0));
         assert_eq!(a[0].gain, b[0].gain);
+    }
+
+    #[test]
+    fn trace_into_matches_paths_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cfg = ChannelConfig::outdoor_60ghz();
+        cfg.fading_enabled = true;
+        let mut ch = LinkChannel::new(&mut rng, cfg);
+        let env = Environment::street_canyon(100.0, 20.0);
+        let tx = Vec2::new(-10.0, 0.0);
+        let mut set = PathSet::new();
+        for step in 0..20 {
+            let rx = Vec2::new(10.0 + step as f64, 0.0);
+            // Two identical clones of the channel+rng state must produce
+            // bit-identical samples through both APIs (same RNG draws).
+            let mut ch2 = ch.clone();
+            let mut rng2 = rng.clone();
+            ch.trace_into(&mut rng, &env, tx, rx, &mut set);
+            let alloc = ch2.paths(&mut rng2, &env, tx, rx);
+            assert_eq!(set.len(), alloc.len());
+            for (a, b) in set.samples().iter().zip(alloc.iter()) {
+                assert_eq!(a.gain, b.gain);
+                assert_eq!(a.aod, b.aod);
+                assert_eq!(a.is_los, b.is_los);
+            }
+            ch.step(&mut rng, 0.01);
+            ch2.step(&mut rng2, 0.01);
+        }
+        // Steady state: the scratch capacity stabilized (no per-call growth).
+        let cap = set.samples.capacity();
+        ch.trace_into(&mut rng, &env, tx, Vec2::new(12.0, 1.0), &mut set);
+        assert_eq!(set.samples.capacity(), cap);
+        assert!(!set.is_empty());
     }
 
     #[test]

@@ -119,6 +119,16 @@ impl Environment {
     /// construction yields a valid reflection point.
     pub fn trace(&self, tx: Vec2, rx: Vec2) -> Vec<Ray> {
         let mut rays = Vec::with_capacity(1 + self.walls.len());
+        self.trace_into(tx, rx, &mut rays);
+        rays
+    }
+
+    /// Zero-allocation [`trace`](Environment::trace): clears `rays` and
+    /// fills it in place, reusing its capacity. This is the hot-path entry
+    /// point — a measurement instant traces each link once into a scratch
+    /// buffer that lives as long as the link.
+    pub fn trace_into(&self, tx: Vec2, rx: Vec2, rays: &mut Vec<Ray>) {
+        rays.clear();
 
         // Direct ray.
         let los_loss = self.penetration_between(tx, rx, &[]);
@@ -156,7 +166,6 @@ impl Environment {
                 is_los: false,
             });
         }
-        rays
     }
 }
 

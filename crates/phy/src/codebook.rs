@@ -93,6 +93,67 @@ impl BeamwidthClass {
     }
 }
 
+/// The (at most two) directionally adjacent beams of a codebook entry,
+/// stored inline so adjacency queries never allocate. Dereferences to a
+/// `[BeamId]` slice and iterates by value, so it drops into the places a
+/// `Vec<BeamId>` used to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjacentBeams {
+    beams: [BeamId; 2],
+    len: u8,
+}
+
+impl AdjacentBeams {
+    pub const EMPTY: AdjacentBeams = AdjacentBeams {
+        beams: [BeamId(0); 2],
+        len: 0,
+    };
+
+    fn one(b: BeamId) -> AdjacentBeams {
+        AdjacentBeams {
+            beams: [b, b],
+            len: 1,
+        }
+    }
+
+    fn two(a: BeamId, b: BeamId) -> AdjacentBeams {
+        AdjacentBeams {
+            beams: [a, b],
+            len: 2,
+        }
+    }
+
+    pub fn as_slice(&self) -> &[BeamId] {
+        &self.beams[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for AdjacentBeams {
+    type Target = [BeamId];
+
+    fn deref(&self) -> &[BeamId] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for AdjacentBeams {
+    type Item = BeamId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<BeamId, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.beams.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a AdjacentBeams {
+    type Item = &'a BeamId;
+    type IntoIter = std::slice::Iter<'a, BeamId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A finite set of beams covering the full azimuth, with adjacency.
 #[derive(Debug, Clone)]
 pub struct Codebook {
@@ -226,20 +287,22 @@ impl Codebook {
 
     /// The directionally adjacent beams of `id` (its neighbors on the
     /// azimuth circle). For a full-circle codebook this wraps; for a single
-    /// beam it is empty.
-    pub fn adjacent(&self, id: BeamId) -> Vec<BeamId> {
+    /// beam it is empty. Returned inline ([`AdjacentBeams`] is `Copy`,
+    /// at most two entries) — this sits on the per-probe hot path of the
+    /// tracker and the executors, which must not allocate.
+    pub fn adjacent(&self, id: BeamId) -> AdjacentBeams {
         let n = self.beams.len();
         if n <= 1 {
-            return Vec::new();
+            return AdjacentBeams::EMPTY;
         }
         if n == 2 {
-            return vec![BeamId(1 - id.0)];
+            return AdjacentBeams::one(BeamId(1 - id.0));
         }
         let i = id.0 as usize;
-        vec![
+        AdjacentBeams::two(
             BeamId(((i + n - 1) % n) as u16),
             BeamId(((i + 1) % n) as u16),
-        ]
+        )
     }
 
     /// The beam with maximum gain towards local angle `aoa` — the ground
@@ -325,8 +388,8 @@ mod tests {
     fn adjacency_degenerate_sizes() {
         assert!(Codebook::omni(Db(0.0)).adjacent(BeamId(0)).is_empty());
         let two = Codebook::uniform_sectored(2, Degrees(60.0));
-        assert_eq!(two.adjacent(BeamId(0)), vec![BeamId(1)]);
-        assert_eq!(two.adjacent(BeamId(1)), vec![BeamId(0)]);
+        assert_eq!(two.adjacent(BeamId(0)).as_slice(), &[BeamId(1)]);
+        assert_eq!(two.adjacent(BeamId(1)).as_slice(), &[BeamId(0)]);
     }
 
     #[test]

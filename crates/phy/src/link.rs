@@ -8,7 +8,7 @@
 use crate::channel::PathSample;
 use crate::codebook::{BeamId, Codebook};
 use crate::geometry::Pose;
-use crate::units::{power_sum_dbm, Db, Dbm};
+use crate::units::{power_sum_dbm, Db, Dbm, MilliWatts};
 
 /// Static radio-front-end parameters of one node.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +47,57 @@ impl RadioConfig {
     pub fn noise_floor(&self) -> Dbm {
         Dbm::noise_floor(self.bandwidth_hz, self.noise_figure)
     }
+
+    /// Precompute the receiver's derived thresholds once; see [`RadioCal`].
+    pub fn cal(&self) -> RadioCal {
+        RadioCal::new(self)
+    }
+}
+
+/// Precomputed receiver calibration: the noise floor and threshold sums
+/// that [`snr`], [`detectable`], [`acquirable`] and
+/// [`packet_success_probability`] re-derive (a `log10` per call) every
+/// time. The executors evaluate millions of probes per run; computing
+/// these once per run keeps the per-probe cost to a compare. Every method
+/// performs bit-identically to its free-function counterpart.
+#[derive(Debug, Clone, Copy)]
+pub struct RadioCal {
+    /// Thermal noise floor of the receiver.
+    pub noise_floor: Dbm,
+    /// SNR (dB) above which a sync signal is detectable.
+    detect_snr_db: f64,
+    /// SNR (dB) above which an unknown SSB is acquirable (decode margin).
+    acquire_snr_db: f64,
+    /// Centre of the packet-success logistic waterfall, dB of SNR.
+    success_mid_db: f64,
+}
+
+impl RadioCal {
+    pub fn new(radio: &RadioConfig) -> RadioCal {
+        RadioCal {
+            noise_floor: radio.noise_floor(),
+            detect_snr_db: radio.detection_snr.0,
+            acquire_snr_db: radio.detection_snr.0 + radio.ssb_decode_margin.0,
+            success_mid_db: radio.detection_snr.0 + 3.0,
+        }
+    }
+
+    pub fn snr(&self, rss: Dbm) -> Db {
+        rss - self.noise_floor
+    }
+
+    pub fn detectable(&self, rss: Dbm) -> bool {
+        self.snr(rss).0 >= self.detect_snr_db
+    }
+
+    pub fn acquirable(&self, rss: Dbm) -> bool {
+        self.snr(rss).0 >= self.acquire_snr_db
+    }
+
+    pub fn packet_success_probability(&self, snr: Db) -> f64 {
+        let margin = snr.0 - self.success_mid_db;
+        1.0 / (1.0 + (-1.5 * margin).exp())
+    }
 }
 
 /// Received signal strength at the output of the receive beamformer when
@@ -75,6 +126,87 @@ pub fn rss(
         let g_rx = rx_codebook.gain(rx_beam, rx_local);
         tx_power + g_tx + p.gain + g_rx
     }))
+}
+
+/// Evaluate the RSS of *every* transmit beam of `tx_codebook` over the
+/// same `paths` in one pass over the rays: per-ray local angles (and the
+/// fixed receive-beam gain) are computed once per ray instead of once per
+/// (ray, beam), and no intermediate collection is built. `out[b]` receives
+/// the RSS of transmit beam `b` and must be exactly `tx_codebook.len()`
+/// long. Returns `false` (leaving `out` untouched) when `paths` is empty.
+///
+/// Each `out[b]` is bit-identical to the corresponding [`rss`] call: the
+/// per-ray dB sums associate in the same order and the linear powers
+/// accumulate in the same ray order.
+#[allow(clippy::too_many_arguments)]
+pub fn rss_sweep_tx(
+    tx_power: Dbm,
+    tx_pose: Pose,
+    tx_codebook: &Codebook,
+    rx_pose: Pose,
+    rx_codebook: &Codebook,
+    rx_beam: BeamId,
+    paths: &[PathSample],
+    out: &mut [Dbm],
+) -> bool {
+    assert_eq!(out.len(), tx_codebook.len(), "out must cover the codebook");
+    if paths.is_empty() {
+        return false;
+    }
+    // Accumulate linear milliwatts in place, convert to dBm at the end.
+    for o in out.iter_mut() {
+        o.0 = 0.0;
+    }
+    for p in paths {
+        let tx_local = (p.aod - tx_pose.heading).wrapped();
+        let rx_local = (p.aoa - rx_pose.heading).wrapped();
+        let g_rx = rx_codebook.gain(rx_beam, rx_local);
+        for (o, beam) in out.iter_mut().zip(tx_codebook.beams()) {
+            let g_tx = beam.gain_towards(tx_local);
+            let level = tx_power + g_tx + p.gain + g_rx;
+            o.0 += level.milliwatts().0;
+        }
+    }
+    for o in out.iter_mut() {
+        *o = MilliWatts(o.0).dbm();
+    }
+    true
+}
+
+/// Receive-side counterpart of [`rss_sweep_tx`]: every receive beam of
+/// `rx_codebook` against one fixed transmit beam, one pass over the rays.
+#[allow(clippy::too_many_arguments)]
+pub fn rss_sweep_rx(
+    tx_power: Dbm,
+    tx_pose: Pose,
+    tx_codebook: &Codebook,
+    tx_beam: BeamId,
+    rx_pose: Pose,
+    rx_codebook: &Codebook,
+    paths: &[PathSample],
+    out: &mut [Dbm],
+) -> bool {
+    assert_eq!(out.len(), rx_codebook.len(), "out must cover the codebook");
+    if paths.is_empty() {
+        return false;
+    }
+    for o in out.iter_mut() {
+        o.0 = 0.0;
+    }
+    for p in paths {
+        let tx_local = (p.aod - tx_pose.heading).wrapped();
+        let rx_local = (p.aoa - rx_pose.heading).wrapped();
+        let g_tx = tx_codebook.gain(tx_beam, tx_local);
+        for (o, beam) in out.iter_mut().zip(rx_codebook.beams()) {
+            let g_rx = beam.gain_towards(rx_local);
+            let level = tx_power + g_tx + p.gain + g_rx;
+            o.0 += level.milliwatts().0;
+        }
+    }
+    for o in out.iter_mut() {
+        *o = MilliWatts(o.0).dbm();
+    }
+    true
 }
 
 /// Signal-to-noise ratio for an RSS at a given receiver.
@@ -236,6 +368,104 @@ mod tests {
         assert!((mid - 0.5).abs() < 0.01, "{mid}");
         assert!(high > 0.99, "{high}");
         assert!(low < mid && mid < high);
+    }
+
+    #[test]
+    fn sweep_matches_per_beam_rss_bit_for_bit() {
+        // Street canyon: multiple rays, so the one-pass accumulation order
+        // is actually exercised.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ch = LinkChannel::new(&mut rng, ChannelConfig::outdoor_60ghz());
+        let env = Environment::street_canyon(100.0, 20.0);
+        let paths = ch.paths(&mut rng, &env, Vec2::new(-10.0, 3.0), Vec2::new(12.0, -2.0));
+        assert!(paths.len() >= 2);
+        let bs = Codebook::uniform_sectored(16, crate::geometry::Degrees(30.0));
+        let ue = Codebook::for_class(BeamwidthClass::Narrow);
+        let tx_pose = Pose::new(Vec2::new(-10.0, 3.0), Radians(0.4));
+        let rx_pose = Pose::new(Vec2::new(12.0, -2.0), Radians(-1.1));
+
+        let mut out = vec![Dbm(0.0); bs.len()];
+        assert!(rss_sweep_tx(
+            Dbm(10.0),
+            tx_pose,
+            &bs,
+            rx_pose,
+            &ue,
+            BeamId(3),
+            &paths,
+            &mut out
+        ));
+        for (b, &got) in out.iter().enumerate() {
+            let want = rss(
+                Dbm(10.0),
+                tx_pose,
+                &bs,
+                BeamId(b as u16),
+                rx_pose,
+                &ue,
+                BeamId(3),
+                &paths,
+            )
+            .unwrap();
+            assert_eq!(got, want, "tx beam {b}");
+        }
+
+        let mut out_rx = vec![Dbm(0.0); ue.len()];
+        assert!(rss_sweep_rx(
+            Dbm(10.0),
+            tx_pose,
+            &bs,
+            BeamId(7),
+            rx_pose,
+            &ue,
+            &paths,
+            &mut out_rx
+        ));
+        for (b, &got) in out_rx.iter().enumerate() {
+            let want = rss(
+                Dbm(10.0),
+                tx_pose,
+                &bs,
+                BeamId(7),
+                rx_pose,
+                &ue,
+                BeamId(b as u16),
+                &paths,
+            )
+            .unwrap();
+            assert_eq!(got, want, "rx beam {b}");
+        }
+
+        // Empty paths: untouched output, false.
+        let sentinel = Dbm(123.0);
+        let mut out2 = vec![sentinel; bs.len()];
+        assert!(!rss_sweep_tx(
+            Dbm(10.0),
+            tx_pose,
+            &bs,
+            rx_pose,
+            &ue,
+            BeamId(3),
+            &[],
+            &mut out2
+        ));
+        assert!(out2.iter().all(|&v| v == sentinel));
+    }
+
+    #[test]
+    fn radio_cal_matches_free_functions() {
+        let radio = RadioConfig::ni_60ghz_testbed();
+        let cal = radio.cal();
+        for v in [-95.0, -80.0, -74.0, -73.9, -68.0, -67.9, -50.0] {
+            let r = Dbm(v);
+            assert_eq!(cal.snr(r), snr(r, &radio));
+            assert_eq!(cal.detectable(r), detectable(r, &radio));
+            assert_eq!(cal.acquirable(r), acquirable(r, &radio));
+            assert_eq!(
+                cal.packet_success_probability(snr(r, &radio)),
+                packet_success_probability(snr(r, &radio), &radio)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Shard-approximation error measurement (first half of the ROADMAP open
+//! item): fleet sharding trades *cross-shard* PRACH contention for
+//! parallelism — within a shard, preamble collisions are exact; across
+//! shards they are not simulated. This test quantifies the error by
+//! running the same population at matched load as 1 shard (exact
+//! contention) and as 8 shards (the production configuration) and
+//! comparing per-cell PRACH collision rates.
+//!
+//! `#[ignore]`d by default: sized for `--release`
+//! (`cargo test --release --test shard_approximation -- --ignored`).
+
+use silent_tracker_repro::st_fleet::{
+    run_fleet_with_workers, Deployment, FleetConfig, MobilityKind,
+};
+use silent_tracker_repro::st_net::ProtocolKind;
+
+/// A deliberately over-contended deployment: 2,400 UEs on the
+/// `fleet_load` street with only 2 preambles per occasion, so collisions
+/// are frequent even inside a 1/8 population shard (at gentler loads the
+/// sharded configuration sees none at all — see the bound note below).
+fn deployment(shards: usize) -> FleetConfig {
+    Deployment::new()
+        .street(400.0, 30.0)
+        .cell_row(4, 100.0)
+        .tx_beams(8)
+        .prach_preambles(2)
+        .population(1920, MobilityKind::Walk, ProtocolKind::SilentTracker)
+        .population(480, MobilityKind::Vehicular, ProtocolKind::SilentTracker)
+        .duration_secs(2.0)
+        .seed(42)
+        .shards(shards)
+        .build()
+        .expect("valid deployment")
+}
+
+/// Fleet-wide PRACH collision rate: collided preambles / heard preambles.
+fn collision_rate(out: &silent_tracker_repro::st_fleet::FleetOutcome) -> f64 {
+    let heard: u64 = out
+        .totals
+        .per_cell
+        .iter()
+        .map(|c| c.responder.preambles_heard)
+        .sum();
+    let collided: u64 = out
+        .totals
+        .per_cell
+        .iter()
+        .map(|c| 2 * c.responder.collisions)
+        .sum();
+    assert!(heard > 0, "no preambles heard:\n{}", out.summary());
+    collided as f64 / heard as f64
+}
+
+/// Documented bound (the measurement this test exists to record):
+///
+/// * At **moderate** load (600 UEs, 8 preambles) within-shard contention
+///   essentially vanishes — 8-shard collision rate ≈ 0 against ≈ 8%
+///   exact, i.e. ~100% relative error. Sharded collision figures below a
+///   few percent should be read as "no contention", not as a rate.
+/// * At **heavy** load (2,400 UEs, 2 preambles — this test's config) both
+///   configurations collide heavily and the 8-shard run under-counts the
+///   exact rate by ≈ 48% relative (measured: exact 0.180, sharded 0.094,
+///   seed 42). The asserted ceiling is 0.55 to leave headroom for
+///   legitimate future channel/protocol changes; the run is fully
+///   deterministic, so drift beyond that means the approximation itself
+///   changed.
+/// * Under-counted collisions feed back: fewer Msg4 losses and back-offs
+///   mean the sharded run *completes more handovers* (~1.7× here), so
+///   sharded absolute MAC-outcome counts at heavy contention are
+///   optimistic. A shared lock-free responder stage (the open item's
+///   second half) would remove this bias.
+#[test]
+#[ignore = "release-scale: 2 × 2,400-UE fleets; run with --release -- --ignored"]
+fn sharded_collision_rate_tracks_exact_contention() {
+    let exact = run_fleet_with_workers(&deployment(1), 1);
+    let sharded = run_fleet_with_workers(&deployment(8), 8);
+
+    // Matched load: same population, same seed-derived behavior per UE,
+    // so the offered preamble traffic is comparable (not identical: MAC
+    // outcomes feed back into retries).
+    let rate_exact = collision_rate(&exact);
+    let rate_sharded = collision_rate(&sharded);
+    let rel_err = (rate_exact - rate_sharded).abs() / rate_exact.max(1e-9);
+    eprintln!(
+        "exact(1-shard) rate={rate_exact:.4} sharded(8) rate={rate_sharded:.4} rel_err={rel_err:.3}"
+    );
+    eprintln!(
+        "handovers exact={} sharded={}",
+        exact.totals.handovers, sharded.totals.handovers
+    );
+    // Heavy contention reaches both configurations at all.
+    assert!(
+        rate_exact > 0.05 && rate_sharded > 0.02,
+        "load no longer contended enough to measure the approximation: \
+         exact={rate_exact:.4} sharded={rate_sharded:.4}"
+    );
+    assert!(
+        rel_err <= 0.55,
+        "shard approximation error out of bound: exact={rate_exact:.4} \
+         sharded={rate_sharded:.4} rel_err={rel_err:.3}"
+    );
+    // The documented feedback bias: the sharded run completes *more*
+    // handovers (fewer contention losses), bounded at 2× here.
+    let h_exact = exact.totals.handovers as f64;
+    let h_sharded = sharded.totals.handovers as f64;
+    assert!(
+        h_sharded >= h_exact && h_sharded <= 2.0 * h_exact,
+        "handover-volume bias outside the documented envelope: \
+         {h_exact} exact vs {h_sharded} sharded"
+    );
+}

@@ -1,0 +1,115 @@
+//! The acceptance criterion of the zero-allocation refactor, asserted
+//! directly: once warmed up, the sweep hot path — advance channels,
+//! snapshot the link's `PathSet`, evaluate a full transmit codebook, plus
+//! single-beam probes against the same snapshot — performs **zero** heap
+//! allocations per measurement instant.
+//!
+//! A counting global allocator (this test binary only) measures exactly
+//! that. Before the refactor every probe re-ran `Environment::trace` and
+//! collected a fresh `Vec<PathSample>` — two allocations per probe, tens
+//! of millions per fleet run.
+//!
+//! The one place the workspace's `unsafe_code = "deny"` is relaxed: a
+//! `GlobalAlloc` impl is unsafe by definition, and it only forwards to
+//! `System` around an atomic counter.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Only allocations made by the measuring thread, between `arm` and
+    /// `disarm`, are counted — the libtest harness's own threads allocate
+    /// at unpredictable times and must not pollute the measurement.
+    /// Const-initialized so reading it never allocates.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.with(Cell::get) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.with(Cell::get) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+use silent_tracker_repro::st_des::{RngStreams, SimDuration, SimTime};
+use silent_tracker_repro::st_net::config::CellConfig;
+use silent_tracker_repro::st_net::radio::{LinkSet, Sites};
+use silent_tracker_repro::st_phy::channel::{ChannelConfig, Environment};
+use silent_tracker_repro::st_phy::codebook::{BeamId, BeamwidthClass, Codebook};
+use silent_tracker_repro::st_phy::geometry::{Pose, Radians, Vec2};
+use silent_tracker_repro::st_phy::link::RadioConfig;
+use silent_tracker_repro::st_phy::units::Dbm;
+
+#[test]
+fn steady_state_sweep_path_allocates_nothing() {
+    let sites = Sites::new(
+        vec![CellConfig::at(-40.0, 10.0), CellConfig::at(40.0, 10.0)],
+        Environment::street_canyon(200.0, 30.0),
+        RadioConfig::ni_60ghz_testbed(),
+        ChannelConfig::outdoor_60ghz(),
+    );
+    let streams = RngStreams::new(3);
+    let mut links = LinkSet::single_ue(&streams, sites.channel, sites.len());
+    let ue_codebook = Codebook::for_class(BeamwidthClass::Narrow);
+    let n_beams = sites.codebooks[0].len();
+    let mut out = vec![Dbm(0.0); n_beams];
+
+    let instant = |k: u64| SimTime::ZERO + SimDuration::from_millis(5 * (k + 1));
+    let pose_at = |k: u64| {
+        Pose::new(
+            Vec2::new(-30.0 + 0.01 * k as f64, 0.5),
+            Radians(0.001 * k as f64),
+        )
+    };
+    // One full measurement instant: advance both links, sweep every tx
+    // beam of both cells on the gap beam, then probe two single beams
+    // against the serving snapshot (the serving-probe pattern).
+    let mut measure = |links: &mut LinkSet, k: u64| {
+        let pose = pose_at(k);
+        links.step_to(instant(k));
+        for cell in 0..sites.len() {
+            assert!(links.rss_tx_sweep(&sites, cell, pose, &ue_codebook, BeamId(4), &mut out));
+        }
+        for b in [BeamId(3), BeamId(5)] {
+            links.rss(&sites, 0, 2, pose, &ue_codebook, b);
+        }
+    };
+
+    // Warm-up: scratch buffers (rays, samples) grow to their steady size.
+    for k in 0..16 {
+        measure(&mut links, k);
+    }
+
+    ARMED.with(|f| f.set(true));
+    for k in 16..1016 {
+        measure(&mut links, k);
+    }
+    ARMED.with(|f| f.set(false));
+    let delta = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        delta, 0,
+        "sweep hot path allocated {delta} times over 1000 instants"
+    );
+}
