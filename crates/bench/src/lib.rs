@@ -13,10 +13,12 @@
 //! | [`robustness`] | pedestrian-blockage sweep (E8) | `cargo run -p st-bench --release --bin robustness` |
 //! | [`patterns`] | sectored vs true-ULA antenna realism (E9) | `cargo run -p st-bench --release --bin patterns` |
 //! | [`fleet_load`] | soft vs hard handover under fleet-scale PRACH load | `cargo run -p st-bench --release --bin fleet_load` |
+//! | [`blockage_study`] | silent vs reactive under moving geometric blockers | `cargo run -p st-bench --release --bin blockage_study` |
 //!
 //! Criterion micro/scenario benches live in `benches/`.
 
 pub mod ablation;
+pub mod blockage_study;
 pub mod fig2a;
 pub mod fig2c;
 pub mod fleet_load;

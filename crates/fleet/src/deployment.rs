@@ -19,7 +19,10 @@
 //! assert_eq!(cfg.n_ues(), 32);
 //! ```
 
+use std::sync::Arc;
+
 use st_des::SimDuration;
+use st_env::{BlockerPopulation, DynamicEnvironment};
 use st_net::config::{CellConfig, ProtocolKind, ScenarioConfig};
 use st_phy::channel::Environment;
 use st_phy::geometry::Vec2;
@@ -132,6 +135,8 @@ pub struct Deployment {
     base: ScenarioConfig,
     cells_set: bool,
     populations: Vec<PopulationSpec>,
+    blockers: Option<BlockerPopulation>,
+    street_dims: (f64, f64),
     n_shards: usize,
     event_budget: u64,
     spawn_x: Option<(f64, f64)>,
@@ -153,6 +158,8 @@ impl Deployment {
             base,
             cells_set: false,
             populations: Vec::new(),
+            blockers: None,
+            street_dims: (200.0, 30.0),
             n_shards: 1,
             event_budget: 200_000_000,
             spawn_x: None,
@@ -164,9 +171,21 @@ impl Deployment {
     /// origin. Also sets the default spawn span to the inner 80%.
     pub fn street(mut self, length_m: f64, width_m: f64) -> Deployment {
         self.base.environment = Environment::street_canyon(length_m, width_m);
+        self.street_dims = (length_m, width_m);
         if self.spawn_x.is_none() {
             self.spawn_x = Some((-0.4 * length_m, 0.4 * length_m));
         }
+        self
+    }
+
+    /// Share a population of moving geometric blockers (crowds, cars,
+    /// buses) across every UE of every shard: one bus shadows every link
+    /// it crosses, which is the *correlated* blockage the per-link
+    /// stochastic process cannot express. Opting in switches the
+    /// stochastic blockage duty cycle off — the dynamic environment is
+    /// the blockage model. Deployments without blockers are untouched.
+    pub fn blockers(mut self, population: BlockerPopulation) -> Deployment {
+        self.blockers = Some(population);
         self
     }
 
@@ -258,8 +277,20 @@ impl Deployment {
 
     pub fn build(self) -> Result<FleetConfig, String> {
         let spawn_x = self.spawn_x.unwrap_or((-80.0, 80.0));
+        let mut base = self.base;
+        if let Some(pop) = self.blockers {
+            let (length, width) = self.street_dims;
+            // `set_dynamics` also disarms the stochastic blockage duty
+            // cycle — geometric occlusion is the blockage model now.
+            base.set_dynamics(Arc::new(DynamicEnvironment::new(
+                base.environment.clone(),
+                pop.materialize(length, width),
+                base.channel.carrier,
+                base.duration.as_secs_f64(),
+            )));
+        }
         let cfg = FleetConfig {
-            base: self.base,
+            base,
             populations: self.populations,
             n_shards: self.n_shards,
             event_budget: self.event_budget,

@@ -63,9 +63,9 @@ mod tests {
             .cell_row(2, 80.0)
             .tx_beams(8)
             .prach_preambles(2)
-            .spawn_region((-20.0, 0.0), (-3.0, 3.0))
-            .population(24, MobilityKind::Walk, ProtocolKind::SilentTracker)
-            .duration_secs(1.5)
+            .spawn_region((-12.0, 0.0), (-3.0, 3.0))
+            .population(48, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .duration_secs(2.0)
             .seed(seed)
             .build()
             .unwrap()

@@ -206,12 +206,18 @@ fn build_mobility(spec: &UeSpec, rng: &mut StdRng, cfg: &FleetConfig) -> (BoxedM
 /// UE's protocol instance) instead of being rebuilt/cloned per shard.
 pub fn build_world(cfg: &FleetConfig) -> (Arc<Sites>, Arc<Codebook>) {
     let base = &cfg.base;
-    let sites = Arc::new(Sites::new(
+    let mut sites = Sites::new(
         base.cells.clone(),
         base.environment.clone(),
         base.radio,
         base.channel,
-    ));
+    );
+    if let Some(dynamics) = &base.dynamics {
+        // One blocker field shared by every UE of every shard: the same
+        // bus shadows every link it crosses.
+        sites = sites.with_dynamics(Arc::clone(dynamics));
+    }
+    let sites = Arc::new(sites);
     let ue_codebook = Arc::new(
         base.custom_ue_codebook
             .clone()
@@ -748,6 +754,12 @@ impl FleetWorld {
         ue.handovers += 1;
         self.handovers_in[rach.target] += 1;
         ue.serving = rach.target;
+        // The target BS served the whole RACH exchange on the SSB beam
+        // the UE accessed through — that beam, not the spawn-era one, is
+        // what it keeps transmitting on after admission. (Without this,
+        // a fast-moving UE could be handed over straight into a spurious
+        // RLF on a months-stale transmit beam.)
+        ue.bs_tx_beam[rach.target] = rach.ssb_beam;
         // Re-anchor the protocol on the new serving cell: beam management
         // restarts there with the access beam as the serving beam (the
         // session continues — this is what the context transfer bought).

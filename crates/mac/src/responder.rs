@@ -100,6 +100,11 @@ struct Pending {
     collided: bool,
     /// The UE whose Msg3 was decoded first (contention winner).
     winner: Option<UeId>,
+    /// When that first Msg3 was decoded — the instant contention
+    /// concluded. Preambles arriving *after* it start a fresh procedure;
+    /// preambles timestamped before it (a same-occasion collider whose
+    /// Msg1 is processed late) still join this one.
+    concluded_at: Option<SimTime>,
     /// The winner's soft-handover context fetch already ran: a Msg3
     /// retransmission (lost Msg4) is re-answered from the cached context
     /// without paying — or charging — the backhaul again.
@@ -163,6 +168,15 @@ impl RachResponder {
     /// of the original is a collision: the second UE is answered with the
     /// *same* RAR (the BS cannot tell them apart), and Msg4 contention
     /// resolution later picks one winner.
+    ///
+    /// An entry whose contention already *concluded* (a Msg3 winner was
+    /// answered before this preamble's arrival instant) is not matched:
+    /// a later UE reusing the (preamble, beam) starts a fresh procedure
+    /// with a fresh temporary id instead of inheriting the stale winner —
+    /// which would make its Msg3 record a phantom `contention_loss` until
+    /// `pending_ttl` swept the entry. The concluded entry itself stays
+    /// until the TTL so the winner's Msg3 retransmissions (lost Msg4)
+    /// still find their cached context.
     pub fn on_preamble(
         &mut self,
         now: SimTime,
@@ -173,11 +187,11 @@ impl RachResponder {
         self.expire(now, self.config.pending_ttl);
         self.stats.preambles_heard += 1;
         let window = self.config.collision_window;
-        let temp_ue = if let Some(p) = self
-            .pending
-            .iter_mut()
-            .find(|p| p.preamble == preamble && p.ssb_beam == ssb_beam)
-        {
+        let temp_ue = if let Some(p) = self.pending.iter_mut().find(|p| {
+            p.preamble == preamble
+                && p.ssb_beam == ssb_beam
+                && p.concluded_at.is_none_or(|c| now <= c)
+        }) {
             if now.since(p.started) <= window && !p.collided {
                 p.collided = true;
                 self.stats.collisions += 1;
@@ -197,6 +211,7 @@ impl RachResponder {
                 started: now,
                 collided: false,
                 winner: None,
+                concluded_at: None,
                 context_fetched: false,
             });
             temp
@@ -242,7 +257,10 @@ impl RachResponder {
                         self.stats.contention_losses += 1;
                         return None;
                     }
-                    _ => p.winner = Some(ue),
+                    _ => {
+                        p.winner = Some(ue);
+                        p.concluded_at.get_or_insert(now);
+                    }
                 }
                 cached = p.context_fetched;
                 if context_token != 0 {
@@ -449,6 +467,36 @@ mod tests {
         // Hard admissions never touch the pipe.
         let hard = r.on_msg3(t(3), None, UeId(4), 0).unwrap();
         assert_eq!(hard.queue_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn concluded_contention_is_not_inherited_by_a_later_ue() {
+        // Regression for the phantom-contention-loss bias: UE 7 wins its
+        // contention at t = 5 ms; UE 9 reuses the same (preamble, beam)
+        // at t = 10 ms — well inside pending_ttl (50 ms). UE 9 must get
+        // a *fresh* procedure, not inherit UE 7's concluded entry and
+        // lose contention against a ghost.
+        let mut r = resp();
+        let first = r.on_preamble(t(0), 12, 4, 100.0).unwrap();
+        let temp_a = match first.pdu {
+            Pdu::RachResponse { temp_ue, .. } => temp_ue,
+            _ => unreachable!(),
+        };
+        assert!(r.on_msg3(t(5), Some(temp_a), UeId(7), 0xA).is_some());
+
+        let second = r.on_preamble(t(10), 12, 4, 120.0).unwrap();
+        let temp_b = match second.pdu {
+            Pdu::RachResponse { temp_ue, .. } => temp_ue,
+            _ => unreachable!(),
+        };
+        assert_ne!(temp_a, temp_b, "later UE inherited the concluded entry");
+        // Its Msg3 is answered — no phantom loss.
+        assert!(r.on_msg3(t(14), Some(temp_b), UeId(9), 0xB).is_some());
+        assert_eq!(r.stats().contention_losses, 0);
+        // The winner retransmitting Msg3 still reuses its cached context.
+        let retry = r.on_msg3(t(20), Some(temp_a), UeId(7), 0xA).unwrap();
+        assert_eq!(retry.queue_wait, SimDuration::ZERO);
+        assert_eq!(r.stats().context_fetches, 2, "one fetch per distinct UE");
     }
 
     #[test]

@@ -57,6 +57,11 @@ impl Ecdf {
         self.quantile(0.5)
     }
 
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
     /// Evaluate the CDF on an even grid over `[lo, hi]` — the series a
     /// plotting tool consumes. Returns (x, F(x)) pairs.
     pub fn series(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
@@ -95,6 +100,7 @@ mod tests {
         assert_eq!(e.median(), 50.0);
         assert_eq!(e.min(), 1.0);
         assert_eq!(e.max(), 100.0);
+        assert_eq!(e.mean(), 50.5);
     }
 
     #[test]

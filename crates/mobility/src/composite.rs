@@ -39,6 +39,46 @@ impl<A: MobilityModel, B: MobilityModel> MobilityModel for Composite<A, B> {
     }
 }
 
+/// Repeat a finite trajectory forever: the inner model is evaluated at
+/// `(t + phase) mod period`, so each period replays the same pass.
+///
+/// This is how recurring street traffic is modelled without spawning an
+/// unbounded population: one `Periodic`-wrapped bus drive-past *is* the
+/// bus route (a fresh bus every `period_s`), one wrapped street crossing
+/// is a pedestrian stream. `phase_s` staggers members of a population so
+/// they do not all cross at once.
+#[derive(Debug, Clone, Copy)]
+pub struct Periodic<M> {
+    pub inner: M,
+    /// Repeat period, seconds. Must be positive.
+    pub period_s: f64,
+    /// Phase offset, seconds (added before wrapping).
+    pub phase_s: f64,
+}
+
+impl<M: MobilityModel> Periodic<M> {
+    pub fn new(inner: M, period_s: f64, phase_s: f64) -> Periodic<M> {
+        assert!(period_s > 0.0, "period must be positive");
+        Periodic {
+            inner,
+            period_s,
+            phase_s,
+        }
+    }
+}
+
+impl<M: MobilityModel> MobilityModel for Periodic<M> {
+    fn pose_at(&self, t_s: f64) -> Pose {
+        let local = (t_s + self.phase_s).rem_euclid(self.period_s);
+        self.inner.pose_at(local)
+    }
+
+    fn speed_at(&self, t_s: f64) -> f64 {
+        let local = (t_s + self.phase_s).rem_euclid(self.period_s);
+        self.inner.speed_at(local)
+    }
+}
+
 /// A turn manoeuvre: hold the base model's heading, then rotate by
 /// `turn_rad` starting at `start_s` at `rate_rad_s` (a pedestrian turning
 /// a street corner).
@@ -92,6 +132,22 @@ mod tests {
         let comp_h = c.pose_at(0.5).heading.degrees().0;
         let delta = (comp_h - base_h + 360.0) % 360.0;
         assert!((delta - 60.0).abs() < 1e-6, "delta {delta}");
+    }
+
+    #[test]
+    fn periodic_replays_the_inner_trajectory() {
+        use crate::vehicular::Vehicular;
+        let drive = Vehicular::paper_vehicular(Vec2::new(-50.0, 0.0), Radians(0.0));
+        let route = Periodic::new(drive, 10.0, 0.0);
+        // Same point in every period.
+        assert_eq!(route.pose_at(1.5).position, route.pose_at(11.5).position);
+        assert_eq!(route.pose_at(1.5).position, drive.pose_at(1.5).position);
+        // Phase staggering shifts the pass.
+        let late = Periodic::new(drive, 10.0, 3.0);
+        assert_eq!(late.pose_at(0.0).position, drive.pose_at(3.0).position);
+        // Negative times (phase wrap) stay inside the period.
+        assert_eq!(route.pose_at(-2.0).position, drive.pose_at(8.0).position);
+        assert_eq!(route.speed_at(4.0), drive.speed_at(4.0));
     }
 
     #[test]

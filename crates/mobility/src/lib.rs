@@ -24,7 +24,7 @@ pub mod vehicular;
 pub mod walk;
 pub mod waypoint;
 
-pub use composite::{Composite, TurnAt};
+pub use composite::{Composite, Periodic, TurnAt};
 pub use model::{BoxedModel, MobilityModel, Stationary};
 pub use rotation::DeviceRotation;
 pub use trajectory::{Replay, Trajectory};

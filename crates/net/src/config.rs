@@ -1,7 +1,10 @@
 //! Scenario configuration: cells, radio, protocol arm, faults.
 
+use std::sync::Arc;
+
 use silent_tracker::TrackerConfig;
 use st_des::SimDuration;
+use st_env::DynamicEnvironment;
 use st_mac::rach::{PrachConfig, RachConfig};
 use st_mac::schedule::GapSchedule;
 use st_mac::timing::SsbConfig;
@@ -68,6 +71,15 @@ pub struct ScenarioConfig {
     pub cells: Vec<CellConfig>,
     /// Static propagation environment (walls for the ray tracer).
     pub environment: Environment,
+    /// Optional dynamic environment: moving geometric blockers occluding
+    /// rays with knife-edge diffraction. `None` (the default) keeps the
+    /// stochastic per-link blockage process as the only blockage source,
+    /// so every seeded baseline is untouched unless a scenario opts in.
+    /// When set, its static walls take precedence over `environment`.
+    /// Opt in via [`ScenarioConfig::set_dynamics`], which also disarms
+    /// the stochastic process — assigning the field directly would run
+    /// both blockage models at once and attenuate every link twice.
+    pub dynamics: Option<Arc<DynamicEnvironment>>,
     /// Index into `cells` of the initial serving cell.
     pub initial_serving: usize,
     pub ue_codebook: BeamwidthClass,
@@ -107,6 +119,7 @@ impl ScenarioConfig {
         ScenarioConfig {
             cells: vec![CellConfig::at(-40.0, 10.0), CellConfig::at(40.0, 10.0)],
             environment: Environment::street_canyon(200.0, 30.0),
+            dynamics: None,
             initial_serving: 0,
             ue_codebook: BeamwidthClass::Narrow,
             custom_ue_codebook: None,
@@ -131,6 +144,16 @@ impl ScenarioConfig {
     /// SSB configuration of cell `idx`.
     pub fn ssb(&self, idx: usize) -> SsbConfig {
         SsbConfig::nr_fr2(self.cells[idx].n_tx_beams)
+    }
+
+    /// Opt into a dynamic environment: geometric occlusion becomes *the*
+    /// blockage model, so the geometry-free stochastic duty cycle is
+    /// switched off in the same move — a bus shadow and a random fade
+    /// must not stack on the same ray. This is the only supported way to
+    /// set [`ScenarioConfig::dynamics`].
+    pub fn set_dynamics(&mut self, dynamics: Arc<DynamicEnvironment>) {
+        self.channel.blockage_rate_hz = 0.0;
+        self.dynamics = Some(dynamics);
     }
 
     pub fn validate(&self) -> Result<(), String> {

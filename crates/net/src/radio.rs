@@ -7,9 +7,12 @@
 //! streams are derived per link, so adding UEs never perturbs the channel
 //! draws of existing ones.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use st_des::{RngStreams, SimTime};
+use st_env::{DynamicEnvironment, OcclusionScratch};
 use st_mac::timing::{SsbConfig, TxBeamIndex};
 use st_phy::channel::{ChannelConfig, Environment, PathSet};
 use st_phy::codebook::{BeamId, Codebook};
@@ -28,6 +31,9 @@ pub struct Sites {
     pub cells: Vec<CellConfig>,
     pub codebooks: Vec<Codebook>,
     pub environment: Environment,
+    /// Moving geometric blockers occluding rays after each trace; `None`
+    /// keeps the static world (every pre-existing scenario's behaviour).
+    pub dynamics: Option<Arc<DynamicEnvironment>>,
     pub radio: RadioConfig,
     pub channel: ChannelConfig,
 }
@@ -47,9 +53,19 @@ impl Sites {
             cells,
             codebooks,
             environment,
+            dynamics: None,
             radio,
             channel,
         }
+    }
+
+    /// Attach a dynamic environment. Its static walls become *the* walls
+    /// (single source of truth), so a `Sites` can never trace against a
+    /// different geometry than its blockers were built for.
+    pub fn with_dynamics(mut self, dynamics: Arc<DynamicEnvironment>) -> Sites {
+        self.environment = dynamics.statics().clone();
+        self.dynamics = Some(dynamics);
+        self
     }
 
     pub fn len(&self) -> usize {
@@ -98,6 +114,9 @@ pub struct LinkSet {
     snaps: Vec<PathSet>,
     /// The (instant, UE position) each snapshot was taken at.
     snap_key: Vec<Option<(SimTime, Vec2)>>,
+    /// Occlusion candidate scratch for the dynamic-environment pass,
+    /// reused every snapshot (sized once to the blocker count).
+    occl: OcclusionScratch,
 }
 
 impl LinkSet {
@@ -132,6 +151,7 @@ impl LinkSet {
             last_step: SimTime::ZERO,
             snaps: (0..n).map(|_| PathSet::new()).collect(),
             snap_key: vec![None; n],
+            occl: OcclusionScratch::new(),
         }
     }
 
@@ -150,17 +170,30 @@ impl LinkSet {
 
     /// The path snapshot of `cell` for a UE at `ue_pos`, traced at most
     /// once per (instant, position) and reused for every beam evaluated
-    /// against it.
+    /// against it. With a dynamic environment attached, the occlusion
+    /// pass runs once here, on the snapshot — it consumes no RNG draws
+    /// and allocates nothing in steady state, so the zero-allocation and
+    /// determinism contracts of the sweep path carry over unchanged.
     fn snapshot(&mut self, sites: &Sites, cell: usize, ue_pos: Vec2) -> &PathSet {
         let key = Some((self.last_step, ue_pos));
         if self.snap_key[cell] != key {
+            let bs_pos = sites.pose(cell).position;
             self.channels[cell].trace_into(
                 &mut self.rngs[cell],
                 &sites.environment,
-                sites.pose(cell).position,
+                bs_pos,
                 ue_pos,
                 &mut self.snaps[cell],
             );
+            if let Some(dynamics) = &sites.dynamics {
+                dynamics.occlude(
+                    self.last_step.as_secs_f64(),
+                    bs_pos,
+                    ue_pos,
+                    &mut self.snaps[cell],
+                    &mut self.occl,
+                );
+            }
             self.snap_key[cell] = key;
         }
         &self.snaps[cell]

@@ -145,12 +145,15 @@ impl Scenario {
                 .clone()
                 .unwrap_or_else(|| Codebook::for_class(cfg.ue_codebook)),
         );
-        let sites = Sites::new(
+        let mut sites = Sites::new(
             cfg.cells.clone(),
             cfg.environment.clone(),
             cfg.radio,
             cfg.channel,
         );
+        if let Some(dynamics) = &cfg.dynamics {
+            sites = sites.with_dynamics(Arc::clone(dynamics));
+        }
         let links = LinkSet::single_ue(&streams, cfg.channel, sites.len());
 
         // Initial beams: the mobile completed initial access to the

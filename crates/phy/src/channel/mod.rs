@@ -56,6 +56,28 @@ impl PathSet {
         &self.samples
     }
 
+    /// The traced rays the samples were built from. Parallel to
+    /// [`samples`](PathSet::samples): `rays()[i]` is the geometry of
+    /// `samples()[i]` (same order, same length after a trace).
+    pub fn rays(&self) -> &[Ray] {
+        &self.rays
+    }
+
+    /// Apply an extra per-ray loss to every sample in place: `extra(ray)`
+    /// decibels are subtracted from the corresponding sample's gain. The
+    /// dynamic-environment occlusion pass uses this to fold moving-blocker
+    /// diffraction losses into an already-traced snapshot without
+    /// re-tracing, allocating, or touching the RNG stream. A ray for which
+    /// `extra` returns exactly `Db::ZERO` keeps its gain bit-identical.
+    pub fn attenuate(&mut self, mut extra: impl FnMut(&Ray) -> Db) {
+        for (ray, sample) in self.rays.iter().zip(self.samples.iter_mut()) {
+            let loss = extra(ray);
+            if loss != Db::ZERO {
+                sample.gain -= loss;
+            }
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.samples.len()
     }

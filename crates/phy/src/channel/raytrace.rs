@@ -27,6 +27,10 @@ pub struct Ray {
     pub excess_loss: Db,
     /// Whether this is the direct (line-of-sight) ray.
     pub is_los: bool,
+    /// The interaction point for a reflected ray (where the ray bounces
+    /// off its wall); `None` for the direct ray. Dynamic-environment
+    /// occlusion needs it to test each leg of the folded path separately.
+    pub via: Option<Vec2>,
 }
 
 /// A wall: a segment plus its electromagnetic properties.
@@ -138,6 +142,7 @@ impl Environment {
             aoa: (tx - rx).angle(),
             excess_loss: los_loss,
             is_los: true,
+            via: None,
         });
 
         // One specular bounce per wall (image method).
@@ -164,6 +169,7 @@ impl Environment {
                 aoa: (refl_point - rx).angle(),
                 excess_loss: excess,
                 is_los: false,
+                via: Some(refl_point),
             });
         }
     }

@@ -7,6 +7,8 @@
 //!
 //! * [`silent_tracker`] — the protocol (the paper's contribution).
 //! * [`st_phy`] — 60 GHz PHY substrate (channels, codebooks, link budget).
+//! * [`st_env`] — dynamic environments: moving geometric blockers with
+//!   knife-edge diffraction, and the urban scenario library.
 //! * [`st_mac`] — SSB sweeps, RACH, control PDUs, gap schedules.
 //! * [`st_mobility`] — walk / rotation / vehicular mobility models.
 //! * [`st_net`] — event-driven single-UE scenarios tying it all together.
@@ -19,6 +21,7 @@
 pub use silent_tracker;
 pub use st_bench;
 pub use st_des;
+pub use st_env;
 pub use st_fleet;
 pub use st_mac;
 pub use st_metrics;

@@ -59,13 +59,16 @@ fn collision_rate(out: &silent_tracker_repro::st_fleet::FleetOutcome) -> f64 {
 ///   few percent should be read as "no contention", not as a rate.
 /// * At **heavy** load (2,400 UEs, 2 preambles — this test's config) both
 ///   configurations collide heavily and the 8-shard run under-counts the
-///   exact rate by ≈ 48% relative (measured: exact 0.180, sharded 0.094,
-///   seed 42). The asserted ceiling is 0.55 to leave headroom for
-///   legitimate future channel/protocol changes; the run is fully
-///   deterministic, so drift beyond that means the approximation itself
-///   changed.
+///   exact rate by ≈ 76% relative (measured: exact 0.470, sharded 0.112,
+///   seed 42 — re-baselined in PR 4: the phantom-contention-loss fix
+///   means a concluded (preamble, beam) entry no longer swallows later
+///   preamble reuses as "retransmissions", so far more of the offered
+///   traffic at exact contention is now correctly scored as colliding,
+///   widening the gap to the sharded configuration). The asserted
+///   ceiling is 0.85; the run is fully deterministic, so drift beyond
+///   that means the approximation itself changed.
 /// * Under-counted collisions feed back: fewer Msg4 losses and back-offs
-///   mean the sharded run *completes more handovers* (~1.7× here), so
+///   mean the sharded run *completes more handovers* (~1.4× here), so
 ///   sharded absolute MAC-outcome counts at heavy contention are
 ///   optimistic. A shared lock-free responder stage (the open item's
 ///   second half) would remove this bias.
@@ -95,7 +98,7 @@ fn sharded_collision_rate_tracks_exact_contention() {
          exact={rate_exact:.4} sharded={rate_sharded:.4}"
     );
     assert!(
-        rel_err <= 0.55,
+        rel_err <= 0.85,
         "shard approximation error out of bound: exact={rate_exact:.4} \
          sharded={rate_sharded:.4} rel_err={rel_err:.3}"
     );

@@ -11,29 +11,29 @@
 //!
 //! The one place the workspace's `unsafe_code = "deny"` is relaxed: a
 //! `GlobalAlloc` impl is unsafe by definition, and it only forwards to
-//! `System` around an atomic counter.
+//! `System` around a thread-local counter.
 #![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 struct Counting;
-
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// Only allocations made by the measuring thread, between `arm` and
     /// `disarm`, are counted — the libtest harness's own threads allocate
-    /// at unpredictable times and must not pollute the measurement.
+    /// at unpredictable times and must not pollute the measurement, and
+    /// the two zero-allocation tests run on different harness threads
+    /// concurrently, so the counter itself is thread-local too.
     /// Const-initialized so reading it never allocates.
     static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
 }
 
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.with(Cell::get) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOCS.with(|c| c.set(c.get() + 1));
         }
         unsafe { System.alloc(layout) }
     }
@@ -44,7 +44,7 @@ unsafe impl GlobalAlloc for Counting {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.with(Cell::get) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            ALLOCS.with(|c| c.set(c.get() + 1));
         }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -53,14 +53,17 @@ unsafe impl GlobalAlloc for Counting {
 #[global_allocator]
 static A: Counting = Counting;
 
+use std::sync::Arc;
+
 use silent_tracker_repro::st_des::{RngStreams, SimDuration, SimTime};
+use silent_tracker_repro::st_env::{BlockerPopulation, DynamicEnvironment};
 use silent_tracker_repro::st_net::config::CellConfig;
 use silent_tracker_repro::st_net::radio::{LinkSet, Sites};
 use silent_tracker_repro::st_phy::channel::{ChannelConfig, Environment};
 use silent_tracker_repro::st_phy::codebook::{BeamId, BeamwidthClass, Codebook};
 use silent_tracker_repro::st_phy::geometry::{Pose, Radians, Vec2};
 use silent_tracker_repro::st_phy::link::RadioConfig;
-use silent_tracker_repro::st_phy::units::Dbm;
+use silent_tracker_repro::st_phy::units::{Carrier, Dbm};
 
 #[test]
 fn steady_state_sweep_path_allocates_nothing() {
@@ -107,9 +110,79 @@ fn steady_state_sweep_path_allocates_nothing() {
         measure(&mut links, k);
     }
     ARMED.with(|f| f.set(false));
-    let delta = ALLOCS.load(Ordering::Relaxed);
+    let delta = ALLOCS.with(Cell::get);
     assert_eq!(
         delta, 0,
         "sweep hot path allocated {delta} times over 1000 instants"
+    );
+}
+
+/// The same guarantee with a dynamic environment attached: tracing the
+/// snapshot *and* running the blocker occlusion pass over it (60 moving
+/// blockers, time-indexed cull, knife-edge losses folded per ray)
+/// allocates nothing once the candidate scratch has warmed up.
+#[test]
+fn occluded_sweep_path_allocates_nothing() {
+    let walls = Environment::street_canyon(200.0, 30.0);
+    let blockers = BlockerPopulation::new(5)
+        .crowd(52)
+        .vehicles(6)
+        .buses(2)
+        .materialize(200.0, 30.0);
+    // Horizon shorter than the sweep (the measurement loop runs past
+    // 5 s) so both the indexed and the exhaustive-fallback query paths
+    // are exercised under the allocation counter.
+    let dynamics = Arc::new(DynamicEnvironment::new(
+        walls.clone(),
+        blockers,
+        Carrier::MM_WAVE_60GHZ,
+        3.0,
+    ));
+    let sites = Sites::new(
+        vec![CellConfig::at(-40.0, 10.0), CellConfig::at(40.0, 10.0)],
+        walls,
+        RadioConfig::ni_60ghz_testbed(),
+        ChannelConfig::outdoor_60ghz(),
+    )
+    .with_dynamics(dynamics);
+    let streams = RngStreams::new(3);
+    let mut links = LinkSet::single_ue(&streams, sites.channel, sites.len());
+    let ue_codebook = Codebook::for_class(BeamwidthClass::Narrow);
+    let n_beams = sites.codebooks[0].len();
+    let mut out = vec![Dbm(0.0); n_beams];
+
+    let instant = |k: u64| SimTime::ZERO + SimDuration::from_millis(5 * (k + 1));
+    let pose_at = |k: u64| {
+        Pose::new(
+            Vec2::new(-30.0 + 0.01 * k as f64, 0.5),
+            Radians(0.001 * k as f64),
+        )
+    };
+    let mut measure = |links: &mut LinkSet, k: u64| {
+        let pose = pose_at(k);
+        links.step_to(instant(k));
+        for cell in 0..sites.len() {
+            assert!(links.rss_tx_sweep(&sites, cell, pose, &ue_codebook, BeamId(4), &mut out));
+        }
+        for b in [BeamId(3), BeamId(5)] {
+            links.rss(&sites, 0, 2, pose, &ue_codebook, b);
+        }
+    };
+
+    // Warm-up: ray/sample scratch plus the occlusion candidate buffer
+    // (pre-sized to the blocker count on first use) reach steady state.
+    for k in 0..16 {
+        measure(&mut links, k);
+    }
+
+    ARMED.with(|f| f.set(true));
+    for k in 16..1016 {
+        measure(&mut links, k);
+    }
+    ARMED.with(|f| f.set(false));
+    let delta = ALLOCS.with(Cell::get);
+    assert_eq!(
+        delta, 0,
+        "occluded sweep hot path allocated {delta} times over 1000 instants"
     );
 }
