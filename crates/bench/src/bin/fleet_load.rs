@@ -1,16 +1,21 @@
 //! Fleet-scale PRACH load sweep: soft vs hard handover under contention.
-//! Usage: `fleet_load [--smoke] [--workers N] [--json PATH] [POPULATIONS...]`
+//! Usage: `fleet_load [--smoke] [--exact-contention] [--workers N] [--json PATH] [POPULATIONS...]`
 //!
 //! `--smoke` prints the deterministic aggregate summary of a small fixed
 //! fleet (CI compares two invocations byte-for-byte); otherwise the
 //! positional arguments are population sizes (default 100 300 1000).
+//! `--exact-contention` routes all RACH traffic through the shared
+//! cross-shard responder stage (exact global contention; the summary is
+//! then byte-identical across shard counts as well as worker counts).
 //!
 //! Either mode also writes the `BENCH_fleet.json` perf artifact (per-run
-//! wall-clock, UE-seconds simulated per wall-second, and the recorded
-//! pre-refactor baseline) to `--json PATH` (default `BENCH_fleet.json`);
-//! the artifact goes to a file so the smoke stdout stays byte-comparable.
+//! wall-clock, UE-seconds simulated per wall-second, contention mode and
+//! barrier overhead, plus the recorded pre-refactor baseline) to
+//! `--json PATH` (default `BENCH_fleet.json`); the artifact goes to a
+//! file so the smoke stdout stays byte-comparable.
 fn main() {
     let mut smoke = false;
+    let mut exact = false;
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -20,6 +25,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--exact-contention" => exact = true,
             "--workers" => {
                 workers = args
                     .next()
@@ -32,10 +38,19 @@ fn main() {
             other => populations.push(other.parse().expect("population size")),
         }
     }
+    let mode_label = |base: &str| {
+        if exact {
+            format!("{base}-exact")
+        } else {
+            base.to_string()
+        }
+    };
     if smoke {
-        let (summary, load) = st_bench::fleet_load::smoke_timed(workers);
+        let (summary, load) = st_bench::fleet_load::smoke_timed(workers, exact);
         print!("{summary}");
-        if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &load, "smoke") {
+        if let Err(e) =
+            st_bench::fleet_load::write_bench_json(&json_path, &load, &mode_label("smoke"))
+        {
             eprintln!("warning: could not write {json_path}: {e}");
         }
         return;
@@ -43,9 +58,9 @@ fn main() {
     if populations.is_empty() {
         populations = vec![100, 300, 1000];
     }
-    let r = st_bench::fleet_load::run(&populations, 42, workers);
+    let r = st_bench::fleet_load::run(&populations, 42, workers, exact);
     println!("{}", st_bench::fleet_load::render(&r));
-    if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, "sweep") {
+    if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, &mode_label("sweep")) {
         eprintln!("warning: could not write {json_path}: {e}");
     }
     println!("perf artifact: {json_path}");

@@ -52,7 +52,10 @@ pub struct FleetLoad {
 /// The shared deployment at a given population size: four cells down a
 /// street canyon, mostly walkers plus a vehicular slice, a deliberately
 /// small preamble pool so PRACH contention rises with population.
-fn deployment(ues: u64, protocol: ProtocolKind, seed: u64) -> FleetConfig {
+/// `exact` routes all RACH traffic through the shared cross-shard
+/// responder stage (exact global contention) instead of the per-shard
+/// approximation.
+fn deployment(ues: u64, protocol: ProtocolKind, seed: u64, exact: bool) -> FleetConfig {
     let walkers = (ues * 4 / 5) as u32;
     let vehicles = ues as u32 - walkers;
     Deployment::new()
@@ -65,15 +68,16 @@ fn deployment(ues: u64, protocol: ProtocolKind, seed: u64) -> FleetConfig {
         .duration_secs(2.0)
         .seed(seed)
         .shards(8)
+        .exact_contention(exact)
         .build()
         .expect("valid fleet deployment")
 }
 
-pub fn run(populations: &[u64], seed: u64, workers: usize) -> FleetLoad {
+pub fn run(populations: &[u64], seed: u64, workers: usize, exact: bool) -> FleetLoad {
     let mut arms = Vec::new();
     for &ues in populations {
         for protocol in [ProtocolKind::SilentTracker, ProtocolKind::Reactive] {
-            let cfg = deployment(ues, protocol, seed);
+            let cfg = deployment(ues, protocol, seed, exact);
             let start = Instant::now();
             let outcome = run_fleet_with_workers(&cfg, workers);
             let wall_s = start.elapsed().as_secs_f64();
@@ -127,9 +131,16 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
     writeln!(s, "  \"arms\": [").unwrap();
     for (i, a) in r.arms.iter().enumerate() {
         let sep = if i + 1 == r.arms.len() { "" } else { "," };
+        let contention = if a.outcome.exact_contention {
+            "exact"
+        } else {
+            "sharded"
+        };
+        let barrier_wait_s = a.outcome.stage.map(|st| st.barrier_wait_s).unwrap_or(0.0);
         writeln!(
             s,
-            "    {{\"ues\": {}, \"arm\": \"{}\", \"wall_s\": {:.3}, \
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"contention\": \"{contention}\", \
+             \"wall_s\": {:.3}, \"barrier_wait_s\": {barrier_wait_s:.3}, \
              \"ue_seconds_per_wall_second\": {:.0}, \"handovers\": {}, \"events\": {}}}{sep}",
             a.ues,
             arm_label(a.protocol),
@@ -226,7 +237,9 @@ pub fn render(r: &FleetLoad) -> String {
 }
 
 /// The deterministic smoke fleet for the CI byte-identical check.
-pub fn smoke_config() -> FleetConfig {
+/// `exact` arms the shared cross-shard responder stage — the CI
+/// exact-contention smoke compares two worker counts of that mode too.
+pub fn smoke_config(exact: bool) -> FleetConfig {
     Deployment::new()
         .street(200.0, 30.0)
         .cell_row(2, 80.0)
@@ -238,20 +251,21 @@ pub fn smoke_config() -> FleetConfig {
         .duration_secs(1.0)
         .seed(7)
         .shards(4)
+        .exact_contention(exact)
         .build()
         .expect("valid smoke fleet")
 }
 
-pub fn smoke(workers: usize) -> String {
-    run_fleet_with_workers(&smoke_config(), workers).summary()
+pub fn smoke(workers: usize, exact: bool) -> String {
+    run_fleet_with_workers(&smoke_config(exact), workers).summary()
 }
 
 /// Smoke run with timing, packaged as a one-arm [`FleetLoad`] so the CI
 /// perf-smoke step can emit a `BENCH_fleet.json` artifact from the same
 /// code path as the full sweep. The returned summary string is identical
 /// to [`smoke`]'s (the byte-compare contract).
-pub fn smoke_timed(workers: usize) -> (String, FleetLoad) {
-    let cfg = smoke_config();
+pub fn smoke_timed(workers: usize, exact: bool) -> (String, FleetLoad) {
+    let cfg = smoke_config(exact);
     let ues = cfg.n_ues();
     let start = Instant::now();
     let outcome = run_fleet_with_workers(&cfg, workers);
@@ -274,12 +288,32 @@ mod tests {
 
     #[test]
     fn smoke_is_worker_invariant() {
-        assert_eq!(smoke(1), smoke(4));
+        assert_eq!(smoke(1, false), smoke(4, false));
+    }
+
+    #[test]
+    fn exact_smoke_is_worker_invariant_and_sees_more_contention() {
+        let sharded = smoke(2, false);
+        let exact = smoke(2, true);
+        assert_eq!(exact, smoke(1, true));
+        // Exact global contention can only add collisions relative to
+        // the per-shard approximation on the same traffic.
+        let collisions = |s: &str| -> u64 {
+            s.lines()
+                .filter_map(|l| l.split("collisions=").nth(1))
+                .filter_map(|t| t.split_whitespace().next())
+                .filter_map(|v| v.parse::<u64>().ok())
+                .sum()
+        };
+        assert!(
+            collisions(&exact) >= collisions(&sharded),
+            "exact {exact}\nsharded {sharded}"
+        );
     }
 
     #[test]
     fn small_sweep_renders_both_arms() {
-        let r = run(&[24], 3, 4);
+        let r = run(&[24], 3, 4, false);
         assert_eq!(r.arms.len(), 2);
         let s = render(&r);
         assert!(s.contains("silent") && s.contains("reactive"), "{s}");

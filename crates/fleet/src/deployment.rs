@@ -70,6 +70,13 @@ pub struct FleetConfig {
     /// Number of independent simulation shards the population is split
     /// into (fixed by config — results never depend on worker count).
     pub n_shards: usize,
+    /// Route all RACH traffic through the shared cross-shard responder
+    /// stage: shards synchronize at PRACH-occasion barriers and each
+    /// cell's occasion resolves over the globally merged attempt set, so
+    /// contention is exact (byte-identical to a 1-shard run) instead of
+    /// per-shard approximate. Costs barrier synchronization; off by
+    /// default.
+    pub exact_contention: bool,
     /// DES event budget per shard.
     pub event_budget: u64,
     /// UEs spawn uniformly over x ∈ [spawn_x.0, spawn_x.1].
@@ -138,6 +145,7 @@ pub struct Deployment {
     blockers: Option<BlockerPopulation>,
     street_dims: (f64, f64),
     n_shards: usize,
+    exact_contention: bool,
     event_budget: u64,
     spawn_x: Option<(f64, f64)>,
     spawn_y: (f64, f64),
@@ -161,6 +169,7 @@ impl Deployment {
             blockers: None,
             street_dims: (200.0, 30.0),
             n_shards: 1,
+            exact_contention: false,
             event_budget: 200_000_000,
             spawn_x: None,
             spawn_y: (-3.0, 3.0),
@@ -256,6 +265,13 @@ impl Deployment {
         self
     }
 
+    /// Arm the shared cross-shard RACH responder stage (exact global
+    /// contention; see [`FleetConfig::exact_contention`]).
+    pub fn exact_contention(mut self, on: bool) -> Deployment {
+        self.exact_contention = on;
+        self
+    }
+
     pub fn event_budget(mut self, budget: u64) -> Deployment {
         self.event_budget = budget;
         self
@@ -293,6 +309,7 @@ impl Deployment {
             base,
             populations: self.populations,
             n_shards: self.n_shards,
+            exact_contention: self.exact_contention,
             event_budget: self.event_budget,
             spawn_x,
             spawn_y: self.spawn_y,

@@ -20,6 +20,11 @@
 //! * [`runner`] — sharded parallel execution over `std::thread::scope`
 //!   with per-shard seed splitting; aggregates are bit-identical
 //!   regardless of worker count.
+//! * [`stage`] — the shared cross-shard RACH resolution stage
+//!   ([`FleetConfig::exact_contention`]): shards synchronize at PRACH
+//!   occasion barriers and each occasion resolves over the globally
+//!   merged attempt set in canonical order, making contention exact and
+//!   the aggregate byte-identical across *shard* counts too.
 //! * [`metrics`] — per-cell RACH collision rate / occasion occupancy and
 //!   fleet-wide interruption CDFs, flowing through `st_metrics`.
 //!
@@ -44,10 +49,12 @@ pub mod deployment;
 pub mod metrics;
 pub mod runner;
 pub mod sim;
+pub mod stage;
 
 pub use deployment::{Deployment, FleetConfig, MobilityKind, PopulationSpec, UeSpec};
-pub use metrics::{CellLoad, FleetOutcome, ShardOutcome};
-pub use runner::{run_fleet, run_fleet_with_workers};
+pub use metrics::{CellLoad, FleetOutcome, ShardOutcome, StageReport};
+pub use runner::{run_fleet, run_fleet_exact_with_order, run_fleet_with_workers, StageOrder};
+pub use stage::{RachAttemptMsg, RachReply, RachReq, SharedRachStage, StageCounters};
 
 #[cfg(test)]
 mod tests {

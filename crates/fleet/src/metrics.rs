@@ -2,9 +2,13 @@
 //! outcomes, merged across shards in shard order so results are
 //! bit-identical regardless of how many worker threads ran the shards.
 
+use std::collections::BTreeSet;
+
 use st_des::SimDuration;
 use st_mac::responder::ResponderStats;
 use st_metrics::{Accumulator, Ecdf, Table};
+
+use crate::stage::StageCounters;
 
 /// RACH and backhaul load observed at one cell.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,6 +65,14 @@ impl CellLoad {
 #[derive(Debug, Clone, Default)]
 pub struct ShardOutcome {
     pub per_cell: Vec<CellLoad>,
+    /// This shard ran under the shared cross-shard responder stage (its
+    /// own responders stayed idle; the merge must not sum them and must
+    /// union occasion instants instead of summing per-shard counts).
+    pub exact: bool,
+    /// Raw instants (ns) of PRACH occasions this shard's UEs transmitted
+    /// on, per cell — unioned across shards by the exact-mode merge so a
+    /// globally shared occasion is counted once.
+    pub occasion_instants: Vec<BTreeSet<u64>>,
     /// Soft-handover (make-before-break) interruptions, ms, in UE order.
     pub soft_interruptions_ms: Vec<f64>,
     /// Hard-handover (post-RLF reactive) interruptions, ms, in UE order.
@@ -78,12 +90,33 @@ pub struct ShardOutcome {
     pub budget_exhausted_shards: u64,
 }
 
+/// Nondeterministic execution-side observations of an exact-contention
+/// run (wall-clock barrier overhead) plus the stage's deterministic
+/// counters. Kept out of [`FleetOutcome::summary`]: wall time is not a
+/// property of (config, seed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageReport {
+    /// Occasion barriers the run synchronized at.
+    pub epochs: u64,
+    /// Total wall-clock seconds all workers spent waiting at barriers.
+    pub barrier_wait_s: f64,
+    /// Deterministic stage counters (resolved preambles/Msg3s, busy
+    /// barriers).
+    pub counters: StageCounters,
+}
+
 /// Merged fleet result.
 #[derive(Debug, Clone)]
 pub struct FleetOutcome {
     pub seed: u64,
     pub n_shards: usize,
     pub duration: SimDuration,
+    /// The run resolved RACH contention through the shared cross-shard
+    /// stage (responder stats below are the stage's, reported once per
+    /// cell).
+    pub exact_contention: bool,
+    /// Barrier/stage execution report (exact-contention runs only).
+    pub stage: Option<StageReport>,
     pub totals: ShardOutcome,
 }
 
@@ -97,14 +130,37 @@ impl FleetOutcome {
         shards: impl IntoIterator<Item = ShardOutcome>,
     ) -> FleetOutcome {
         let mut totals = ShardOutcome::default();
-        let mut n_shards = 0;
-        for s in shards {
+        let mut n_shards: usize = 0;
+        let mut exact = false;
+        // Every shard derives the same offered-occasion totals from the
+        // shared config; the exact-mode fixup below relies on that, so
+        // capture the first shard's values to assert it.
+        let mut first_occasions_total: Vec<u64> = Vec::new();
+        for mut s in shards {
             n_shards += 1;
+            exact |= s.exact;
             if totals.per_cell.is_empty() {
                 totals.per_cell = vec![CellLoad::default(); s.per_cell.len()];
+                first_occasions_total = s.per_cell.iter().map(|c| c.occasions_total).collect();
             }
             for (t, c) in totals.per_cell.iter_mut().zip(s.per_cell.iter()) {
                 t.merge(c);
+            }
+            if s.exact {
+                // Under the shared stage the shards still model one set
+                // of *global* PRACH occasions: union the used instants
+                // (a shared occasion is one occasion) and keep the
+                // offered total once instead of once per shard.
+                if totals.occasion_instants.is_empty() {
+                    totals.occasion_instants = vec![BTreeSet::new(); s.occasion_instants.len()];
+                }
+                for (t, c) in totals
+                    .occasion_instants
+                    .iter_mut()
+                    .zip(s.occasion_instants.iter_mut())
+                {
+                    t.append(c);
+                }
             }
             totals.soft_interruptions_ms.extend(s.soft_interruptions_ms);
             totals.hard_interruptions_ms.extend(s.hard_interruptions_ms);
@@ -117,11 +173,54 @@ impl FleetOutcome {
             totals.events += s.events;
             totals.budget_exhausted_shards += s.budget_exhausted_shards;
         }
+        if exact {
+            totals.exact = true;
+            for (cell, t) in totals.per_cell.iter_mut().enumerate() {
+                t.occasions_used = totals
+                    .occasion_instants
+                    .get(cell)
+                    .map_or(0, |s| s.len() as u64);
+                // The shards model one shared cell: each reported the
+                // same config-derived offered total, so the cell's total
+                // is that value once — not once per shard.
+                let per_shard = first_occasions_total.get(cell).copied().unwrap_or(0);
+                assert_eq!(
+                    t.occasions_total,
+                    per_shard * n_shards as u64,
+                    "cell {cell}: shards disagree on the offered PRACH occasion total"
+                );
+                t.occasions_total = per_shard;
+            }
+        }
         FleetOutcome {
             seed,
             n_shards,
             duration,
+            exact_contention: exact,
+            stage: None,
             totals,
+        }
+    }
+
+    /// Install the shared stage's per-cell responder statistics —
+    /// reported **once** per cell. In exact-contention mode every
+    /// per-shard responder is idle (all RACH traffic resolves at the
+    /// stage), so the summed per-shard counters this replaces are zero;
+    /// summing the stage's counters per shard would double-, quadruple-,
+    /// N-count them (the regression `metrics::tests` pins).
+    pub fn apply_shared_responders(&mut self, per_cell: Vec<ResponderStats>) {
+        assert_eq!(
+            per_cell.len(),
+            self.totals.per_cell.len(),
+            "stage cell count must match the fleet's"
+        );
+        for (cell, stats) in self.totals.per_cell.iter_mut().zip(per_cell) {
+            debug_assert_eq!(
+                cell.responder,
+                ResponderStats::default(),
+                "per-shard responders must stay idle under the shared stage"
+            );
+            cell.responder = stats;
         }
     }
 
@@ -148,25 +247,34 @@ impl FleetOutcome {
 
     /// Deterministic one-blob textual aggregate: byte-identical for
     /// identical (config, seed) regardless of worker count — the artifact
-    /// the CI fleet-smoke step compares across invocations.
+    /// the CI fleet-smoke step compares across invocations. In
+    /// exact-contention mode it is additionally byte-identical across
+    /// *shard* counts, so it deliberately reports no shard-structure
+    /// artifacts (shard count, per-shard DES event sums — those live on
+    /// [`FleetOutcome::n_shards`] / [`ShardOutcome::events`]).
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
         let t = &self.totals;
         writeln!(
             s,
-            "fleet seed={} shards={} ues={} duration_ms={:.3}",
+            "fleet seed={} ues={} duration_ms={:.3} contention={}",
             self.seed,
-            self.n_shards,
             t.ues,
-            self.duration.as_millis_f64()
+            self.duration.as_millis_f64(),
+            if self.exact_contention {
+                "exact"
+            } else {
+                "sharded"
+            },
         )
         .unwrap();
         for (i, c) in t.per_cell.iter().enumerate() {
             writeln!(
                 s,
                 "cell{} tx={} heard={} collisions={} rar={} losses={} rejected={} \
-                 occ={}/{} fetches={} queue_wait_us={} handovers_in={}",
+                 occ={}/{} fetches={} queue_wait_us={} handovers_in={} \
+                 merged_occ={} peak_merge={}",
                 i,
                 c.preambles_tx,
                 c.responder.preambles_heard,
@@ -179,6 +287,8 @@ impl FleetOutcome {
                 c.responder.context_fetches,
                 c.responder.backhaul_queue_wait.as_nanos() / 1000,
                 c.handovers_in,
+                c.responder.merged_occasions,
+                c.responder.peak_merged_attempts,
             )
             .unwrap();
         }
@@ -197,13 +307,12 @@ impl FleetOutcome {
         writeln!(
             s,
             "handovers={} rlfs={} rach_attempts={} search_dwells={} nrba_switches={} \
-             events={} budget_exhausted_shards={}",
+             budget_exhausted_shards={}",
             t.handovers,
             t.rlfs,
             t.rach_attempts,
             t.search_dwells,
             t.nrba_switches,
-            t.events,
             t.budget_exhausted_shards,
         )
         .unwrap();
@@ -312,6 +421,54 @@ mod tests {
         assert!(m1.summary().contains("cell0"));
         assert!(m1.summary().contains("soft n=1"));
         assert!(m1.render_cells().contains("Per-cell RACH load"));
+    }
+
+    /// Satellite regression: with the shared stage, responder counters
+    /// are *global* — the merge must report them once per cell, not once
+    /// per shard, and occasion accounting must union instants instead of
+    /// summing per-shard distinct counts.
+    #[test]
+    fn exact_merge_reports_shared_responders_once_per_cell() {
+        let exact_shard = |instants: &[u64]| {
+            let mut s = ShardOutcome {
+                per_cell: vec![CellLoad::default(); 2],
+                exact: true,
+                occasion_instants: vec![instants.iter().copied().collect(), BTreeSet::new()],
+                ues: 3,
+                ..ShardOutcome::default()
+            };
+            // UE-side offered load is still per-shard additive…
+            s.per_cell[0].preambles_tx = 5;
+            s.per_cell[0].occasions_used = instants.len() as u64;
+            s.per_cell[0].occasions_total = 50;
+            s.per_cell[1].occasions_total = 50;
+            s
+        };
+        // Shards share occasions 20 and 30: the union has 4 instants,
+        // not 3 + 3.
+        let a = exact_shard(&[10, 20, 30]);
+        let b = exact_shard(&[20, 30, 40]);
+        let mut m = FleetOutcome::merge(1, SimDuration::from_secs(1), [a, b]);
+        assert!(m.exact_contention);
+        assert_eq!(m.totals.per_cell[0].occasions_used, 4);
+        // …and the offered total is the one set of global occasions the
+        // cell actually transmitted, not once per shard.
+        assert_eq!(m.totals.per_cell[0].occasions_total, 50);
+        assert_eq!(m.totals.per_cell[0].preambles_tx, 10);
+
+        // The stage's responder counters land once per cell, untouched
+        // by the shard count.
+        let stage_stats = ResponderStats {
+            preambles_heard: 40,
+            collisions: 7,
+            rar_sent: 38,
+            ..ResponderStats::default()
+        };
+        m.apply_shared_responders(vec![stage_stats, ResponderStats::default()]);
+        assert_eq!(m.totals.per_cell[0].responder, stage_stats);
+        assert_eq!(m.totals.per_cell[1].responder, ResponderStats::default());
+        // Collision rate reads off the global counters.
+        assert!((m.totals.per_cell[0].collision_rate() - 14.0 / 40.0).abs() < 1e-12);
     }
 
     #[test]

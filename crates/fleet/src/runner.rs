@@ -11,10 +11,58 @@
 //! Workers own disjoint contiguous chunks of the result vector (the same
 //! no-per-slot-lock pattern as `st_bench::runner::run_trials`), so the
 //! hot path is lock-free.
+//!
+//! ## Exact contention ([`FleetConfig::exact_contention`])
+//!
+//! The legacy path above is embarrassingly parallel *and biased*: PRACH
+//! contention only resolves within a shard. With the flag set the runner
+//! switches to barrier-synchronized execution: every worker steps its
+//! shards one occasion epoch at a time (the epoch is the minimum BS
+//! response delay, so replies always land in the shards' future), the
+//! published attempts meet at a barrier, one resolution pass runs the
+//! shared [`SharedRachStage`] over the globally merged, canonically
+//! ordered attempt set, and the replies fan back before the next epoch
+//! starts. The aggregate is then byte-identical not only across worker
+//! counts but across **shard counts** — sharding stops being an
+//! approximation and becomes pure parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use st_des::SimTime;
 
 use crate::deployment::FleetConfig;
-use crate::metrics::{FleetOutcome, ShardOutcome};
-use crate::sim::{build_world, run_shard};
+use crate::metrics::{FleetOutcome, ShardOutcome, StageReport};
+use crate::sim::{build_world, responder_config, run_shard, ShardSim};
+use crate::stage::{RachAttemptMsg, RachReply, SharedRachStage};
+
+/// Deterministic-interleaving harness knob: the order a worker steps its
+/// shards and the order the resolution pass drains worker mailboxes.
+/// Canonical resolution ordering makes all of these byte-identical — the
+/// adversarial variants exist so tests can *prove* that, instead of
+/// letting real-thread nondeterminism hide in a lucky merge order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StageOrder {
+    /// Natural order (production).
+    #[default]
+    Forward,
+    /// Every iteration order reversed.
+    Reversed,
+    /// Rotated by the given offset.
+    Rotated(usize),
+}
+
+impl StageOrder {
+    /// The visiting order for `n` items.
+    fn permutation(self, n: usize) -> Vec<usize> {
+        match self {
+            StageOrder::Forward => (0..n).collect(),
+            StageOrder::Reversed => (0..n).rev().collect(),
+            StageOrder::Rotated(r) => (0..n).map(|i| (i + r) % n.max(1)).collect(),
+        }
+    }
+}
 
 /// Run every shard of the fleet with as many workers as the machine
 /// offers.
@@ -29,6 +77,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
 /// is identical to [`run_fleet`]'s for the same config and seed.
 pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome {
     cfg.validate().expect("invalid fleet config");
+    if cfg.exact_contention {
+        return run_fleet_exact_with_order(cfg, workers, StageOrder::Forward);
+    }
     let n_shards = cfg.n_shards;
     let workers = workers.clamp(1, n_shards);
     // The static world (cells, codebooks, environment) is built once and
@@ -54,6 +105,114 @@ pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome
         cfg.base.duration,
         results.into_iter().map(|r| r.expect("shard missing")),
     )
+}
+
+/// Barrier-synchronized exact-contention execution, with an explicit
+/// shard-visit/mailbox-drain order for the determinism stress tests.
+/// Production entry points always pass [`StageOrder::Forward`]; any
+/// order must produce byte-identical aggregates.
+pub fn run_fleet_exact_with_order(
+    cfg: &FleetConfig,
+    workers: usize,
+    order: StageOrder,
+) -> FleetOutcome {
+    cfg.validate().expect("invalid fleet config");
+    let n_shards = cfg.n_shards;
+    let workers = workers.clamp(1, n_shards);
+    let chunk = n_shards.div_ceil(workers);
+    // `chunks_mut(chunk)` may yield fewer chunks than requested workers;
+    // the barrier must count the threads that actually exist.
+    let n_workers = n_shards.div_ceil(chunk);
+
+    let (sites, ue_codebook) = build_world(cfg);
+    let mut sims: Vec<ShardSim> = (0..n_shards)
+        .map(|s| ShardSim::new(cfg, s, &sites, &ue_codebook))
+        .collect();
+
+    let stage = Mutex::new(SharedRachStage::new(
+        cfg.base.cells.len(),
+        responder_config(&cfg.base),
+        cfg.n_ues() as usize,
+    ));
+    let epoch = stage.lock().unwrap().epoch();
+    let deadline = SimTime::ZERO + cfg.base.duration;
+    let n_epochs = cfg.base.duration.as_nanos().div_ceil(epoch.as_nanos());
+
+    let barrier = Barrier::new(n_workers);
+    // Sharded mailboxes: one per worker, written lock-free-in-practice
+    // (each worker locks only its own, once per epoch) and merged by the
+    // single resolution pass between the barriers.
+    let mailboxes: Vec<Mutex<Vec<RachAttemptMsg>>> =
+        (0..n_workers).map(|_| Mutex::new(Vec::new())).collect();
+    let shard_replies: Vec<Mutex<Vec<RachReply>>> =
+        (0..n_shards).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier_wait_ns = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (w, my_sims) in sims.chunks_mut(chunk).enumerate() {
+            let (barrier, mailboxes, shard_replies, stage, barrier_wait_ns) = (
+                &barrier,
+                &mailboxes,
+                &shard_replies,
+                &stage,
+                &barrier_wait_ns,
+            );
+            let step_order = order.permutation(my_sims.len());
+            let drain_order = order.permutation(n_workers);
+            scope.spawn(move || {
+                let mut local: Vec<RachAttemptMsg> = Vec::new();
+                for k in 1..=n_epochs {
+                    let horizon = (SimTime::ZERO + epoch * k).min(deadline);
+                    for &j in &step_order {
+                        my_sims[j].run_until(horizon);
+                        my_sims[j].take_outbox(&mut local);
+                    }
+                    if !local.is_empty() {
+                        mailboxes[w].lock().unwrap().append(&mut local);
+                    }
+                    // Time the two waits separately so the resolver's
+                    // own merge work never counts as "barrier waiting" —
+                    // the overhead figure must separate idling from work.
+                    let entry = Instant::now();
+                    barrier.wait();
+                    let mut wait_ns = entry.elapsed().as_nanos() as u64;
+                    if w == 0 {
+                        let mut stage = stage.lock().unwrap();
+                        for &m in &drain_order {
+                            stage.ingest(&mut mailboxes[m].lock().unwrap());
+                        }
+                        stage.resolve_up_to(horizon, |shard, reply| {
+                            shard_replies[shard as usize].lock().unwrap().push(reply);
+                        });
+                    }
+                    let fanback = Instant::now();
+                    barrier.wait();
+                    wait_ns += fanback.elapsed().as_nanos() as u64;
+                    barrier_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+                    for sim in my_sims.iter_mut() {
+                        let mut replies = shard_replies[sim.shard_idx() as usize].lock().unwrap();
+                        for r in replies.drain(..) {
+                            sim.deliver(&r);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stage = stage.into_inner().unwrap();
+    let mut out = FleetOutcome::merge(
+        cfg.base.seed,
+        cfg.base.duration,
+        sims.into_iter().map(ShardSim::finish),
+    );
+    out.apply_shared_responders(stage.responder_stats());
+    out.stage = Some(StageReport {
+        epochs: n_epochs,
+        barrier_wait_s: barrier_wait_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        counters: stage.counters(),
+    });
+    out
 }
 
 #[cfg(test)]
@@ -94,5 +253,64 @@ mod tests {
         assert_eq!(a.summary(), b.summary());
         let c = run_fleet(&tiny(4, 2));
         assert_ne!(a.summary(), c.summary());
+    }
+
+    /// A deliberately contended exact-mode deployment: few preambles,
+    /// a tight spawn funnel, enough UEs that occasions merge attempts
+    /// from several shards.
+    fn contended_exact(seed: u64, shards: usize) -> FleetConfig {
+        Deployment::new()
+            .street(200.0, 30.0)
+            .cell_row(2, 80.0)
+            .tx_beams(8)
+            .prach_preambles(2)
+            .spawn_region((-12.0, 0.0), (-3.0, 3.0))
+            .population(18, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .population(6, MobilityKind::Vehicular, ProtocolKind::Reactive)
+            .duration_secs(0.8)
+            .seed(seed)
+            .shards(shards)
+            .exact_contention(true)
+            .build()
+            .unwrap()
+    }
+
+    /// The tentpole contract: with the shared stage armed the aggregate
+    /// is byte-identical across *shard* counts, not just worker counts —
+    /// sharding is pure parallelism, no longer an approximation.
+    #[test]
+    fn exact_contention_is_shard_and_worker_invariant() {
+        let exact1 = run_fleet_with_workers(&contended_exact(11, 1), 1);
+        let exact4_w2 = run_fleet_with_workers(&contended_exact(11, 4), 2);
+        let exact4_w4 = run_fleet_with_workers(&contended_exact(11, 4), 4);
+        let exact8_w3 = run_fleet_with_workers(&contended_exact(11, 8), 3);
+        assert_eq!(exact1.summary(), exact4_w2.summary());
+        assert_eq!(exact1.summary(), exact4_w4.summary());
+        assert_eq!(exact1.summary(), exact8_w3.summary());
+        // The run exercised the shared stage for real.
+        assert!(exact1.totals.handovers > 0, "{}", exact1.summary());
+        let stage = exact4_w2.stage.expect("stage report");
+        assert!(stage.counters.resolved_preambles > 0);
+        assert!(exact4_w2.exact_contention);
+    }
+
+    /// Adversarial shard-step and mailbox-drain orders must vanish under
+    /// the canonical resolution sort.
+    #[test]
+    fn exact_contention_ignores_adversarial_interleaving() {
+        let base = run_fleet_exact_with_order(&contended_exact(11, 4), 2, StageOrder::Forward);
+        let rev = run_fleet_exact_with_order(&contended_exact(11, 4), 2, StageOrder::Reversed);
+        let rot = run_fleet_exact_with_order(&contended_exact(11, 4), 4, StageOrder::Rotated(3));
+        assert_eq!(base.summary(), rev.summary());
+        assert_eq!(base.summary(), rot.summary());
+    }
+
+    /// Exact mode must reuse the same per-UE processes: a different seed
+    /// still changes the outcome.
+    #[test]
+    fn exact_contention_seeds_reach_the_stochastic_components() {
+        let a = run_fleet_with_workers(&contended_exact(11, 2), 2);
+        let b = run_fleet_with_workers(&contended_exact(12, 2), 2);
+        assert_ne!(a.summary(), b.summary());
     }
 }

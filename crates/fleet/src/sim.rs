@@ -43,8 +43,11 @@ use st_phy::geometry::{Pose, Radians, Vec2};
 use st_phy::link::RadioCal;
 use st_phy::units::Dbm;
 
+use st_net::config::ScenarioConfig;
+
 use crate::deployment::{nearest_cell, FleetConfig, MobilityKind, UeSpec};
 use crate::metrics::{CellLoad, ShardOutcome};
+use crate::stage::{RachAttemptMsg, RachReply, RachReq};
 
 /// Short over-the-air + processing delays (as in the single-UE executor).
 const AIR_DELAY: SimDuration = SimDuration::from_micros(500);
@@ -170,6 +173,25 @@ struct FleetWorld {
     preambles_tx: Vec<u64>,
     handovers_in: Vec<u64>,
     burst_period: SimDuration,
+    /// Exact-contention mode: BS-bound RACH PDUs are published to the
+    /// shared cross-shard stage instead of the per-shard `responders`
+    /// (which then stay idle for the whole run).
+    exact: bool,
+    shard_idx: u32,
+    /// Attempts published this epoch, drained at each barrier.
+    outbox: Vec<RachAttemptMsg>,
+}
+
+/// The BS responder timing shared by the per-shard responders (legacy
+/// mode) and the cross-shard stage (exact mode) — one source of truth so
+/// the two paths model the same base station.
+pub(crate) fn responder_config(base: &ScenarioConfig) -> ResponderConfig {
+    ResponderConfig {
+        rar_delay: MSG2_DELAY,
+        msg4_delay: MSG4_PROCESSING,
+        backhaul_latency: base.backhaul_latency,
+        ..ResponderConfig::nr_default()
+    }
 }
 
 /// Build the mobility model of one UE from its per-UE spawn stream.
@@ -227,109 +249,184 @@ pub fn build_world(cfg: &FleetConfig) -> (Arc<Sites>, Arc<Codebook>) {
 }
 
 /// Run shard `shard_idx` of the fleet to completion against the shared
-/// static world from [`build_world`].
+/// static world from [`build_world`] — the legacy (per-shard contention)
+/// path: one uninterrupted run to the deadline.
 pub fn run_shard(
     cfg: &FleetConfig,
     shard_idx: usize,
     sites: &Arc<Sites>,
     ue_codebook: &Arc<Codebook>,
 ) -> ShardOutcome {
-    let base = &cfg.base;
-    let streams = RngStreams::new(base.seed);
-    let sites = Arc::clone(sites);
-    let ue_codebook = Arc::clone(ue_codebook);
+    let mut sim = ShardSim::new(cfg, shard_idx, sites, ue_codebook);
+    sim.run_until(SimTime::ZERO + cfg.base.duration);
+    sim.finish()
+}
 
-    let ues: Vec<Ue> = cfg
-        .shard_specs(shard_idx)
-        .into_iter()
-        .map(|spec| {
-            let mut spawn_rng = streams.stream_indexed("fleet-spawn", spec.id);
-            let (mobility, _) = build_mobility(&spec, &mut spawn_rng, cfg);
-            let pose0 = mobility.pose_at(0.0);
-            let serving = nearest_cell(&base.cells, pose0.position);
-            let serving_rx =
-                ue_codebook.best_beam_towards(pose0.local_bearing_to(base.cells[serving].position));
-            let bs_tx_beam = (0..sites.len())
-                .map(|i| sites.best_tx_beam_towards(i, pose0.position))
-                .collect();
-            let uid = UeId(spec.id as u32 + 1);
-            Ue {
-                uid,
-                pose_cache: (SimTime::ZERO, pose0),
-                mobility,
-                links: LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
-                rach_rng: streams.stream_indexed("fleet-rach", spec.id),
-                fault_rng: streams.stream_indexed("fleet-fault", spec.id),
-                proto: Proto::new(
-                    spec.protocol,
-                    base.tracker,
+/// One shard packaged for stepped execution. The legacy path drives it
+/// to the deadline in a single [`ShardSim::run_until`]; the
+/// exact-contention runner advances all shards in epoch steps, draining
+/// each shard's published RACH attempts ([`ShardSim::take_outbox`]) at
+/// every occasion barrier and fanning resolved replies back in
+/// ([`ShardSim::deliver`]).
+pub(crate) struct ShardSim {
+    world: FleetWorld,
+    ex: Executive<Ev>,
+    budget_left: u64,
+    budget_exhausted: bool,
+}
+
+impl ShardSim {
+    pub(crate) fn new(
+        cfg: &FleetConfig,
+        shard_idx: usize,
+        sites: &Arc<Sites>,
+        ue_codebook: &Arc<Codebook>,
+    ) -> ShardSim {
+        let base = &cfg.base;
+        let streams = RngStreams::new(base.seed);
+        let sites = Arc::clone(sites);
+        let ue_codebook = Arc::clone(ue_codebook);
+
+        let ues: Vec<Ue> = cfg
+            .shard_specs(shard_idx)
+            .into_iter()
+            .map(|spec| {
+                let mut spawn_rng = streams.stream_indexed("fleet-spawn", spec.id);
+                let (mobility, _) = build_mobility(&spec, &mut spawn_rng, cfg);
+                let pose0 = mobility.pose_at(0.0);
+                let serving = nearest_cell(&base.cells, pose0.position);
+                let serving_rx = ue_codebook
+                    .best_beam_towards(pose0.local_bearing_to(base.cells[serving].position));
+                let bs_tx_beam = (0..sites.len())
+                    .map(|i| sites.best_tx_beam_towards(i, pose0.position))
+                    .collect();
+                let uid = UeId(spec.id as u32 + 1);
+                Ue {
                     uid,
-                    CellId(serving as u16),
-                    Arc::clone(&ue_codebook),
-                    serving_rx,
-                ),
-                serving,
-                bs_tx_beam,
-                rlf_count: 0,
-                rlf_declared: false,
-                rach: None,
-                handover_reason: None,
-                trigger_at: None,
-                rlf_at: None,
-                handovers: 0,
-                rlfs: 0,
-                rach_attempts: 0,
-                dwells_banked: 0,
-                nrba_banked: 0,
-                interruptions_ms: Vec::new(),
-                spec,
-            }
-        })
-        .collect();
-
-    let n_cells = sites.len();
-    let burst_period = base.ssb(0).burst_period;
-    let burst_active = base.ssb(0).burst_active();
-    let mut world = FleetWorld {
-        sites,
-        ue_codebook,
-        cal: base.radio.cal(),
-        sweep_scratch: Vec::new(),
-        ues,
-        responders: (0..n_cells)
-            .map(|_| {
-                RachResponder::new(ResponderConfig {
-                    rar_delay: MSG2_DELAY,
-                    msg4_delay: MSG4_PROCESSING,
-                    backhaul_latency: base.backhaul_latency,
-                    ..ResponderConfig::nr_default()
-                })
+                    pose_cache: (SimTime::ZERO, pose0),
+                    mobility,
+                    links: LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
+                    rach_rng: streams.stream_indexed("fleet-rach", spec.id),
+                    fault_rng: streams.stream_indexed("fleet-fault", spec.id),
+                    proto: Proto::new(
+                        spec.protocol,
+                        base.tracker,
+                        uid,
+                        CellId(serving as u16),
+                        Arc::clone(&ue_codebook),
+                        serving_rx,
+                    ),
+                    serving,
+                    bs_tx_beam,
+                    rlf_count: 0,
+                    rlf_declared: false,
+                    rach: None,
+                    handover_reason: None,
+                    trigger_at: None,
+                    rlf_at: None,
+                    handovers: 0,
+                    rlfs: 0,
+                    rach_attempts: 0,
+                    dwells_banked: 0,
+                    nrba_banked: 0,
+                    interruptions_ms: Vec::new(),
+                    spec,
+                }
             })
-            .collect(),
-        occasions_used: vec![BTreeSet::new(); n_cells],
-        preambles_tx: vec![0; n_cells],
-        handovers_in: vec![0; n_cells],
-        burst_period,
-        cfg: cfg.clone(),
-    };
+            .collect();
 
-    let mut ex: Executive<Ev> = Executive::new();
-    ex.event_budget = cfg.event_budget;
-    ex.schedule_at(SimTime::ZERO, Ev::Burst { k: 0 });
-    ex.schedule_at(
-        SimTime::ZERO + burst_active + SimDuration::from_millis(1),
-        Ev::DwellEnd,
-    );
-    ex.schedule_in(SimDuration::from_millis(1), Ev::ServingMeas);
-    ex.schedule_in(SimDuration::from_micros(500), Ev::Tick);
+        let n_cells = sites.len();
+        let burst_period = base.ssb(0).burst_period;
+        let burst_active = base.ssb(0).burst_active();
+        let world = FleetWorld {
+            sites,
+            ue_codebook,
+            cal: base.radio.cal(),
+            sweep_scratch: Vec::new(),
+            ues,
+            responders: (0..n_cells)
+                .map(|_| RachResponder::new(responder_config(base)))
+                .collect(),
+            occasions_used: vec![BTreeSet::new(); n_cells],
+            preambles_tx: vec![0; n_cells],
+            handovers_in: vec![0; n_cells],
+            burst_period,
+            exact: cfg.exact_contention,
+            shard_idx: shard_idx as u32,
+            outbox: Vec::new(),
+            cfg: cfg.clone(),
+        };
 
-    let deadline = SimTime::ZERO + cfg.base.duration;
-    let reason = ex.run(deadline, |ex, now, ev| {
-        world.dispatch(ex, now, ev);
-        Control::Continue
-    });
+        let mut ex: Executive<Ev> = Executive::new();
+        ex.schedule_at(SimTime::ZERO, Ev::Burst { k: 0 });
+        ex.schedule_at(
+            SimTime::ZERO + burst_active + SimDuration::from_millis(1),
+            Ev::DwellEnd,
+        );
+        ex.schedule_in(SimDuration::from_millis(1), Ev::ServingMeas);
+        ex.schedule_in(SimDuration::from_micros(500), Ev::Tick);
 
-    world.collect(ex.events_processed(), reason == StopReason::Budget)
+        ShardSim {
+            world,
+            ex,
+            budget_left: cfg.event_budget,
+            budget_exhausted: false,
+        }
+    }
+
+    pub(crate) fn shard_idx(&self) -> u32 {
+        self.world.shard_idx
+    }
+
+    /// Process every pending event with timestamp ≤ `limit` (the DES
+    /// clock parks at `limit`, so repeated bounded runs are equivalent
+    /// to one long run). The per-shard event budget is cumulative across
+    /// calls; once exhausted the shard stops advancing but stays a valid
+    /// barrier participant.
+    pub(crate) fn run_until(&mut self, limit: SimTime) {
+        if self.budget_exhausted {
+            return;
+        }
+        self.ex.event_budget = self.budget_left;
+        let before = self.ex.events_processed();
+        let world = &mut self.world;
+        let reason = self.ex.run(limit, |ex, now, ev| {
+            world.dispatch(ex, now, ev);
+            Control::Continue
+        });
+        self.budget_left = self
+            .budget_left
+            .saturating_sub(self.ex.events_processed() - before);
+        if reason == StopReason::Budget {
+            self.budget_exhausted = true;
+        }
+    }
+
+    /// Drain the attempts published since the last barrier into the
+    /// caller's mailbox (capacity of both vectors is retained).
+    pub(crate) fn take_outbox(&mut self, into: &mut Vec<RachAttemptMsg>) {
+        into.append(&mut self.world.outbox);
+    }
+
+    /// Schedule one resolved reply as a receive event. The stage
+    /// guarantees `deliver_at` lies strictly beyond the barrier horizon,
+    /// i.e. in this shard's future.
+    pub(crate) fn deliver(&mut self, r: &RachReply) {
+        self.ex.schedule_at(
+            r.deliver_at,
+            Ev::UeRx {
+                ue: r.ue_local,
+                cell: r.cell,
+                tx_beam: r.tx_beam,
+                pdu: r.pdu.clone(),
+            },
+        );
+    }
+
+    pub(crate) fn finish(self) -> ShardOutcome {
+        self.world
+            .collect(self.ex.events_processed(), self.budget_exhausted)
+    }
 }
 
 impl FleetWorld {
@@ -674,6 +771,15 @@ impl FleetWorld {
                 Pdu::RachPreamble { .. } | Pdu::ConnectionRequest { .. }
             );
         if self.delivery_ok(i, r) && !faulted {
+            if self.exact {
+                if let Some(req) = self.exact_request(now, i, cell, &pdu) {
+                    // Published to the shared cross-shard stage instead of
+                    // this shard's responder; the resolved reply fans back
+                    // as a plain `UeRx` after the next occasion barrier.
+                    self.outbox.push(req);
+                    return;
+                }
+            }
             ex.schedule_in(
                 AIR_DELAY,
                 Ev::BsRx {
@@ -683,6 +789,49 @@ impl FleetWorld {
                 },
             );
         }
+    }
+
+    /// Exact-contention publication: capture everything the shared stage
+    /// needs to act as this cell's BS at the arrival instant, so the
+    /// cross-shard resolution pass never reaches back into shard state.
+    /// Returns `None` for PDUs the stage does not own (assist traffic
+    /// stays on the local path).
+    fn exact_request(
+        &self,
+        now: SimTime,
+        i: usize,
+        cell: usize,
+        pdu: &Pdu,
+    ) -> Option<RachAttemptMsg> {
+        let at = now + AIR_DELAY;
+        let req = match *pdu {
+            Pdu::RachPreamble { preamble, ssb_beam } => {
+                // Pose at the arrival instant, computed purely (mobility
+                // models are functions of time): the same BS-side distance
+                // sample the legacy path takes, without the pose cache.
+                let pos = self.ues[i].mobility.pose_at(at.as_secs_f64()).position;
+                RachReq::Preamble {
+                    preamble,
+                    ssb_beam,
+                    distance_m: pos.distance(self.cfg.base.cells[cell].position),
+                }
+            }
+            Pdu::ConnectionRequest { ue, context_token } => RachReq::Msg3 {
+                temp: self.ues[i].rach.as_ref().and_then(|r| r.proc.temp_ue()),
+                ue,
+                context_token,
+                reply_tx_beam: self.ues[i].rach.as_ref().map(|r| r.ssb_beam).unwrap_or(0),
+            },
+            _ => return None,
+        };
+        Some(RachAttemptMsg {
+            at,
+            ue_global: self.ues[i].spec.id,
+            shard: self.shard_idx,
+            ue_local: i as u32,
+            cell: cell as u16,
+            req,
+        })
     }
 
     fn on_rach_try(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
@@ -847,6 +996,12 @@ impl FleetWorld {
             ues: self.ues.len() as u64,
             events,
             budget_exhausted_shards: u64::from(budget_exhausted),
+            exact: self.exact,
+            // The raw occasion instants travel with the shard result so
+            // the exact-mode merge can count each *global* occasion once
+            // (two shards using the same occasion is one occasion, not
+            // two); the legacy merge keeps summing per-shard counts.
+            occasion_instants: std::mem::take(&mut self.occasions_used),
             ..ShardOutcome::default()
         };
         for ue in &mut self.ues {

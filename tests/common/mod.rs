@@ -1,0 +1,39 @@
+//! Shared deployment recipes for the contention integration tests, so
+//! `shard_approximation` and `exact_contention` provably exercise the
+//! *same* acceptance points (retuning one without the other would
+//! silently break the cross-test claims).
+
+use silent_tracker_repro::st_fleet::{Deployment, FleetConfig, MobilityKind};
+use silent_tracker_repro::st_net::ProtocolKind;
+
+/// The `fleet_load` acceptance street at a configurable contention
+/// level: 400 m canyon, 4 cells / 8 beams, a 4:1 walker:vehicular
+/// all-Silent-Tracker population, seed 42. Moderate load is
+/// (600 UEs, 8 preambles); heavy load — the shard-approximation
+/// measurement point — is (2,400 UEs, 2 preambles).
+pub fn contended_street(
+    ues: u32,
+    preambles: u8,
+    shards: usize,
+    exact: bool,
+    duration_s: f64,
+) -> FleetConfig {
+    let walkers = ues * 4 / 5;
+    Deployment::new()
+        .street(400.0, 30.0)
+        .cell_row(4, 100.0)
+        .tx_beams(8)
+        .prach_preambles(preambles)
+        .population(walkers, MobilityKind::Walk, ProtocolKind::SilentTracker)
+        .population(
+            ues - walkers,
+            MobilityKind::Vehicular,
+            ProtocolKind::SilentTracker,
+        )
+        .duration_secs(duration_s)
+        .seed(42)
+        .shards(shards)
+        .exact_contention(exact)
+        .build()
+        .expect("valid deployment")
+}

@@ -57,6 +57,9 @@ use std::sync::Arc;
 
 use silent_tracker_repro::st_des::{RngStreams, SimDuration, SimTime};
 use silent_tracker_repro::st_env::{BlockerPopulation, DynamicEnvironment};
+use silent_tracker_repro::st_fleet::{RachAttemptMsg, RachReply, RachReq, SharedRachStage};
+use silent_tracker_repro::st_mac::pdu::UeId;
+use silent_tracker_repro::st_mac::responder::ResponderConfig;
 use silent_tracker_repro::st_net::config::CellConfig;
 use silent_tracker_repro::st_net::radio::{LinkSet, Sites};
 use silent_tracker_repro::st_phy::channel::{ChannelConfig, Environment};
@@ -184,5 +187,83 @@ fn occluded_sweep_path_allocates_nothing() {
     assert_eq!(
         delta, 0,
         "occluded sweep hot path allocated {delta} times over 1000 instants"
+    );
+}
+
+/// The shared cross-shard RACH stage armed: ingesting mailboxes, sorting
+/// the holding buffer canonically, resolving merged occasions (with
+/// collisions, admission rejections and soft-handover backhaul fetches)
+/// and routing replies must allocate **nothing** once the pre-sized
+/// occasion buffers are warm — the exact-contention path adds barriers,
+/// not per-occasion `Vec` churn.
+#[test]
+fn shared_rach_stage_steady_state_allocates_nothing() {
+    let epoch_ns = 2_000_000u64;
+    let mut stage = SharedRachStage::new(4, ResponderConfig::nr_default(), 64);
+    let mut mailbox: Vec<RachAttemptMsg> = Vec::with_capacity(256);
+    let mut replies: Vec<RachReply> = Vec::with_capacity(256);
+
+    let run_epoch = |stage: &mut SharedRachStage,
+                     mailbox: &mut Vec<RachAttemptMsg>,
+                     replies: &mut Vec<RachReply>,
+                     k: u64| {
+        // One merged PRACH occasion per epoch: 40 UEs from 8 notional
+        // shards over 4 cells and a tiny preamble pool, so every epoch
+        // resolves real cross-shard collisions plus a few soft-handover
+        // Msg3s through the backhaul.
+        let occasion = SimTime::from_nanos(k * epoch_ns + 500_000);
+        for ue in 0..40u64 {
+            mailbox.push(RachAttemptMsg {
+                at: occasion,
+                ue_global: ue,
+                shard: (ue % 8) as u32,
+                ue_local: (ue / 8) as u32,
+                cell: (ue % 4) as u16,
+                req: RachReq::Preamble {
+                    preamble: (ue % 3) as u8,
+                    ssb_beam: (ue % 2) as u16,
+                    distance_m: 80.0 + ue as f64,
+                },
+            });
+        }
+        for ue in 0..4u64 {
+            mailbox.push(RachAttemptMsg {
+                at: occasion + SimDuration::from_micros(100),
+                ue_global: 100 + ue,
+                shard: (ue % 8) as u32,
+                ue_local: ue as u32,
+                cell: (ue % 4) as u16,
+                req: RachReq::Msg3 {
+                    temp: None,
+                    ue: UeId(100 + ue as u32),
+                    context_token: 0xAB00 + ue,
+                    reply_tx_beam: 1,
+                },
+            });
+        }
+        stage.ingest(mailbox);
+        replies.clear();
+        stage.resolve_up_to(SimTime::from_nanos((k + 1) * epoch_ns), |_, r| {
+            replies.push(r)
+        });
+        assert!(!replies.is_empty());
+    };
+
+    // Warm-up: holding buffer, batch scratch, reply sink and the
+    // responders' pending tables (bounded by `max_pending` + TTL expiry)
+    // reach steady size.
+    for k in 0..32 {
+        run_epoch(&mut stage, &mut mailbox, &mut replies, k);
+    }
+
+    ARMED.with(|f| f.set(true));
+    for k in 32..1032 {
+        run_epoch(&mut stage, &mut mailbox, &mut replies, k);
+    }
+    ARMED.with(|f| f.set(false));
+    let delta = ALLOCS.with(Cell::get);
+    assert_eq!(
+        delta, 0,
+        "shared RACH stage allocated {delta} times over 1000 merged occasions"
     );
 }
