@@ -1,5 +1,6 @@
 //! Fleet-scale PRACH load sweep: soft vs hard handover under contention.
-//! Usage: `fleet_load [--smoke] [--exact-contention] [--workers N] [--json PATH] [POPULATIONS...]`
+//! Usage: `fleet_load [--smoke] [--exact-contention] [--workers N] [--json PATH]
+//!                    [--record PATH | --replay PATH] [POPULATIONS...]`
 //!
 //! `--smoke` prints the deterministic aggregate summary of a small fixed
 //! fleet (CI compares two invocations byte-for-byte); otherwise the
@@ -7,6 +8,13 @@
 //! `--exact-contention` routes all RACH traffic through the shared
 //! cross-shard responder stage (exact global contention; the summary is
 //! then byte-identical across shard counts as well as worker counts).
+//!
+//! `--record PATH` arms per-UE protocol trace recording, saves the
+//! recorded [`st_net::FleetTrace`] to PATH, then immediately replays it
+//! in-process so the replay UE-seconds-per-wall-second lands in the table
+//! and the perf artifact next to the live number. `--replay PATH` skips
+//! the live run entirely and refolds a previously recorded trace (see
+//! also the dedicated `replay_eval` binary).
 //!
 //! Either mode also writes the `BENCH_fleet.json` perf artifact (per-run
 //! wall-clock, UE-seconds simulated per wall-second, contention mode and
@@ -20,6 +28,8 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let mut json_path = String::from("BENCH_fleet.json");
+    let mut record_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
     let mut populations: Vec<u64> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -35,9 +45,45 @@ fn main() {
             "--json" => {
                 json_path = args.next().expect("--json PATH");
             }
+            "--record" => {
+                record_path = Some(args.next().expect("--record PATH"));
+            }
+            "--replay" => {
+                replay_path = Some(args.next().expect("--replay PATH"));
+            }
             other => populations.push(other.parse().expect("population size")),
         }
     }
+
+    if let Some(path) = replay_path {
+        let trace = st_net::FleetTrace::load(std::path::Path::new(&path))
+            .unwrap_or_else(|e| panic!("could not load trace {path}: {e}"));
+        let mut failed = false;
+        for run in &trace.runs {
+            let (rep, wall_s) = st_net::replay_run_timed(run, workers, 3);
+            println!(
+                "replay {}: {} ues, {} events, {:.1} ms wall, {:.0} ue_s/wall_s \
+                 ({:.0}x live), verified={}",
+                rep.label,
+                rep.ues,
+                rep.events,
+                wall_s * 1e3,
+                rep.ue_seconds / wall_s,
+                rep.live_wall_s / wall_s,
+                rep.mismatches.is_empty(),
+            );
+            for m in &rep.mismatches {
+                eprintln!("  mismatch: {m}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let record = record_path.is_some();
     let mode_label = |base: &str| {
         if exact {
             format!("{base}-exact")
@@ -45,9 +91,24 @@ fn main() {
             base.to_string()
         }
     };
+    let save_trace = |load: &st_bench::fleet_load::FleetLoad| {
+        if let Some(path) = &record_path {
+            let trace = st_net::FleetTrace {
+                runs: load.arms.iter().filter_map(|a| a.trace.clone()).collect(),
+            };
+            match trace.save(std::path::Path::new(path)) {
+                Ok(()) => eprintln!("trace artifact: {path}"),
+                Err(e) => eprintln!("warning: could not write trace {path}: {e}"),
+            }
+        }
+    };
     if smoke {
-        let (summary, load) = st_bench::fleet_load::smoke_timed(workers, exact);
+        let (summary, mut load) = st_bench::fleet_load::smoke_timed(workers, exact, record);
         print!("{summary}");
+        save_trace(&load);
+        if record {
+            load.replay = st_bench::fleet_load::replay_arms(&load, workers);
+        }
         if let Err(e) =
             st_bench::fleet_load::write_bench_json(&json_path, &load, &mode_label("smoke"))
         {
@@ -58,7 +119,11 @@ fn main() {
     if populations.is_empty() {
         populations = vec![100, 300, 1000];
     }
-    let r = st_bench::fleet_load::run(&populations, 42, workers, exact);
+    let mut r = st_bench::fleet_load::run(&populations, 42, workers, exact, record);
+    save_trace(&r);
+    if record {
+        r.replay = st_bench::fleet_load::replay_arms(&r, workers);
+    }
     println!("{}", st_bench::fleet_load::render(&r));
     if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, &mode_label("sweep")) {
         eprintln!("warning: could not write {json_path}: {e}");

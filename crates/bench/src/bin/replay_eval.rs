@@ -1,0 +1,141 @@
+//! Replay a recorded fleet trace and report refold throughput.
+//! Usage: `replay_eval --trace PATH [--workers N] [--json PATH]
+//!                     [--live-agg PATH] [--replay-agg PATH]`
+//!
+//! Loads the [`st_net::FleetTrace`] at `--trace`, refolds every recorded
+//! run under its recorded configuration with byte-equality verification,
+//! and prints one line per run: UEs, event records, replay wall-clock,
+//! UE-seconds refolded per wall-second, and the speedup over the recorded
+//! live wall-clock. Exits nonzero if any run's action stream or final
+//! state diverges from the recording.
+//!
+//! `--live-agg` / `--replay-agg` write matching aggregate files — one
+//! line per run, the live line derived from the digests *recorded in the
+//! trace*, the replay line from the refolded digests — so CI can `cmp`
+//! them byte for byte.
+//!
+//! `--json` appends a machine-readable replay section (same rows) for
+//! perf tracking.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use silent_tracker::wire::Fnv64;
+use st_net::{replay_run_timed, FleetTrace, RunTrace};
+
+/// The aggregate line for one run, from digests already in the trace —
+/// what the live run produced, without refolding anything.
+fn live_agg_line(run: &RunTrace) -> String {
+    let mut combined = Fnv64::new();
+    let mut segments = 0u64;
+    let mut actions = 0u64;
+    for ue in &run.ues {
+        for seg in &ue.segments {
+            combined.write(&seg.action_digest.to_be_bytes());
+            segments += 1;
+            actions += seg.action_count;
+        }
+    }
+    format!(
+        "run={} ues={} segments={segments} actions={actions} digest={:016x}",
+        run.label,
+        run.ues.len(),
+        combined.finish()
+    )
+}
+
+fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut json_path: Option<String> = None;
+    let mut live_agg_path: Option<String> = None;
+    let mut replay_agg_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers N");
+            }
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
+            "--live-agg" => live_agg_path = Some(args.next().expect("--live-agg PATH")),
+            "--replay-agg" => replay_agg_path = Some(args.next().expect("--replay-agg PATH")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let trace_path = trace_path.expect("--trace PATH is required");
+    let trace = FleetTrace::load(Path::new(&trace_path))
+        .unwrap_or_else(|e| panic!("could not load trace {trace_path}: {e}"));
+
+    let mut live_agg = String::new();
+    let mut replay_agg = String::new();
+    let mut json_rows = String::new();
+    let mut failed = false;
+    for (i, run) in trace.runs.iter().enumerate() {
+        // Best-of-3: the refold is deterministic, so the minimum wall
+        // time is the noise-robust throughput estimate.
+        let (rep, wall_s) = replay_run_timed(run, workers, 3);
+        println!(
+            "replay {}: {} ues, {} segments, {} events, {:.1} ms wall, \
+             {:.0} ue_s/wall_s ({:.0}x live {:.2} s), verified={}",
+            rep.label,
+            rep.ues,
+            rep.segments,
+            rep.events,
+            wall_s * 1e3,
+            rep.ue_seconds / wall_s,
+            rep.live_wall_s / wall_s,
+            rep.live_wall_s,
+            rep.mismatches.is_empty(),
+        );
+        for m in &rep.mismatches {
+            eprintln!("  mismatch: {m}");
+            failed = true;
+        }
+        writeln!(live_agg, "{}", live_agg_line(run)).unwrap();
+        writeln!(
+            replay_agg,
+            "run={} ues={} segments={} actions={} digest={:016x}",
+            rep.label, rep.ues, rep.segments, rep.actions, rep.combined_digest
+        )
+        .unwrap();
+        let sep = if i + 1 == trace.runs.len() { "" } else { "," };
+        writeln!(
+            json_rows,
+            "    {{\"run\": \"{}\", \"ues\": {}, \"events\": {}, \"wall_s\": {:.4}, \
+             \"ue_seconds_per_wall_second\": {:.0}, \"speedup_vs_live\": {:.1}, \
+             \"verified\": {}}}{sep}",
+            rep.label,
+            rep.ues,
+            rep.events,
+            wall_s,
+            rep.ue_seconds / wall_s,
+            rep.live_wall_s / wall_s,
+            rep.mismatches.is_empty(),
+        )
+        .unwrap();
+    }
+
+    if let Some(p) = live_agg_path {
+        std::fs::write(&p, &live_agg).unwrap_or_else(|e| panic!("write {p}: {e}"));
+    }
+    if let Some(p) = replay_agg_path {
+        std::fs::write(&p, &replay_agg).unwrap_or_else(|e| panic!("write {p}: {e}"));
+    }
+    if let Some(p) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"replay_eval\",\n  \"trace\": \"{trace_path}\",\n  \
+             \"workers\": {workers},\n  \"runs\": [\n{json_rows}  ]\n}}\n"
+        );
+        std::fs::write(&p, json).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        println!("perf artifact: {p}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use st_fleet::{run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind};
 use st_metrics::Table;
-use st_net::ProtocolKind;
+use st_net::{ProtocolKind, RunTrace};
 
 /// Wall-clock of the 1,000-UE / 4-cell sweep point (both arms) measured
 /// on the PR build machine *before* the zero-allocation measurement
@@ -34,6 +34,8 @@ pub struct Arm {
     pub outcome: FleetOutcome,
     /// Wall-clock seconds this arm's fleet run took.
     pub wall_s: f64,
+    /// Recorded protocol trace (runs with recording armed only).
+    pub trace: Option<RunTrace>,
 }
 
 impl Arm {
@@ -47,6 +49,47 @@ impl Arm {
 #[derive(Debug, Clone)]
 pub struct FleetLoad {
     pub arms: Vec<Arm>,
+    /// Replay throughput rows ([`replay_arms`]) for the perf artifact.
+    pub replay: Vec<ReplayRow>,
+}
+
+/// Replay throughput of one recorded arm, for the table and the perf
+/// artifact: the same protocol history refolded without `st_phy`/`st_des`.
+#[derive(Debug, Clone)]
+pub struct ReplayRow {
+    pub label: String,
+    pub ues: u64,
+    /// Event records folded (tick runs count as one).
+    pub events: u64,
+    pub wall_s: f64,
+    pub ue_seconds_per_wall_second: f64,
+    /// Live wall-clock of the recorded run over replay wall-clock.
+    pub speedup_vs_live: f64,
+    /// Replay action streams and final states matched the recording
+    /// byte for byte.
+    pub verified: bool,
+}
+
+/// Replay every recorded arm of `load` under its recorded config,
+/// verifying byte equality and timing the refold. Appends nothing for
+/// arms run without recording.
+pub fn replay_arms(load: &FleetLoad, workers: usize) -> Vec<ReplayRow> {
+    load.arms
+        .iter()
+        .filter_map(|a| a.trace.as_ref())
+        .map(|run| {
+            let (rep, wall_s) = st_net::replay_run_timed(run, workers, 5);
+            ReplayRow {
+                label: rep.label.clone(),
+                ues: rep.ues,
+                events: rep.events,
+                wall_s,
+                ue_seconds_per_wall_second: rep.ue_seconds / wall_s,
+                speedup_vs_live: rep.live_wall_s / wall_s,
+                verified: rep.mismatches.is_empty(),
+            }
+        })
+        .collect()
 }
 
 /// The shared deployment at a given population size: four cells down a
@@ -55,7 +98,13 @@ pub struct FleetLoad {
 /// `exact` routes all RACH traffic through the shared cross-shard
 /// responder stage (exact global contention) instead of the per-shard
 /// approximation.
-fn deployment(ues: u64, protocol: ProtocolKind, seed: u64, exact: bool) -> FleetConfig {
+fn deployment(
+    ues: u64,
+    protocol: ProtocolKind,
+    seed: u64,
+    exact: bool,
+    record: bool,
+) -> FleetConfig {
     let walkers = (ues * 4 / 5) as u32;
     let vehicles = ues as u32 - walkers;
     Deployment::new()
@@ -69,27 +118,61 @@ fn deployment(ues: u64, protocol: ProtocolKind, seed: u64, exact: bool) -> Fleet
         .seed(seed)
         .shards(8)
         .exact_contention(exact)
+        .record_traces(record)
         .build()
         .expect("valid fleet deployment")
 }
 
-pub fn run(populations: &[u64], seed: u64, workers: usize, exact: bool) -> FleetLoad {
+/// Package a run's recorded traces as one [`RunTrace`] (recording arms
+/// only). Takes the traces out of the outcome — they are bulky and the
+/// `RunTrace` is their home from here on.
+fn take_trace(
+    label: String,
+    cfg: &FleetConfig,
+    outcome: &mut FleetOutcome,
+    wall_s: f64,
+) -> Option<RunTrace> {
+    if !cfg.record_traces {
+        return None;
+    }
+    Some(RunTrace {
+        label,
+        seed: cfg.base.seed,
+        duration: cfg.base.duration,
+        live_wall_s: wall_s,
+        tracker: cfg.base.tracker,
+        codebook: cfg.base.ue_codebook,
+        ues: std::mem::take(&mut outcome.totals.ue_traces),
+    })
+}
+
+pub fn run(populations: &[u64], seed: u64, workers: usize, exact: bool, record: bool) -> FleetLoad {
     let mut arms = Vec::new();
     for &ues in populations {
         for protocol in [ProtocolKind::SilentTracker, ProtocolKind::Reactive] {
-            let cfg = deployment(ues, protocol, seed, exact);
+            let cfg = deployment(ues, protocol, seed, exact, record);
             let start = Instant::now();
-            let outcome = run_fleet_with_workers(&cfg, workers);
+            let mut outcome = run_fleet_with_workers(&cfg, workers);
             let wall_s = start.elapsed().as_secs_f64();
+            let trace = take_trace(
+                format!("{ues}-{}", arm_label(protocol)),
+                &cfg,
+                &mut outcome,
+                wall_s,
+            );
             arms.push(Arm {
                 ues,
                 protocol,
                 outcome,
                 wall_s,
+                trace,
             });
         }
     }
-    FleetLoad { arms }
+    FleetLoad {
+        arms,
+        replay: Vec::new(),
+    }
 }
 
 fn arm_label(p: ProtocolKind) -> &'static str {
@@ -136,11 +219,16 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
         } else {
             "sharded"
         };
-        let barrier_wait_s = a.outcome.stage.map(|st| st.barrier_wait_s).unwrap_or(0.0);
+        // Legacy (sharded) runs have no barrier stage: the field is
+        // absent-as-null, not a fake 0.000 measurement.
+        let barrier_wait_s = a
+            .outcome
+            .stage
+            .map_or("null".to_string(), |st| format!("{:.3}", st.barrier_wait_s));
         writeln!(
             s,
             "    {{\"ues\": {}, \"arm\": \"{}\", \"contention\": \"{contention}\", \
-             \"wall_s\": {:.3}, \"barrier_wait_s\": {barrier_wait_s:.3}, \
+             \"wall_s\": {:.3}, \"barrier_wait_s\": {barrier_wait_s}, \
              \"ue_seconds_per_wall_second\": {:.0}, \"handovers\": {}, \"events\": {}}}{sep}",
             a.ues,
             arm_label(a.protocol),
@@ -151,7 +239,30 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
         )
         .unwrap();
     }
-    writeln!(s, "  ]").unwrap();
+    if r.replay.is_empty() {
+        writeln!(s, "  ]").unwrap();
+    } else {
+        writeln!(s, "  ],").unwrap();
+        writeln!(s, "  \"replay\": [").unwrap();
+        for (i, row) in r.replay.iter().enumerate() {
+            let sep = if i + 1 == r.replay.len() { "" } else { "," };
+            writeln!(
+                s,
+                "    {{\"run\": \"{}\", \"ues\": {}, \"events\": {}, \"wall_s\": {:.4}, \
+                 \"ue_seconds_per_wall_second\": {:.0}, \"speedup_vs_live\": {:.1}, \
+                 \"verified\": {}}}{sep}",
+                row.label,
+                row.ues,
+                row.events,
+                row.wall_s,
+                row.ue_seconds_per_wall_second,
+                row.speedup_vs_live,
+                row.verified,
+            )
+            .unwrap();
+        }
+        writeln!(s, "  ]").unwrap();
+    }
     writeln!(s, "}}").unwrap();
     s
 }
@@ -233,13 +344,47 @@ pub fn render(r: &FleetLoad) -> String {
             format!("{:.0}", a.ue_seconds_per_wall_second()),
         ]);
     }
-    t.render()
+    let mut out = t.render();
+    if !r.replay.is_empty() {
+        let mut rt = Table::new(
+            "Trace replay: same histories refolded without phy/DES",
+            &[
+                "run",
+                "ues",
+                "events",
+                "wall_ms",
+                "ue_s/wall_s",
+                "speedup",
+                "verified",
+            ],
+        );
+        for row in &r.replay {
+            rt.row(&[
+                row.label.clone(),
+                format!("{}", row.ues),
+                format!("{}", row.events),
+                format!("{:.1}", row.wall_s * 1e3),
+                format!("{:.0}", row.ue_seconds_per_wall_second),
+                format!("{:.0}x", row.speedup_vs_live),
+                format!("{}", row.verified),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&rt.render());
+    }
+    out
 }
 
 /// The deterministic smoke fleet for the CI byte-identical check.
 /// `exact` arms the shared cross-shard responder stage — the CI
 /// exact-contention smoke compares two worker counts of that mode too.
 pub fn smoke_config(exact: bool) -> FleetConfig {
+    smoke_config_recorded(exact, false)
+}
+
+/// [`smoke_config`] with trace recording optionally armed (recording
+/// does not perturb the protocol fold, so the summary stays identical).
+pub fn smoke_config_recorded(exact: bool, record: bool) -> FleetConfig {
     Deployment::new()
         .street(200.0, 30.0)
         .cell_row(2, 80.0)
@@ -252,6 +397,7 @@ pub fn smoke_config(exact: bool) -> FleetConfig {
         .seed(7)
         .shards(4)
         .exact_contention(exact)
+        .record_traces(record)
         .build()
         .expect("valid smoke fleet")
 }
@@ -264,20 +410,23 @@ pub fn smoke(workers: usize, exact: bool) -> String {
 /// perf-smoke step can emit a `BENCH_fleet.json` artifact from the same
 /// code path as the full sweep. The returned summary string is identical
 /// to [`smoke`]'s (the byte-compare contract).
-pub fn smoke_timed(workers: usize, exact: bool) -> (String, FleetLoad) {
-    let cfg = smoke_config(exact);
+pub fn smoke_timed(workers: usize, exact: bool, record: bool) -> (String, FleetLoad) {
+    let cfg = smoke_config_recorded(exact, record);
     let ues = cfg.n_ues();
     let start = Instant::now();
-    let outcome = run_fleet_with_workers(&cfg, workers);
+    let mut outcome = run_fleet_with_workers(&cfg, workers);
     let wall_s = start.elapsed().as_secs_f64();
     let summary = outcome.summary();
+    let trace = take_trace("smoke".into(), &cfg, &mut outcome, wall_s);
     let load = FleetLoad {
         arms: vec![Arm {
             ues,
             protocol: ProtocolKind::SilentTracker,
             outcome,
             wall_s,
+            trace,
         }],
+        replay: Vec::new(),
     };
     (summary, load)
 }
@@ -313,7 +462,7 @@ mod tests {
 
     #[test]
     fn small_sweep_renders_both_arms() {
-        let r = run(&[24], 3, 4, false);
+        let r = run(&[24], 3, 4, false, false);
         assert_eq!(r.arms.len(), 2);
         let s = render(&r);
         assert!(s.contains("silent") && s.contains("reactive"), "{s}");

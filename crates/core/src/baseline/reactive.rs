@@ -11,7 +11,9 @@
 //!
 //! It consumes the same [`Input`]s and emits the same [`Action`]s as
 //! [`SilentTracker`](crate::tracker::SilentTracker), so drivers and
-//! benches swap protocols with one constructor change.
+//! benches swap protocols with one constructor change. Like the tracker
+//! it is a thin adapter over the pure fold in [`crate::machine`]
+//! ([`ReactiveState`]).
 
 use st_des::SimTime;
 use st_mac::pdu::{CellId, UeId};
@@ -20,38 +22,14 @@ use std::sync::Arc;
 use st_phy::codebook::{BeamId, Codebook};
 
 use crate::config::TrackerConfig;
-use crate::measurement::{BeamTable, LinkMonitor};
-use crate::search::{Discovery, SearchController, SearchStep};
-use crate::tracker::{Action, HandoverDirective, HandoverReason, Input};
-
-#[derive(Debug, Clone)]
-enum Phase {
-    /// Serving link alive; no neighbor activity at all.
-    Connected,
-    /// Serving link failed; sweeping for any cell.
-    Searching(SearchController),
-    /// Target found; handover directive issued.
-    Done,
-}
+use crate::machine::{ProtocolCtx, ProtocolState, ReactiveState};
+use crate::tracker::{Action, HandoverDirective, Input};
 
 /// The reactive baseline protocol.
 #[derive(Debug, Clone)]
 pub struct ReactiveHandover {
-    pub config: TrackerConfig,
-    #[allow(dead_code)]
-    ue: UeId,
-    serving_cell: CellId,
-    /// Shared receive codebook (one `Arc` per fleet, not one clone per UE).
-    codebook: Arc<Codebook>,
-    serving_rx_beam: BeamId,
-    monitor: LinkMonitor,
-    table: BeamTable,
-    phase: Phase,
-    directive: Option<HandoverDirective>,
-    /// Time the serving link failed (start of the outage).
-    failed_at: Option<SimTime>,
-    srba_switches: u64,
-    search_dwells: u64,
+    ctx: ProtocolCtx,
+    state: ReactiveState,
 }
 
 impl ReactiveHandover {
@@ -62,167 +40,59 @@ impl ReactiveHandover {
         codebook: impl Into<Arc<Codebook>>,
         serving_rx_beam: BeamId,
     ) -> ReactiveHandover {
-        config.validate().expect("invalid config");
-        let codebook = codebook.into();
-        ReactiveHandover {
-            monitor: LinkMonitor::new(config.ewma_alpha),
-            table: BeamTable::new(config.ewma_alpha),
-            config,
-            ue,
-            serving_cell,
-            codebook,
-            serving_rx_beam,
-            phase: Phase::Connected,
-            directive: None,
-            failed_at: None,
-            srba_switches: 0,
-            search_dwells: 0,
-        }
+        let ctx = ProtocolCtx::new(config, ue, serving_cell, codebook);
+        let state = ReactiveState::initial(&ctx, serving_rx_beam);
+        ReactiveHandover { ctx, state }
+    }
+
+    pub fn config(&self) -> &TrackerConfig {
+        &self.ctx.config
+    }
+
+    /// The immutable protocol context (config, ids, codebook).
+    pub fn ctx(&self) -> &ProtocolCtx {
+        &self.ctx
+    }
+
+    /// Snapshot the complete mutable protocol state as a plain value.
+    pub fn snapshot(&self) -> ProtocolState {
+        ProtocolState::Reactive(self.state.clone())
     }
 
     pub fn serving_rx_beam(&self) -> BeamId {
-        self.serving_rx_beam
+        self.state.serving_rx_beam()
     }
 
     pub fn handover(&self) -> Option<HandoverDirective> {
-        self.directive
+        self.state.handover()
     }
 
     /// When the outage began (serving link lost), if it has.
     pub fn failed_at(&self) -> Option<SimTime> {
-        self.failed_at
+        self.state.failed_at()
     }
 
     pub fn search_dwells(&self) -> u64 {
-        self.search_dwells
+        self.state.search_dwells()
     }
 
     pub fn srba_switches(&self) -> u64 {
-        self.srba_switches
+        self.state.srba_switches()
     }
 
     /// Is the mobile currently cut off (post-failure, pre-handover)?
     pub fn in_outage(&self) -> bool {
-        matches!(self.phase, Phase::Searching(_))
+        self.state.in_outage()
     }
 
     /// The receive beam to use during gaps / search dwells.
     pub fn gap_rx_beam(&self) -> BeamId {
-        match &self.phase {
-            Phase::Searching(s) => s.current_beam(),
-            _ => self.serving_rx_beam,
-        }
+        self.state.gap_rx_beam()
     }
 
     pub fn handle(&mut self, input: Input) -> Vec<Action> {
         let mut out = Vec::new();
-        match input {
-            Input::ServingRss { at, rss } => {
-                if matches!(self.phase, Phase::Connected) {
-                    let drop = self.monitor.on_sample(at, rss);
-                    if drop.0 >= self.config.switch_threshold.0 {
-                        // Same mobile-side serving adaptation as Silent
-                        // Tracker, for a fair comparison.
-                        let adjacent = self.codebook.adjacent(self.serving_rx_beam);
-                        if let Some(&next) = adjacent.first() {
-                            let best = self
-                                .table
-                                .best_among(at, st_des::SimDuration::from_millis(100), &adjacent)
-                                .map(|(b, _)| b)
-                                .unwrap_or(next);
-                            self.serving_rx_beam = best;
-                            self.srba_switches += 1;
-                            out.push(Action::SetServingRxBeam(best));
-                        }
-                    }
-                }
-            }
-            Input::ServingProbe { at, rx_beam, rss } => {
-                self.table.observe(at, rx_beam, rss);
-            }
-            Input::ServingLinkLost { at } => {
-                if matches!(self.phase, Phase::Connected) {
-                    self.failed_at = Some(at);
-                    // Cold full sweep — reactive search has no tracked
-                    // hint; it starts from the (stale) serving beam.
-                    let search = SearchController::new(
-                        &self.codebook,
-                        self.serving_rx_beam,
-                        self.config.max_search_dwells,
-                    );
-                    out.push(Action::SetGapRxBeam(search.current_beam()));
-                    self.phase = Phase::Searching(search);
-                }
-            }
-            Input::NeighborSsb {
-                at,
-                cell,
-                tx_beam,
-                rx_beam,
-                rss,
-            } => {
-                if let Phase::Searching(search) = &mut self.phase {
-                    // Post-failure, *any* cell is a valid target —
-                    // including the old serving cell if it reappears.
-                    let _ = cell == self.serving_cell;
-                    if rx_beam == search.current_beam() {
-                        search.on_detection(Discovery {
-                            cell,
-                            tx_beam,
-                            rx_beam,
-                            rss,
-                            at,
-                        });
-                    }
-                }
-            }
-            Input::DwellComplete { at } => {
-                if let Phase::Searching(search) = &mut self.phase {
-                    self.search_dwells += 1;
-                    match search.on_dwell_complete() {
-                        SearchStep::Continue(beam) => out.push(Action::SetGapRxBeam(beam)),
-                        SearchStep::Found(d) => {
-                            let directive = HandoverDirective {
-                                target: d.cell,
-                                ssb_beam: d.tx_beam,
-                                rx_beam: d.rx_beam,
-                                reason: HandoverReason::ServingLost,
-                                at,
-                            };
-                            self.directive = Some(directive);
-                            self.phase = Phase::Done;
-                            out.push(Action::ExecuteHandover(directive));
-                        }
-                        SearchStep::Failed { dwells_used } => {
-                            out.push(Action::SearchFailed { dwells_used });
-                            // Keep sweeping — there is nothing else a
-                            // disconnected mobile can do.
-                            let search = SearchController::new(
-                                &self.codebook,
-                                self.serving_rx_beam,
-                                self.config.max_search_dwells,
-                            );
-                            out.push(Action::SetGapRxBeam(search.current_beam()));
-                            self.phase = Phase::Searching(search);
-                        }
-                    }
-                }
-            }
-            Input::RachFailed { .. } => {
-                // Still disconnected: the only move is another cold sweep.
-                if matches!(self.phase, Phase::Done) {
-                    self.directive = None;
-                    let search = SearchController::new(
-                        &self.codebook,
-                        self.serving_rx_beam,
-                        self.config.max_search_dwells,
-                    );
-                    out.push(Action::SetGapRxBeam(search.current_beam()));
-                    self.phase = Phase::Searching(search);
-                }
-            }
-            Input::FromServing { .. } | Input::Tick { .. } => {}
-        }
+        self.state.handle(&self.ctx, &input, &mut out);
         out
     }
 }
@@ -230,6 +100,7 @@ impl ReactiveHandover {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tracker::HandoverReason;
     use st_des::SimDuration;
     use st_phy::codebook::BeamwidthClass;
     use st_phy::units::Dbm;

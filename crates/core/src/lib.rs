@@ -16,11 +16,17 @@
 //! * [`measurement`] — EWMA RSS filtering, reference tracking, per-beam
 //!   probe tables.
 //! * [`state`] — the Fig. 2b state machine (EO, S-RBA, CABM, N-A/R,
-//!   N-RBA) with a declarative legal-transition relation.
+//!   N-RBA) with the table-driven legal-transition relation
+//!   ([`state::TRANSITION_TABLE`]).
+//! * [`machine`] — the protocol core as a pure serializable fold:
+//!   `step(ctx, state, event) -> (state, actions)`, the engine behind
+//!   both protocol arms and behind trace record/replay.
+//! * [`wire`] — canonical compact binary codec primitives (varints,
+//!   bit-exact floats, FNV-1a action digests).
 //! * [`search`] — directional neighbor-cell search with spiral ordering
 //!   and dwell accounting (the Fig. 2a metrics).
 //! * [`tracker`] — [`tracker::SilentTracker`], the sans-IO protocol
-//!   engine.
+//!   engine (an adapter over [`machine`]).
 //! * [`baseline`] — the reactive hard-handover strawman and the
 //!   genie-aided oracle.
 //!
@@ -49,16 +55,22 @@
 
 pub mod baseline;
 pub mod config;
+pub mod machine;
 pub mod measurement;
 pub mod search;
 pub mod state;
 pub mod tracker;
+pub mod wire;
 
 #[cfg(test)]
 mod tracker_tests;
 
 pub use baseline::{OracleTracker, ReactiveHandover};
 pub use config::TrackerConfig;
+pub use machine::{
+    step, step_mut, ProtocolCtx, ProtocolEvent, ProtocolState, ReactiveState, SilentState,
+};
 pub use search::{Discovery, SearchController, SearchStep};
-pub use state::{Edge, TrackerState, Transition, TransitionLog};
+pub use state::{Edge, TrackerState, Transition, TransitionLog, TRANSITION_TABLE};
 pub use tracker::{Action, HandoverDirective, HandoverReason, Input, SilentTracker, TrackerStats};
+pub use wire::WireError;

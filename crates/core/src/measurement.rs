@@ -13,7 +13,7 @@ use st_phy::codebook::BeamId;
 use st_phy::units::{Db, Dbm};
 
 /// Exponentially-weighted moving average over dBm samples.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EwmaRss {
     alpha: f64,
     value: Option<Dbm>,
@@ -41,10 +41,24 @@ impl EwmaRss {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    pub(crate) fn encode<B: bytes::BufMut>(&self, buf: &mut B) {
+        crate::wire::put_f64(buf, self.alpha);
+        crate::wire::put_opt_f64(buf, self.value.map(|d| d.0));
+    }
+
+    pub(crate) fn decode(buf: &mut &[u8]) -> Result<EwmaRss, crate::wire::WireError> {
+        let alpha = crate::wire::get_f64(buf)?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(crate::wire::WireError::Corrupt("ewma alpha"));
+        }
+        let value = crate::wire::get_opt_f64(buf)?.map(Dbm);
+        Ok(EwmaRss { alpha, value })
+    }
 }
 
 /// Monitors one link (a beam pair) and reports drops below reference.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkMonitor {
     ewma: EwmaRss,
     reference: Option<Dbm>,
@@ -129,11 +143,54 @@ impl LinkMonitor {
         self.reference = None;
         self.samples = 0;
     }
+
+    /// Derive a serving-link monitor that inherits this monitor's level
+    /// history (warm-start handover re-anchoring): the smoothed estimate,
+    /// sample count and freshness carry over from the tracked-neighbor
+    /// monitor — the same physical link the mobile is handing over to —
+    /// while the drop reference restarts at the current level with
+    /// serving semantics (best-ever, no decay).
+    pub fn rebased_warm(&self) -> LinkMonitor {
+        LinkMonitor {
+            ewma: self.ewma,
+            reference: self.ewma.get(),
+            last_update: self.last_update,
+            samples: self.samples,
+            reference_decay: 0.0,
+        }
+    }
+
+    /// Canonical binary encoding (exact: floats as bit patterns).
+    pub fn encode<B: bytes::BufMut>(&self, buf: &mut B) {
+        self.ewma.encode(buf);
+        crate::wire::put_opt_f64(buf, self.reference.map(|d| d.0));
+        crate::wire::put_opt_time(buf, self.last_update);
+        crate::wire::put_varu64(buf, u64::from(self.samples));
+        crate::wire::put_f64(buf, self.reference_decay);
+    }
+
+    pub fn decode(buf: &mut &[u8]) -> Result<LinkMonitor, crate::wire::WireError> {
+        let ewma = EwmaRss::decode(buf)?;
+        let reference = crate::wire::get_opt_f64(buf)?.map(Dbm);
+        let last_update = crate::wire::get_opt_time(buf)?;
+        let samples = crate::wire::get_varu64(buf)? as u32;
+        let reference_decay = crate::wire::get_f64(buf)?;
+        if reference_decay < 0.0 {
+            return Err(crate::wire::WireError::Corrupt("reference decay"));
+        }
+        Ok(LinkMonitor {
+            ewma,
+            reference,
+            last_update,
+            samples,
+            reference_decay,
+        })
+    }
 }
 
 /// Smoothed RSS per receive beam for one cell — what the mobile learned
 /// from sweeping/probing, used to pick the best adjacent beam to switch to.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BeamTable {
     entries: Vec<(BeamId, EwmaRss, SimTime)>,
     alpha: f64,
@@ -206,6 +263,29 @@ impl BeamTable {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    pub(crate) fn encode<B: bytes::BufMut>(&self, buf: &mut B) {
+        crate::wire::put_f64(buf, self.alpha);
+        crate::wire::put_varu64(buf, self.entries.len() as u64);
+        for (beam, ewma, at) in &self.entries {
+            buf.put_u16(beam.0);
+            ewma.encode(buf);
+            crate::wire::put_time(buf, *at);
+        }
+    }
+
+    pub(crate) fn decode(buf: &mut &[u8]) -> Result<BeamTable, crate::wire::WireError> {
+        let alpha = crate::wire::get_f64(buf)?;
+        let n = crate::wire::get_varu64(buf)? as usize;
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let beam = BeamId(crate::wire::get_u16(buf)?);
+            let ewma = EwmaRss::decode(buf)?;
+            let at = crate::wire::get_time(buf)?;
+            entries.push((beam, ewma, at));
+        }
+        Ok(BeamTable { entries, alpha })
     }
 }
 

@@ -22,13 +22,13 @@
 //! adjacent to the detected one, acquiring the strongest of the three.
 //! Refinement dwells are charged to the same Fig. 2a dwell count.
 
-use std::sync::Arc;
-
 use st_des::SimTime;
 use st_mac::pdu::CellId;
 use st_mac::timing::TxBeamIndex;
 use st_phy::codebook::{AdjacentBeams, BeamId, Codebook};
 use st_phy::units::Dbm;
+
+use crate::wire::{self, WireError};
 
 /// A detected neighbor-cell beam.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +38,26 @@ pub struct Discovery {
     pub rx_beam: BeamId,
     pub rss: Dbm,
     pub at: SimTime,
+}
+
+impl Discovery {
+    pub(crate) fn encode<B: bytes::BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.cell.0);
+        buf.put_u16(self.tx_beam);
+        buf.put_u16(self.rx_beam.0);
+        wire::put_f64(buf, self.rss.0);
+        wire::put_time(buf, self.at);
+    }
+
+    pub(crate) fn decode(buf: &mut &[u8]) -> Result<Discovery, WireError> {
+        Ok(Discovery {
+            cell: CellId(wire::get_u16(buf)?),
+            tx_beam: wire::get_u16(buf)?,
+            rx_beam: BeamId(wire::get_u16(buf)?),
+            rss: Dbm(wire::get_f64(buf)?),
+            at: wire::get_time(buf)?,
+        })
+    }
 }
 
 /// Outcome of completing one dwell.
@@ -52,15 +72,15 @@ pub enum SearchStep {
 }
 
 /// Controller for one search pass.
-#[derive(Debug, Clone)]
+///
+/// Holds no reference to the codebook: the dwell order is a pure function
+/// of (codebook, hint) and the refinement queue of (codebook, detected
+/// beam), so the codebook is passed into [`SearchController::on_dwell_complete`]
+/// instead of being captured — which keeps the controller a plain value
+/// that serializes into a protocol-state snapshot.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchController {
     order: Vec<BeamId>,
-    /// The receive codebook, kept for the refinement sweep (adjacency of
-    /// the detected beam is resolved lazily — controllers are rebuilt on
-    /// every re-acquisition, so precomputing all rows would be churn).
-    /// Shared, not cloned: every protocol instance of a fleet points at
-    /// the same codebook.
-    codebook: Arc<Codebook>,
     pos: usize,
     dwells_used: usize,
     max_dwells: usize,
@@ -71,7 +91,7 @@ pub struct SearchController {
     refine: Option<Refinement>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Refinement {
     best: Discovery,
     queue: AdjacentBeams,
@@ -99,12 +119,11 @@ fn spiral_order(codebook: &Codebook, hint: BeamId) -> Vec<BeamId> {
 impl SearchController {
     /// Start a search. `hint` biases the dwell order (e.g. the serving
     /// receive beam, or the last-known neighbor beam on re-acquisition).
-    pub fn new(codebook: &Arc<Codebook>, hint: BeamId, max_dwells: usize) -> SearchController {
+    pub fn new(codebook: &Codebook, hint: BeamId, max_dwells: usize) -> SearchController {
         assert!(max_dwells >= 1);
         assert!((hint.0 as usize) < codebook.len(), "hint outside codebook");
         SearchController {
             order: spiral_order(codebook, hint),
-            codebook: Arc::clone(codebook),
             pos: 0,
             dwells_used: 0,
             max_dwells,
@@ -142,7 +161,7 @@ impl SearchController {
     }
 
     /// Close the current dwell (one SSB burst period elapsed).
-    pub fn on_dwell_complete(&mut self) -> SearchStep {
+    pub fn on_dwell_complete(&mut self, codebook: &Codebook) -> SearchStep {
         self.dwells_used += 1;
         if let Some(r) = &mut self.refine {
             // One refinement dwell done; move to the next adjacent beam,
@@ -154,7 +173,7 @@ impl SearchController {
             return SearchStep::Found(self.refine.take().unwrap().best);
         }
         if let Some(found) = self.pending.take() {
-            let queue = self.codebook.adjacent(found.rx_beam);
+            let queue = codebook.adjacent(found.rx_beam);
             if queue.is_empty() {
                 // Omni-style codebook: nothing to refine against.
                 return SearchStep::Found(found);
@@ -174,6 +193,74 @@ impl SearchController {
         self.pos = (self.pos + 1) % self.order.len();
         SearchStep::Continue(self.current_beam())
     }
+
+    /// Canonical binary encoding. Only the hint is stored for the dwell
+    /// order (it is `spiral_order(codebook, hint)` by construction, with
+    /// `order[0] == hint`), and only the detected beam for the refinement
+    /// queue — both are rebuilt from the codebook at decode time.
+    pub(crate) fn encode<B: bytes::BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.order[0].0);
+        wire::put_varu64(buf, self.pos as u64);
+        wire::put_varu64(buf, self.dwells_used as u64);
+        wire::put_varu64(buf, self.max_dwells as u64);
+        match &self.pending {
+            None => buf.put_u8(0),
+            Some(d) => {
+                buf.put_u8(1);
+                d.encode(buf);
+            }
+        }
+        match &self.refine {
+            None => buf.put_u8(0),
+            Some(r) => {
+                buf.put_u8(1);
+                r.best.encode(buf);
+                wire::put_varu64(buf, r.next as u64);
+            }
+        }
+    }
+
+    pub(crate) fn decode(
+        buf: &mut &[u8],
+        codebook: &Codebook,
+    ) -> Result<SearchController, WireError> {
+        let hint = BeamId(wire::get_u16(buf)?);
+        if (hint.0 as usize) >= codebook.len() {
+            return Err(WireError::Corrupt("search hint outside codebook"));
+        }
+        let pos = wire::get_varu64(buf)? as usize;
+        let dwells_used = wire::get_varu64(buf)? as usize;
+        let max_dwells = wire::get_varu64(buf)? as usize;
+        if max_dwells == 0 {
+            return Err(WireError::Corrupt("zero dwell budget"));
+        }
+        let pending = match wire::get_u8(buf)? {
+            0 => None,
+            1 => Some(Discovery::decode(buf)?),
+            _ => return Err(WireError::Corrupt("option tag")),
+        };
+        let refine = match wire::get_u8(buf)? {
+            0 => None,
+            1 => {
+                let best = Discovery::decode(buf)?;
+                let next = wire::get_varu64(buf)? as usize;
+                let queue = codebook.adjacent(best.rx_beam);
+                if queue.is_empty() || next > queue.len() {
+                    return Err(WireError::Corrupt("refinement queue"));
+                }
+                Some(Refinement { best, queue, next })
+            }
+            _ => return Err(WireError::Corrupt("option tag")),
+        };
+        Ok(SearchController {
+            order: spiral_order(codebook, hint),
+            pos,
+            dwells_used,
+            max_dwells,
+            pending,
+            refine,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -181,8 +268,8 @@ mod tests {
     use super::*;
     use st_phy::codebook::BeamwidthClass;
 
-    fn narrow() -> Arc<Codebook> {
-        Arc::new(Codebook::for_class(BeamwidthClass::Narrow))
+    fn narrow() -> Codebook {
+        Codebook::for_class(BeamwidthClass::Narrow)
     }
 
     fn disc(rx: BeamId, rss: f64) -> Discovery {
@@ -220,20 +307,20 @@ mod tests {
         let cb = narrow();
         let mut s = SearchController::new(&cb, BeamId(3), 40);
         // Two dwells with nothing.
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
         // Detection mid-dwell is only acted on at the boundary, and then
         // kicks off one refinement dwell per adjacent beam (P3 sweep).
         let beam = s.current_beam();
         s.on_detection(disc(beam, -68.0));
         let adjacent = cb.adjacent(beam);
-        match s.on_dwell_complete() {
+        match s.on_dwell_complete(&cb) {
             SearchStep::Continue(b) => assert_eq!(b, adjacent[0]),
             other => panic!("expected refinement dwell, got {other:?}"),
         }
         // No refinement detections: the original discovery wins.
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(b) if b == adjacent[1]));
-        match s.on_dwell_complete() {
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(b) if b == adjacent[1]));
+        match s.on_dwell_complete(&cb) {
             SearchStep::Found(d) => {
                 assert_eq!(d.rx_beam, beam);
                 assert_eq!(d.rss, Dbm(-68.0));
@@ -251,12 +338,12 @@ mod tests {
         s.on_detection(disc(beam, -72.0));
         // First refinement dwell: the adjacent beam is 6 dB stronger
         // (the sweep caught the edge of the main lobe, not its center).
-        let SearchStep::Continue(adj) = s.on_dwell_complete() else {
+        let SearchStep::Continue(adj) = s.on_dwell_complete(&cb) else {
             panic!("expected refinement dwell");
         };
         s.on_detection(disc(adj, -66.0));
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
-        match s.on_dwell_complete() {
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
+        match s.on_dwell_complete(&cb) {
             SearchStep::Found(d) => {
                 assert_eq!(d.rx_beam, adj);
                 assert_eq!(d.rss, Dbm(-66.0));
@@ -274,9 +361,9 @@ mod tests {
         s.on_detection(disc(beam, -65.0));
         s.on_detection(disc(beam, -70.0));
         // Ride through the two empty refinement dwells.
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
-        match s.on_dwell_complete() {
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
+        match s.on_dwell_complete(&cb) {
             SearchStep::Found(d) => assert_eq!(d.rss, Dbm(-65.0)),
             other => panic!("{other:?}"),
         }
@@ -287,19 +374,22 @@ mod tests {
         let cb = narrow();
         let mut s = SearchController::new(&cb, BeamId(0), 5);
         for _ in 0..4 {
-            assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(_)));
+            assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
         }
-        assert_eq!(s.on_dwell_complete(), SearchStep::Failed { dwells_used: 5 });
+        assert_eq!(
+            s.on_dwell_complete(&cb),
+            SearchStep::Failed { dwells_used: 5 }
+        );
     }
 
     #[test]
     fn wraps_past_codebook_size() {
-        let cb = Arc::new(Codebook::for_class(BeamwidthClass::Wide)); // 6 beams
+        let cb = Codebook::for_class(BeamwidthClass::Wide); // 6 beams
         let mut s = SearchController::new(&cb, BeamId(0), 20);
         let mut seen = Vec::new();
         for _ in 0..12 {
             seen.push(s.current_beam());
-            s.on_dwell_complete();
+            s.on_dwell_complete(&cb);
         }
         // After 6 dwells the order repeats.
         assert_eq!(&seen[..6], &seen[6..12]);
@@ -307,19 +397,38 @@ mod tests {
 
     #[test]
     fn omni_codebook_single_dwell_order() {
-        let cb = Arc::new(Codebook::for_class(BeamwidthClass::Omni));
+        let cb = Codebook::for_class(BeamwidthClass::Omni);
         let mut s = SearchController::new(&cb, BeamId(0), 3);
         assert_eq!(s.current_beam(), BeamId(0));
-        assert!(matches!(s.on_dwell_complete(), SearchStep::Continue(b) if b == BeamId(0)));
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(b) if b == BeamId(0)));
     }
 
     #[test]
     #[should_panic(expected = "hint outside codebook")]
     fn bad_hint_panics() {
-        SearchController::new(
-            &Arc::new(Codebook::for_class(BeamwidthClass::Wide)),
-            BeamId(9),
-            5,
-        );
+        SearchController::new(&Codebook::for_class(BeamwidthClass::Wide), BeamId(9), 5);
+    }
+
+    #[test]
+    fn mid_pass_snapshot_round_trips_exactly() {
+        let cb = narrow();
+        let mut s = SearchController::new(&cb, BeamId(7), 40);
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
+        let beam = s.current_beam();
+        s.on_detection(disc(beam, -70.0));
+        // Enter refinement so the snapshot carries the lazy queue.
+        assert!(matches!(s.on_dwell_complete(&cb), SearchStep::Continue(_)));
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let mut cur = &buf[..];
+        let restored = SearchController::decode(&mut cur, &cb).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(restored, s);
+        // And the restored controller finishes the pass identically.
+        let mut a = s.clone();
+        let mut b = restored;
+        for _ in 0..3 {
+            assert_eq!(a.on_dwell_complete(&cb), b.on_dwell_complete(&cb));
+        }
     }
 }

@@ -91,59 +91,100 @@ pub struct Transition {
     pub to: TrackerState,
 }
 
+/// The Fig. 2b arrows as an explicit table — *the* definition of the
+/// machine, which both [`Transition::is_legal`] and the protocol fold in
+/// [`crate::machine`] are checked against.
+///
+/// Serving-side loop: EO →(G)→ S-RBA →(A)→ EO; S-RBA →(G)→ CABM
+/// (escalation when mobile-side no longer suffices); CABM →(F)→ EO
+/// (assistance arrived), CABM →(G)→ S-RBA (assistance delayed/lost).
+///
+/// Neighbor-side loop: EO →(B)→ N-A/R →(C)→ N-RBA; N-RBA →(H)→ N-RBA
+/// (adjacent-beam switch); N-RBA →(D)→ N-A/R (beam lost); N-RBA
+/// →(E)→ EO (handover executed; the target becomes the serving cell).
+/// N-A/R →(A)→ EO covers abandoning a failed search pass.
+pub const TRANSITION_TABLE: [Transition; 11] = {
+    use Edge::*;
+    use TrackerState::*;
+    const fn t(from: TrackerState, edge: Edge, to: TrackerState) -> Transition {
+        Transition { from, edge, to }
+    }
+    [
+        // Serving loop (BeamSurfer).
+        t(Eo, G, SRba),
+        t(SRba, A, Eo),
+        t(SRba, G, Cabm),
+        t(Cabm, F, Eo),
+        t(Cabm, G, SRba),
+        // Neighbor loop (silent tracking).
+        t(Eo, B, NAr),
+        t(NAr, C, NRba),
+        t(NAr, A, Eo),
+        t(NRba, H, NRba),
+        t(NRba, D, NAr),
+        t(NRba, E, Eo),
+    ]
+};
+
 impl Transition {
-    /// The legal-transition relation of Fig. 2b.
-    ///
-    /// Serving-side loop: EO →(G)→ S-RBA →(A)→ EO; S-RBA →(G)→ CABM
-    /// (escalation when mobile-side no longer suffices); CABM →(F)→ EO
-    /// (assistance arrived), CABM →(G)→ S-RBA (assistance delayed/lost).
-    ///
-    /// Neighbor-side loop: EO →(B)→ N-A/R →(C)→ N-RBA; N-RBA →(H)→ N-RBA
-    /// (adjacent-beam switch); N-RBA →(D)→ N-A/R (beam lost); N-RBA
-    /// →(E)→ EO (handover executed; the target becomes the serving cell).
-    /// N-A/R →(A)→ EO covers abandoning a failed search pass.
+    /// The legal-transition relation of Fig. 2b: membership in
+    /// [`TRANSITION_TABLE`].
     pub fn is_legal(self) -> bool {
-        use Edge::*;
-        use TrackerState::*;
-        matches!(
-            (self.from, self.edge, self.to),
-            (Eo, G, SRba)
-                | (SRba, A, Eo)
-                | (SRba, G, Cabm)
-                | (Cabm, F, Eo)
-                | (Cabm, G, SRba)
-                | (Eo, B, NAr)
-                | (NAr, C, NRba)
-                | (NAr, A, Eo)
-                | (NRba, H, NRba)
-                | (NRba, D, NAr)
-                | (NRba, E, Eo)
-        )
+        TRANSITION_TABLE.contains(&self)
     }
 
     /// All legal transitions (for exhaustive property tests).
     pub fn all_legal() -> Vec<Transition> {
-        use Edge::*;
-        use TrackerState::*;
-        let states = [Eo, SRba, Cabm, NAr, NRba];
-        let edges = [A, B, C, D, E, F, G, H];
-        let mut out = Vec::new();
-        for &from in &states {
-            for &edge in &edges {
-                for &to in &states {
-                    let t = Transition { from, edge, to };
-                    if t.is_legal() {
-                        out.push(t);
-                    }
-                }
-            }
+        TRANSITION_TABLE.to_vec()
+    }
+}
+
+impl TrackerState {
+    pub(crate) fn to_wire(self) -> u8 {
+        match self {
+            TrackerState::Eo => 0,
+            TrackerState::SRba => 1,
+            TrackerState::Cabm => 2,
+            TrackerState::NAr => 3,
+            TrackerState::NRba => 4,
         }
-        out
+    }
+
+    pub(crate) fn from_wire(v: u8) -> Result<TrackerState, crate::wire::WireError> {
+        Ok(match v {
+            0 => TrackerState::Eo,
+            1 => TrackerState::SRba,
+            2 => TrackerState::Cabm,
+            3 => TrackerState::NAr,
+            4 => TrackerState::NRba,
+            _ => return Err(crate::wire::WireError::Corrupt("tracker state tag")),
+        })
+    }
+}
+
+impl Edge {
+    pub(crate) fn to_wire(self) -> u8 {
+        self as u8
+    }
+
+    pub(crate) fn from_wire(v: u8) -> Result<Edge, crate::wire::WireError> {
+        use Edge::*;
+        Ok(match v {
+            0 => A,
+            1 => B,
+            2 => C,
+            3 => D,
+            4 => E,
+            5 => F,
+            6 => G,
+            7 => H,
+            _ => return Err(crate::wire::WireError::Corrupt("edge tag")),
+        })
     }
 }
 
 /// A bounded log of transitions with timestamps, for tests and traces.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransitionLog {
     entries: Vec<(st_des::SimTime, Transition)>,
 }
@@ -175,6 +216,35 @@ impl TransitionLog {
     /// one ended.
     pub fn is_contiguous(&self) -> bool {
         self.entries.windows(2).all(|w| w[0].1.to == w[1].1.from)
+    }
+
+    pub(crate) fn encode<B: bytes::BufMut>(&self, buf: &mut B) {
+        crate::wire::put_varu64(buf, self.entries.len() as u64);
+        for (at, tr) in &self.entries {
+            crate::wire::put_time(buf, *at);
+            buf.put_u8(tr.from.to_wire());
+            buf.put_u8(tr.edge.to_wire());
+            buf.put_u8(tr.to.to_wire());
+        }
+    }
+
+    pub(crate) fn decode(buf: &mut &[u8]) -> Result<TransitionLog, crate::wire::WireError> {
+        use crate::wire::{get_time, get_u8, get_varu64, WireError};
+        let n = get_varu64(buf)? as usize;
+        let mut entries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let at = get_time(buf)?;
+            let tr = Transition {
+                from: TrackerState::from_wire(get_u8(buf)?)?,
+                edge: Edge::from_wire(get_u8(buf)?)?,
+                to: TrackerState::from_wire(get_u8(buf)?)?,
+            };
+            if !tr.is_legal() {
+                return Err(WireError::Corrupt("illegal transition in log"));
+            }
+            entries.push((at, tr));
+        }
+        Ok(TransitionLog { entries })
     }
 }
 
@@ -214,6 +284,36 @@ mod tests {
     #[test]
     fn legal_set_size_is_exact() {
         assert_eq!(Transition::all_legal().len(), 11);
+    }
+
+    #[test]
+    fn table_has_no_duplicate_arrows() {
+        for (i, a) in TRANSITION_TABLE.iter().enumerate() {
+            for b in &TRANSITION_TABLE[i + 1..] {
+                assert_ne!(a, b, "duplicate arrow in TRANSITION_TABLE");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_tags_round_trip() {
+        for s in [Eo, SRba, Cabm, NAr, NRba] {
+            assert_eq!(TrackerState::from_wire(s.to_wire()), Ok(s));
+        }
+        for e in [
+            Edge::A,
+            Edge::B,
+            Edge::C,
+            Edge::D,
+            Edge::E,
+            Edge::F,
+            Edge::G,
+            Edge::H,
+        ] {
+            assert_eq!(Edge::from_wire(e.to_wire()), Ok(e));
+        }
+        assert!(TrackerState::from_wire(9).is_err());
+        assert!(Edge::from_wire(8).is_err());
     }
 
     #[test]

@@ -1,19 +1,24 @@
 //! The Silent Tracker protocol engine (sans-IO).
 //!
-//! [`SilentTracker`] is a pure state machine: the driver (the `st-net`
-//! simulator, or in principle a real modem) feeds it [`Input`]s — RSS
-//! samples, SSB detections heard during measurement gaps, PDUs from the
-//! serving cell, timer ticks — and it returns [`Action`]s: receive-beam
-//! switches, one control PDU kind (the BeamSurfer transmit-beam switch
-//! request, the *only* thing it ever transmits before handover), and
-//! ultimately the handover directive.
+//! [`SilentTracker`] is a thin adapter over the pure protocol fold in
+//! [`crate::machine`]: it owns an immutable [`ProtocolCtx`] and a
+//! serializable [`SilentState`], and `handle` forwards each input into
+//! [`SilentState::handle`] — the same `step(state, event)` fold that
+//! trace replay drives directly. The driver (the `st-net` simulator, or
+//! in principle a real modem) feeds it [`Input`]s — RSS samples, SSB
+//! detections heard during measurement gaps, PDUs from the serving cell,
+//! timer ticks — and it returns [`Action`]s: receive-beam switches, one
+//! control PDU kind (the BeamSurfer transmit-beam switch request, the
+//! *only* thing it ever transmits before handover), and ultimately the
+//! handover directive.
 //!
 //! Everything it consumes is in-band RSS, which is the paper's thesis.
 //! The one deliberate exception, the oracle baseline, lives in
 //! [`crate::baseline`] and is clearly labelled.
 //!
 //! Internally the Fig. 2b machine decomposes into two concerns that share
-//! the radio through the measurement-gap schedule:
+//! the radio through the measurement-gap schedule (see [`crate::machine`]
+//! for the full fold):
 //!
 //! * the **serving loop** (EO / S-RBA / CABM) — BeamSurfer: keep the
 //!   serving link alive with mobile-side adjacent-beam switches,
@@ -23,184 +28,29 @@
 //!   and keep the receive beam aligned to it silently until the handover
 //!   trigger fires.
 
-use st_des::{SimDuration, SimTime};
-use st_mac::pdu::{CellId, Pdu, UeId};
-use st_mac::timing::TxBeamIndex;
 use std::sync::Arc;
 
+use st_mac::pdu::{CellId, UeId};
+use st_mac::timing::TxBeamIndex;
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::units::Dbm;
 
 use crate::config::TrackerConfig;
-use crate::measurement::{BeamTable, LinkMonitor};
-use crate::search::{Discovery, SearchController, SearchStep};
-use crate::state::{Edge, TrackerState, Transition, TransitionLog};
+use crate::machine::{ProtocolCtx, ProtocolState, SilentState};
+use crate::measurement::LinkMonitor;
+use crate::state::{TrackerState, TransitionLog};
 
-/// Inputs the driver feeds into the protocol.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Input {
-    /// RSS of the serving link on the current serving receive beam.
-    ServingRss { at: SimTime, rss: Dbm },
-    /// Probe measurement of another receive beam on the serving link
-    /// (e.g. CSI-RS resources on adjacent beams).
-    ServingProbe {
-        at: SimTime,
-        rx_beam: BeamId,
-        rss: Dbm,
-    },
-    /// A neighbor-cell SSB detected during a measurement gap.
-    NeighborSsb {
-        at: SimTime,
-        cell: CellId,
-        tx_beam: TxBeamIndex,
-        rx_beam: BeamId,
-        rss: Dbm,
-    },
-    /// One gap dwell (one SSB burst period listening on the gap beam)
-    /// finished.
-    DwellComplete { at: SimTime },
-    /// A PDU arrived from the serving cell.
-    FromServing { at: SimTime, pdu: Pdu },
-    /// The driver declared radio link failure on the serving link.
-    ServingLinkLost { at: SimTime },
-    /// Random access against the handover target failed permanently
-    /// (preamble attempts exhausted). Make-before-break: the serving
-    /// link is still alive, so the protocol drops the failed target
-    /// beam, re-acquires, and may trigger again later.
-    RachFailed { at: SimTime },
-    /// Periodic timer tick for deadline checks.
-    Tick { at: SimTime },
-}
+pub use crate::machine::{
+    Action, HandoverDirective, HandoverReason, ProtocolEvent as Input, TrackerStats,
+};
 
-/// Why a handover was executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HandoverReason {
-    /// Edge E: RSS_N exceeded RSS_S + T while both links were measurable.
-    NeighborStronger,
-    /// The serving link died but a tracked neighbor beam was ready.
-    ServingLost,
-}
-
-/// The handover order handed to the driver: which cell to access, on
-/// which of its SSB beams, with which receive beam — everything RACH
-/// needs, already aligned.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HandoverDirective {
-    pub target: CellId,
-    pub ssb_beam: TxBeamIndex,
-    pub rx_beam: BeamId,
-    pub reason: HandoverReason,
-    pub at: SimTime,
-}
-
-/// Outputs of the protocol.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Action {
-    /// Retune the serving-link receive beam (S-RBA).
-    SetServingRxBeam(BeamId),
-    /// Transmit a PDU to the serving cell (CABM request).
-    SendToServing(Pdu),
-    /// Use this receive beam during measurement gaps from now on.
-    SetGapRxBeam(BeamId),
-    /// Run random access against the tracked neighbor beam now.
-    ExecuteHandover(HandoverDirective),
-    /// A search pass exhausted its dwell budget (metrics hook).
-    SearchFailed { dwells_used: usize },
-    /// A neighbor beam was acquired (metrics hook).
-    NeighborAcquired(Discovery),
-}
-
-/// Serving-loop phase.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum ServingPhase {
-    Stable,
-    MobileAdapt { since: SimTime },
-    CellAssist { deadline: SimTime },
-}
-
-/// The silently tracked neighbor beam.
-#[derive(Debug, Clone)]
-struct TrackedNeighbor {
-    cell: CellId,
-    tx_beam: TxBeamIndex,
-    rx_beam: BeamId,
-    monitor: LinkMonitor,
-    table: BeamTable,
-    /// Position in the tracking dwell cycle (tracked beam interleaved
-    /// with adjacent-beam probes).
-    cycle: usize,
-    /// SSB samples absorbed on this *track* (across silent beam
-    /// switches) since acquisition — the trigger-maturity counter.
-    /// Unlike `monitor.samples()` this survives rebases: switching the
-    /// receive beam refines the same neighbor track, it does not start
-    /// a new acquaintance with the cell.
-    samples_since_acq: u32,
-    /// Last receive-beam switch, for switch-rate damping: two physically
-    /// adjacent beams have near-equal gain at the tile boundary, and
-    /// per-SSB fading would otherwise ping-pong between them.
-    last_switch: SimTime,
-}
-
-/// Neighbor-loop phase.
-#[derive(Debug, Clone)]
-enum NeighborPhase {
-    Searching(SearchController),
-    Tracking(TrackedNeighbor),
-}
-
-/// Protocol counters (inputs to the figure-regeneration benches).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TrackerStats {
-    /// Mobile-side serving receive-beam switches (S-RBA actions).
-    pub srba_switches: u64,
-    /// Transmit-beam switch requests sent to the serving cell (CABM).
-    pub cabm_requests: u64,
-    /// Times cell assistance timed out (edge G out of CABM).
-    pub assist_lost: u64,
-    /// Silent neighbor receive-beam switches (edge H).
-    pub nrba_switches: u64,
-    /// Neighbor-beam losses requiring re-acquisition (edge D).
-    pub reacquisitions: u64,
-    /// Total search dwells across all passes.
-    pub search_dwells: u64,
-    /// Search passes that failed (dwell budget exhausted).
-    pub searches_failed: u64,
-    /// Search passes that found a beam.
-    pub searches_succeeded: u64,
-}
-
-/// The Silent Tracker protocol instance for one mobile.
+/// The Silent Tracker protocol instance for one mobile: an adapter pair
+/// of immutable context and pure fold state.
 #[derive(Debug, Clone)]
 pub struct SilentTracker {
-    pub config: TrackerConfig,
-    ue: UeId,
-    serving_cell: CellId,
-    /// Shared receive codebook — an `Arc` so a fleet's worth of protocol
-    /// instances reference one codebook instead of cloning it per UE.
-    codebook: Arc<Codebook>,
-
-    serving_phase: ServingPhase,
-    serving_rx_beam: BeamId,
-    serving_monitor: LinkMonitor,
-    serving_table: BeamTable,
-    serving_last_switch: SimTime,
-
-    neighbor: NeighborPhase,
-    done: Option<HandoverDirective>,
-    /// The driver declared the serving link dead. Once true, any
-    /// (re-)acquired neighbor beam is handed over to immediately — there
-    /// is no serving level left to compare against, and waiting for the
-    /// edge-E hysteresis against a stale EWMA would strand the mobile.
-    serving_lost: bool,
-
-    stats: TrackerStats,
-    serving_log: TransitionLog,
-    neighbor_log: TransitionLog,
+    ctx: ProtocolCtx,
+    state: SilentState,
 }
-
-/// Staleness window for probe-table lookups when choosing an adjacent
-/// beam: older measurements no longer reflect the channel under mobility.
-const PROBE_STALENESS: SimDuration = SimDuration::from_millis(100);
 
 impl SilentTracker {
     /// Create a tracker for `ue`, currently served by `serving_cell` on
@@ -214,106 +64,88 @@ impl SilentTracker {
         codebook: impl Into<Arc<Codebook>>,
         serving_rx_beam: BeamId,
     ) -> SilentTracker {
-        config.validate().expect("invalid tracker config");
-        let codebook = codebook.into();
-        let search = SearchController::new(&codebook, serving_rx_beam, config.max_search_dwells);
-        let mut neighbor_log = TransitionLog::default();
-        neighbor_log.push(
-            SimTime::ZERO,
-            Transition {
-                from: TrackerState::Eo,
-                edge: Edge::B,
-                to: TrackerState::NAr,
-            },
-        );
-        SilentTracker {
-            serving_monitor: LinkMonitor::new(config.ewma_alpha),
-            serving_table: BeamTable::new(config.ewma_alpha),
-            config,
-            ue,
-            serving_cell,
-            codebook,
-            serving_phase: ServingPhase::Stable,
-            serving_rx_beam,
-            serving_last_switch: SimTime::ZERO,
-            neighbor: NeighborPhase::Searching(search),
-            done: None,
-            serving_lost: false,
-            stats: TrackerStats::default(),
-            serving_log: TransitionLog::default(),
-            neighbor_log,
-        }
+        let ctx = ProtocolCtx::new(config, ue, serving_cell, codebook);
+        let state = SilentState::initial(&ctx, serving_rx_beam);
+        SilentTracker { ctx, state }
     }
 
-    /// The Fig. 2b state the protocol is currently in. Serving-side
-    /// disturbances take display precedence (they are what the mobile is
-    /// actively doing); otherwise the neighbor loop determines the state.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.ctx.config
+    }
+
+    /// The immutable protocol context (config, ids, codebook).
+    pub fn ctx(&self) -> &ProtocolCtx {
+        &self.ctx
+    }
+
+    /// Snapshot the complete mutable protocol state as a plain value.
+    pub fn snapshot(&self) -> ProtocolState {
+        ProtocolState::Silent(self.state.clone())
+    }
+
+    /// The Fig. 2b state the protocol is currently in.
     pub fn state(&self) -> TrackerState {
-        match self.serving_phase {
-            ServingPhase::MobileAdapt { .. } => TrackerState::SRba,
-            ServingPhase::CellAssist { .. } => TrackerState::Cabm,
-            ServingPhase::Stable => match &self.neighbor {
-                NeighborPhase::Searching(_) if self.done.is_none() => TrackerState::NAr,
-                NeighborPhase::Tracking(_) if self.done.is_none() => TrackerState::NRba,
-                _ => TrackerState::Eo,
-            },
-        }
+        self.state.fig2b_state()
     }
 
     pub fn stats(&self) -> TrackerStats {
-        self.stats
+        self.state.stats()
     }
 
     pub fn serving_rx_beam(&self) -> BeamId {
-        self.serving_rx_beam
+        self.state.serving_rx_beam()
     }
 
     pub fn serving_cell(&self) -> CellId {
-        self.serving_cell
+        self.ctx.serving_cell
     }
 
     /// The receive beam the mobile should use during measurement gaps.
     pub fn gap_rx_beam(&self) -> BeamId {
-        match &self.neighbor {
-            NeighborPhase::Searching(s) => s.current_beam(),
-            NeighborPhase::Tracking(t) => Self::tracking_dwell_beam(&self.codebook, t),
-        }
+        self.state.gap_rx_beam(&self.ctx.codebook)
     }
 
     /// The tracked neighbor beam, if any: (cell, tx beam, rx beam).
     pub fn tracked(&self) -> Option<(CellId, TxBeamIndex, BeamId)> {
-        match &self.neighbor {
-            NeighborPhase::Tracking(t) => Some((t.cell, t.tx_beam, t.rx_beam)),
-            _ => None,
-        }
+        self.state.tracked()
+    }
+
+    /// The monitor of the tracked neighbor beam, if any — the warm-start
+    /// seed a driver banks right before executing a handover.
+    pub fn tracked_monitor(&self) -> Option<LinkMonitor> {
+        self.state.tracked_monitor()
+    }
+
+    /// Warm-start re-anchoring: seed the serving monitor from the monitor
+    /// that tracked this link before the handover (opt-in via
+    /// `TrackerConfig::warm_start_handover`; the caller gates).
+    pub fn warm_start(&mut self, monitor: &LinkMonitor) {
+        self.state.warm_start(monitor);
     }
 
     /// Smoothed RSS of the tracked neighbor beam.
     pub fn neighbor_level(&self) -> Option<Dbm> {
-        match &self.neighbor {
-            NeighborPhase::Tracking(t) => t.monitor.level(),
-            _ => None,
-        }
+        self.state.neighbor_level()
     }
 
     /// Smoothed RSS of the serving link.
     pub fn serving_level(&self) -> Option<Dbm> {
-        self.serving_monitor.level()
+        self.state.serving_level()
     }
 
     /// The handover directive once issued (terminal).
     pub fn handover(&self) -> Option<HandoverDirective> {
-        self.done
+        self.state.handover()
     }
 
     /// Transition history of the serving loop (EO / S-RBA / CABM).
     pub fn serving_log(&self) -> &TransitionLog {
-        &self.serving_log
+        self.state.serving_log()
     }
 
     /// Transition history of the neighbor loop (EO / N-A/R / N-RBA).
     pub fn neighbor_log(&self) -> &TransitionLog {
-        &self.neighbor_log
+        self.state.neighbor_log()
     }
 
     /// Feed one input; collect the resulting actions.
@@ -324,519 +156,7 @@ impl SilentTracker {
     /// the device may still be moving.
     pub fn handle(&mut self, input: Input) -> Vec<Action> {
         let mut out = Vec::new();
-        if self.done.is_some() {
-            match input {
-                Input::NeighborSsb {
-                    at,
-                    cell,
-                    tx_beam,
-                    rx_beam,
-                    rss,
-                } => self.on_neighbor_ssb(at, cell, tx_beam, rx_beam, rss, &mut out),
-                Input::DwellComplete { at } => self.on_dwell_complete(at, &mut out),
-                Input::RachFailed { at } => self.on_rach_failed(at, &mut out),
-                _ => {}
-            }
-            return out;
-        }
-        match input {
-            Input::ServingRss { at, rss } => self.on_serving_rss(at, rss, &mut out),
-            Input::ServingProbe { at, rx_beam, rss } => {
-                self.on_serving_probe(at, rx_beam, rss, &mut out)
-            }
-            Input::NeighborSsb {
-                at,
-                cell,
-                tx_beam,
-                rx_beam,
-                rss,
-            } => self.on_neighbor_ssb(at, cell, tx_beam, rx_beam, rss, &mut out),
-            Input::DwellComplete { at } => self.on_dwell_complete(at, &mut out),
-            Input::FromServing { at, pdu } => self.on_pdu(at, &pdu, &mut out),
-            Input::ServingLinkLost { at } => self.on_serving_lost(at, &mut out),
-            Input::RachFailed { .. } => {} // no access in flight
-            Input::Tick { at } => self.check_deadlines(at, &mut out),
-        }
+        self.state.handle(&self.ctx, &input, &mut out);
         out
-    }
-
-    /// Random access against the issued handover target failed. The
-    /// serving link is still being maintained (make-before-break), so
-    /// revoke the directive, drop the target beam that failed to admit
-    /// us, and re-acquire — hinted at the old beam, so the pass is short.
-    /// Maturity gating then has to be re-earned before the next trigger,
-    /// which spaces retries instead of hammering the same beam.
-    fn on_rach_failed(&mut self, at: SimTime, out: &mut Vec<Action>) {
-        self.done = None;
-        if let NeighborPhase::Tracking(t) = &self.neighbor {
-            let hint = t.rx_beam;
-            self.neighbor_transition(at, TrackerState::Eo, Edge::B, TrackerState::NAr);
-            self.stats.reacquisitions += 1;
-            self.restart_search(hint, out);
-        } else {
-            out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
-        }
-    }
-
-    /// Drop into a fresh search pass hinted at `hint` and point the gap
-    /// receive beam at its first dwell. Callers log the state transition
-    /// and bump whichever counter their edge warrants.
-    fn restart_search(&mut self, hint: BeamId, out: &mut Vec<Action>) {
-        self.neighbor = NeighborPhase::Searching(SearchController::new(
-            &self.codebook,
-            hint,
-            self.config.max_search_dwells,
-        ));
-        out.push(Action::SetGapRxBeam(self.gap_rx_beam()));
-    }
-
-    /// A probe of a non-serving receive beam on the serving link. Beyond
-    /// bookkeeping, a probe that clearly beats the current beam triggers
-    /// a proactive S-RBA switch — under rotation the current beam's RSS
-    /// decays smoothly while an adjacent beam is already better, and
-    /// waiting for the full 3 dB drop loses alignment margin.
-    fn on_serving_probe(&mut self, at: SimTime, rx_beam: BeamId, rss: Dbm, out: &mut Vec<Action>) {
-        self.serving_table.observe(at, rx_beam, rss);
-        if at.since(self.serving_last_switch) < self.config.settle_time {
-            return; // damp boundary ping-pong
-        }
-        let Some(level) = self.serving_monitor.level() else {
-            return;
-        };
-        let adjacent = self.codebook.adjacent(self.serving_rx_beam);
-        let smoothed = self.serving_table.get(rx_beam).unwrap_or(rss);
-        if !adjacent.contains(&rx_beam) || smoothed.0 <= level.0 + self.config.switch_threshold.0 {
-            return;
-        }
-        match self.serving_phase {
-            ServingPhase::Stable => {
-                self.serving_transition(at, TrackerState::Eo, Edge::G, TrackerState::SRba);
-                self.serving_phase = ServingPhase::MobileAdapt { since: at };
-            }
-            ServingPhase::MobileAdapt { .. } => {}
-            // While waiting for the BS to move its transmit beam the
-            // receive side holds still — a moving baseline would make the
-            // assistance unjudgeable.
-            ServingPhase::CellAssist { .. } => return,
-        }
-        self.serving_rx_beam = rx_beam;
-        self.serving_last_switch = at;
-        self.stats.srba_switches += 1;
-        out.push(Action::SetServingRxBeam(rx_beam));
-    }
-
-    // ----- serving loop (BeamSurfer) -------------------------------------
-
-    fn on_serving_rss(&mut self, at: SimTime, rss: Dbm, out: &mut Vec<Action>) {
-        // A measurable serving sample means the link is back (or never
-        // really died): clear the RLF latch so acquisitions go through
-        // the normal edge-E comparison again.
-        self.serving_lost = false;
-        let drop = self.serving_monitor.on_sample(at, rss);
-        match self.serving_phase {
-            ServingPhase::Stable => {
-                if drop.0 >= self.config.switch_threshold.0 {
-                    self.serving_transition(at, TrackerState::Eo, Edge::G, TrackerState::SRba);
-                    self.mobile_side_switch(at, out);
-                    self.serving_phase = ServingPhase::MobileAdapt { since: at };
-                }
-            }
-            ServingPhase::MobileAdapt { since } => {
-                if drop.0 < self.config.switch_threshold.0 {
-                    // Recovered: ΔRSS < 3 dB (edge A).
-                    self.serving_transition(at, TrackerState::SRba, Edge::A, TrackerState::Eo);
-                    self.serving_phase = ServingPhase::Stable;
-                } else if at.since(since) >= self.config.settle_time {
-                    // Mobile-side adjustment no longer suffices: ask the
-                    // cell to move its transmit beam (escalation to CABM).
-                    self.serving_transition(at, TrackerState::SRba, Edge::G, TrackerState::Cabm);
-                    out.push(Action::SendToServing(Pdu::BeamSwitchRequest {
-                        cell: self.serving_cell,
-                        ue: self.ue,
-                        suggested_tx_beam: u16::MAX, // "try adjacent", mobile cannot know BS beams
-                    }));
-                    self.stats.cabm_requests += 1;
-                    self.serving_phase = ServingPhase::CellAssist {
-                        deadline: at + self.config.assist_timeout,
-                    };
-                }
-            }
-            ServingPhase::CellAssist { .. } => {
-                self.check_deadlines(at, out);
-            }
-        }
-        self.maybe_trigger_handover(at, out);
-    }
-
-    /// Switch the serving receive beam to the most promising adjacent one.
-    fn mobile_side_switch(&mut self, at: SimTime, out: &mut Vec<Action>) {
-        let adjacent = self.codebook.adjacent(self.serving_rx_beam);
-        if adjacent.is_empty() {
-            return; // omni codebook: nothing to switch to
-        }
-        // Evidence-based switch: only move to an adjacent beam the probe
-        // table says is at least as good as the current level. A 3 dB
-        // drop with no better neighbor measured is fading or blockage —
-        // switching blindly would *add* misalignment loss on top.
-        let level = self.serving_monitor.level();
-        let Some((next, cand)) = self
-            .serving_table
-            .best_among(at, PROBE_STALENESS, &adjacent)
-        else {
-            return;
-        };
-        if level.is_some_and(|l| cand.0 < l.0) {
-            return;
-        }
-        self.serving_rx_beam = next;
-        self.serving_last_switch = at;
-        self.stats.srba_switches += 1;
-        out.push(Action::SetServingRxBeam(next));
-    }
-
-    fn on_pdu(&mut self, at: SimTime, pdu: &Pdu, _out: &mut Vec<Action>) {
-        if let (ServingPhase::CellAssist { .. }, Pdu::BeamSwitchCommand { cell, .. }) =
-            (self.serving_phase, pdu)
-        {
-            if *cell == self.serving_cell {
-                // Assistance arrived (edge F): the BS moved its beam; the
-                // link baseline starts over.
-                self.serving_transition(at, TrackerState::Cabm, Edge::F, TrackerState::Eo);
-                self.serving_monitor.rebase();
-                self.serving_phase = ServingPhase::Stable;
-            }
-        }
-    }
-
-    fn check_deadlines(&mut self, at: SimTime, _out: &mut Vec<Action>) {
-        if let ServingPhase::CellAssist { deadline } = self.serving_phase {
-            if at > deadline {
-                // Cell assistance delayed or lost (edge G): fall back to
-                // mobile-side adaptation and keep the link alive alone.
-                self.serving_transition(at, TrackerState::Cabm, Edge::G, TrackerState::SRba);
-                self.stats.assist_lost += 1;
-                self.serving_phase = ServingPhase::MobileAdapt { since: at };
-            }
-        }
-    }
-
-    fn on_serving_lost(&mut self, at: SimTime, out: &mut Vec<Action>) {
-        self.serving_lost = true;
-        if let NeighborPhase::Tracking(t) = &self.neighbor {
-            let directive = HandoverDirective {
-                target: t.cell,
-                ssb_beam: t.tx_beam,
-                rx_beam: t.rx_beam,
-                reason: HandoverReason::ServingLost,
-                at,
-            };
-            self.issue_handover(at, directive, out);
-        }
-        // With nothing tracked the driver must fall back to a hard
-        // handover (initial access from scratch) — the failure mode the
-        // protocol exists to avoid; nothing to emit here. (The flag is
-        // remembered: the next acquisition hands over immediately.)
-    }
-
-    // ----- neighbor loop (silent tracking) -------------------------------
-
-    fn on_neighbor_ssb(
-        &mut self,
-        at: SimTime,
-        cell: CellId,
-        tx_beam: TxBeamIndex,
-        rx_beam: BeamId,
-        rss: Dbm,
-        out: &mut Vec<Action>,
-    ) {
-        if cell == self.serving_cell {
-            return; // not a neighbor
-        }
-        match &mut self.neighbor {
-            NeighborPhase::Searching(search) => {
-                if rx_beam == search.current_beam() {
-                    search.on_detection(Discovery {
-                        cell,
-                        tx_beam,
-                        rx_beam,
-                        rss,
-                        at,
-                    });
-                }
-            }
-            NeighborPhase::Tracking(t) => {
-                if cell != t.cell {
-                    return; // a third cell; Silent Tracker tracks one target
-                }
-                t.table.observe(at, rx_beam, rss);
-                if rx_beam != t.rx_beam {
-                    // A probe dwell: if an adjacent beam now clearly beats
-                    // the tracked one (or the tracked one has gone silent),
-                    // move to it — this is what keeps the track alive under
-                    // rotation, where the old beam stops producing samples
-                    // instead of reporting a drop. Smoothed values and a
-                    // switch cooldown damp boundary ping-pong.
-                    let adjacent = self.codebook.adjacent(t.rx_beam);
-                    // Compare the *raw* probe sample: under rotation the
-                    // table's EWMA lags the sweep by several dwells and
-                    // would veto every switch (the cooldown already damps
-                    // fading-driven ping-pong).
-                    let beats = match t.monitor.level() {
-                        Some(level) => rss.0 > level.0 + self.config.switch_threshold.0,
-                        None => true,
-                    };
-                    let stale = t
-                        .monitor
-                        .last_update()
-                        .is_none_or(|u| at.since(u) > self.config.track_staleness);
-                    let cooled = at.since(t.last_switch) >= self.config.settle_time;
-                    if adjacent.contains(&rx_beam) && (stale || (beats && cooled)) {
-                        t.rx_beam = rx_beam;
-                        t.tx_beam = tx_beam;
-                        t.monitor.rebase();
-                        t.monitor.on_sample(at, rss);
-                        t.samples_since_acq += 1;
-                        t.last_switch = at;
-                        self.stats.nrba_switches += 1;
-                        self.neighbor_transition(
-                            at,
-                            TrackerState::NRba,
-                            Edge::H,
-                            TrackerState::NRba,
-                        );
-                        out.push(Action::SetGapRxBeam(rx_beam));
-                    }
-                } else {
-                    // The BS sweeps all its transmit beams every burst, so
-                    // follow its strongest one as the user moves — still
-                    // receive-side-only information.
-                    if tx_beam != t.tx_beam {
-                        if let Some(level) = t.monitor.level() {
-                            if rss.0 > level.0 {
-                                t.tx_beam = tx_beam;
-                            }
-                        } else {
-                            t.tx_beam = tx_beam;
-                        }
-                    }
-                    let drop = t.monitor.on_sample(at, rss);
-                    t.samples_since_acq += 1;
-                    if drop.0 > self.config.loss_threshold.0 {
-                        // Edge D: beam lost — re-acquire, hinted at the
-                        // last good receive beam.
-                        let hint = t.rx_beam;
-                        self.neighbor_transition(
-                            at,
-                            TrackerState::NRba,
-                            Edge::D,
-                            TrackerState::NAr,
-                        );
-                        self.stats.reacquisitions += 1;
-                        self.restart_search(hint, out);
-                    } else if drop.0 >= self.config.switch_threshold.0 {
-                        // Edge H: silent receive-beam adaptation.
-                        self.neighbor_switch_rx(at, out);
-                    }
-                }
-            }
-        }
-        self.maybe_trigger_handover(at, out);
-    }
-
-    fn neighbor_switch_rx(&mut self, at: SimTime, out: &mut Vec<Action>) {
-        let NeighborPhase::Tracking(t) = &mut self.neighbor else {
-            return;
-        };
-        let adjacent = self.codebook.adjacent(t.rx_beam);
-        if adjacent.is_empty() {
-            return;
-        }
-        // Same evidence rule as the serving side: hold the beam unless a
-        // probed adjacent is actually measured at or above this level.
-        let level = t.monitor.level();
-        let Some((next, cand)) = t.table.best_among(at, PROBE_STALENESS, &adjacent) else {
-            return;
-        };
-        if level.is_some_and(|l| cand.0 < l.0) {
-            return;
-        }
-        t.rx_beam = next;
-        t.monitor.rebase();
-        t.last_switch = at;
-        self.stats.nrba_switches += 1;
-        self.neighbor_transition(at, TrackerState::NRba, Edge::H, TrackerState::NRba);
-        out.push(Action::SetGapRxBeam(next));
-    }
-
-    fn on_dwell_complete(&mut self, at: SimTime, out: &mut Vec<Action>) {
-        match &mut self.neighbor {
-            NeighborPhase::Searching(search) => {
-                self.stats.search_dwells += 1;
-                match search.on_dwell_complete() {
-                    SearchStep::Continue(beam) => {
-                        out.push(Action::SetGapRxBeam(beam));
-                    }
-                    SearchStep::Found(d) => {
-                        self.stats.searches_succeeded += 1;
-                        self.neighbor_transition(
-                            at,
-                            TrackerState::NAr,
-                            Edge::C,
-                            TrackerState::NRba,
-                        );
-                        let mut monitor = LinkMonitor::with_reference_decay(
-                            self.config.ewma_alpha,
-                            self.config.loss_reference_decay.0,
-                        );
-                        monitor.on_sample(d.at, d.rss);
-                        let mut table = BeamTable::new(self.config.ewma_alpha);
-                        table.observe(d.at, d.rx_beam, d.rss);
-                        self.neighbor = NeighborPhase::Tracking(TrackedNeighbor {
-                            cell: d.cell,
-                            tx_beam: d.tx_beam,
-                            rx_beam: d.rx_beam,
-                            monitor,
-                            table,
-                            cycle: 0,
-                            samples_since_acq: 1,
-                            last_switch: at,
-                        });
-                        out.push(Action::NeighborAcquired(d));
-                        out.push(Action::SetGapRxBeam(d.rx_beam));
-                        // No serving link left to compare against: hand
-                        // over to the (re-)acquired beam immediately —
-                        // this is the post-RLF recovery path after a
-                        // failed random access.
-                        if self.serving_lost && self.done.is_none() {
-                            let directive = HandoverDirective {
-                                target: d.cell,
-                                ssb_beam: d.tx_beam,
-                                rx_beam: d.rx_beam,
-                                reason: HandoverReason::ServingLost,
-                                at,
-                            };
-                            self.issue_handover(at, directive, out);
-                        }
-                    }
-                    SearchStep::Failed { dwells_used } => {
-                        self.stats.searches_failed += 1;
-                        out.push(Action::SearchFailed { dwells_used });
-                        // Back to EO (edge A) and immediately retry (B):
-                        // the mobile is still at cell edge.
-                        self.neighbor_transition(at, TrackerState::NAr, Edge::A, TrackerState::Eo);
-                        self.neighbor_transition(at, TrackerState::Eo, Edge::B, TrackerState::NAr);
-                        let hint = self.serving_rx_beam;
-                        self.restart_search(hint, out);
-                    }
-                }
-            }
-            NeighborPhase::Tracking(t) => {
-                // A tracked beam that produces no detectable SSB for
-                // `track_staleness` has silently rotated/faded away:
-                // declare it lost (edge D) and re-acquire. Only applies
-                // pre-handover — during RACH the driver owns recovery.
-                let stale = t
-                    .monitor
-                    .last_update()
-                    .is_none_or(|u| at.since(u) > self.config.track_staleness);
-                let probes_fresh = self.codebook.adjacent(t.rx_beam).iter().any(|&b| {
-                    t.table
-                        .last_seen(b)
-                        .is_some_and(|u| at.since(u) <= self.config.track_staleness)
-                });
-                if stale && !probes_fresh && self.done.is_none() {
-                    let hint = t.rx_beam;
-                    self.neighbor_transition(at, TrackerState::NRba, Edge::D, TrackerState::NAr);
-                    self.stats.reacquisitions += 1;
-                    self.restart_search(hint, out);
-                    return;
-                }
-                // Advance the tracking dwell cycle: tracked beam
-                // interleaved with adjacent probes so the switch decision
-                // always has fresh candidates.
-                t.cycle = t.cycle.wrapping_add(1);
-                out.push(Action::SetGapRxBeam(Self::tracking_dwell_beam(
-                    &self.codebook,
-                    t,
-                )));
-            }
-        }
-    }
-
-    /// Tracking dwell pattern: even cycles on the tracked beam, odd cycles
-    /// alternating over its adjacent beams.
-    fn tracking_dwell_beam(codebook: &Codebook, t: &TrackedNeighbor) -> BeamId {
-        if t.cycle % 2 == 0 {
-            return t.rx_beam;
-        }
-        let adjacent = codebook.adjacent(t.rx_beam);
-        if adjacent.is_empty() {
-            return t.rx_beam;
-        }
-        adjacent[(t.cycle / 2) % adjacent.len()]
-    }
-
-    // ----- handover -------------------------------------------------------
-
-    fn maybe_trigger_handover(&mut self, at: SimTime, out: &mut Vec<Action>) {
-        if self.done.is_some() {
-            return;
-        }
-        let NeighborPhase::Tracking(t) = &self.neighbor else {
-            return;
-        };
-        if t.samples_since_acq < self.config.min_track_samples {
-            return; // estimate too immature to compare against serving
-        }
-        // A silent beam switch rebases the monitor, so right after one the
-        // EWMA is a single raw sample — often the very fading spike that
-        // motivated the switch. Require the *current* beam's estimate to
-        // have absorbed a confirmation sample too (capped by the
-        // configured gate so min_track_samples = 0 still disables all
-        // maturity checks).
-        if t.monitor.samples() < self.config.min_track_samples.min(2) {
-            return;
-        }
-        let (Some(n), Some(s)) = (t.monitor.level(), self.serving_monitor.level()) else {
-            return;
-        };
-        if n.0 > s.0 + self.config.handover_hysteresis.0 {
-            let directive = HandoverDirective {
-                target: t.cell,
-                ssb_beam: t.tx_beam,
-                rx_beam: t.rx_beam,
-                reason: HandoverReason::NeighborStronger,
-                at,
-            };
-            self.issue_handover(at, directive, out);
-        }
-    }
-
-    fn issue_handover(&mut self, at: SimTime, d: HandoverDirective, out: &mut Vec<Action>) {
-        self.neighbor_transition(at, TrackerState::NRba, Edge::E, TrackerState::Eo);
-        self.done = Some(d);
-        out.push(Action::ExecuteHandover(d));
-    }
-
-    // ----- bookkeeping ----------------------------------------------------
-
-    fn serving_transition(
-        &mut self,
-        at: SimTime,
-        from: TrackerState,
-        edge: Edge,
-        to: TrackerState,
-    ) {
-        self.serving_log.push(at, Transition { from, edge, to });
-    }
-
-    fn neighbor_transition(
-        &mut self,
-        at: SimTime,
-        from: TrackerState,
-        edge: Edge,
-        to: TrackerState,
-    ) {
-        self.neighbor_log.push(at, Transition { from, edge, to });
     }
 }

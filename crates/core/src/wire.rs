@@ -1,0 +1,272 @@
+//! Deterministic binary codec primitives for protocol-state and trace
+//! serialization.
+//!
+//! The protocol fold is compared byte-for-byte between a live run and a
+//! trace replay, so every encoder here is canonical: one value, one byte
+//! sequence. Integers use LEB128 varints (timestamps are nanosecond
+//! deltas, so most fit in one or two bytes), floats are IEEE-754 bit
+//! patterns (exact round-trip, no text formatting), and `Option`s are a
+//! one-byte tag. Writers are generic over [`bytes::BufMut`]; readers
+//! consume a `&[u8]` cursor and return [`WireError`] instead of
+//! panicking on truncated input.
+
+use bytes::BufMut;
+use st_des::{SimDuration, SimTime};
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended mid-value.
+    Truncated,
+    /// The bytes decoded to an impossible value (bad tag, illegal state).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated input"),
+            WireError::Corrupt(what) => write!(f, "corrupt input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ----- writers --------------------------------------------------------------
+
+/// LEB128 unsigned varint.
+pub fn put_varu64<B: BufMut>(buf: &mut B, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// IEEE-754 bit pattern — exact round-trip, byte-identical across runs.
+pub fn put_f64<B: BufMut>(buf: &mut B, v: f64) {
+    buf.put_u64(v.to_bits());
+}
+
+pub fn put_bool<B: BufMut>(buf: &mut B, v: bool) {
+    buf.put_u8(u8::from(v));
+}
+
+pub fn put_opt_f64<B: BufMut>(buf: &mut B, v: Option<f64>) {
+    match v {
+        None => buf.put_u8(0),
+        Some(x) => {
+            buf.put_u8(1);
+            put_f64(buf, x);
+        }
+    }
+}
+
+pub fn put_time<B: BufMut>(buf: &mut B, t: SimTime) {
+    put_varu64(buf, t.as_nanos());
+}
+
+pub fn put_opt_time<B: BufMut>(buf: &mut B, t: Option<SimTime>) {
+    match t {
+        None => buf.put_u8(0),
+        Some(t) => {
+            buf.put_u8(1);
+            put_time(buf, t);
+        }
+    }
+}
+
+pub fn put_dur<B: BufMut>(buf: &mut B, d: SimDuration) {
+    put_varu64(buf, d.as_nanos());
+}
+
+// ----- readers --------------------------------------------------------------
+
+#[inline]
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    let (&first, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    *buf = rest;
+    Ok(first)
+}
+
+#[inline]
+pub fn get_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
+    if buf.len() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let v = u16::from_be_bytes([buf[0], buf[1]]);
+    *buf = &buf[2..];
+    Ok(v)
+}
+
+#[inline]
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&buf[..8]);
+    *buf = &buf[8..];
+    Ok(u64::from_be_bytes(bytes))
+}
+
+#[inline]
+pub fn get_varu64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    // Fast path: one-byte varints (the common case for counters and
+    // small deltas) return without entering the loop; replay decodes
+    // millions of these.
+    let b = *buf;
+    let (&first, rest) = b.split_first().ok_or(WireError::Truncated)?;
+    if first < 0x80 {
+        *buf = rest;
+        return Ok(u64::from(first));
+    }
+    let mut v = u64::from(first & 0x7f);
+    let mut shift = 7u32;
+    let mut rest = rest;
+    loop {
+        let (&byte, tail) = rest.split_first().ok_or(WireError::Truncated)?;
+        rest = tail;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(WireError::Corrupt("varint overflows u64"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            *buf = rest;
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+pub fn get_f64(buf: &mut &[u8]) -> Result<f64, WireError> {
+    Ok(f64::from_bits(get_u64(buf)?))
+}
+
+pub fn get_bool(buf: &mut &[u8]) -> Result<bool, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError::Corrupt("bool tag")),
+    }
+}
+
+pub fn get_opt_f64(buf: &mut &[u8]) -> Result<Option<f64>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_f64(buf)?)),
+        _ => Err(WireError::Corrupt("option tag")),
+    }
+}
+
+#[inline]
+pub fn get_time(buf: &mut &[u8]) -> Result<SimTime, WireError> {
+    Ok(SimTime::from_nanos(get_varu64(buf)?))
+}
+
+pub fn get_opt_time(buf: &mut &[u8]) -> Result<Option<SimTime>, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_time(buf)?)),
+        _ => Err(WireError::Corrupt("option tag")),
+    }
+}
+
+pub fn get_dur(buf: &mut &[u8]) -> Result<SimDuration, WireError> {
+    Ok(SimDuration::from_nanos(get_varu64(buf)?))
+}
+
+/// FNV-1a 64-bit running hash — the digest the record/replay comparison
+/// uses over encoded action streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_across_magnitudes() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varu64(&mut buf, v);
+        }
+        let mut cur = &buf[..];
+        for &v in &values {
+            assert_eq!(get_varu64(&mut cur), Ok(v));
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut cur: &[u8] = &[0x80];
+        assert_eq!(get_varu64(&mut cur), Err(WireError::Truncated));
+        let mut cur: &[u8] = &[1, 2, 3];
+        assert_eq!(get_f64(&mut cur), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        let mut buf = Vec::new();
+        for v in [-71.32498, 0.0, -0.0, f64::MIN_POSITIVE, 1e300] {
+            buf.clear();
+            put_f64(&mut buf, v);
+            let mut cur = &buf[..];
+            assert_eq!(get_f64(&mut cur).unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn time_and_option_tags() {
+        let mut buf = Vec::new();
+        put_opt_time(&mut buf, None);
+        put_opt_time(&mut buf, Some(SimTime::from_nanos(12_345)));
+        put_bool(&mut buf, true);
+        let mut cur = &buf[..];
+        assert_eq!(get_opt_time(&mut cur), Ok(None));
+        assert_eq!(
+            get_opt_time(&mut cur),
+            Ok(Some(SimTime::from_nanos(12_345)))
+        );
+        assert_eq!(get_bool(&mut cur), Ok(true));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a 64 of "a" is 0xaf63dc4c8601ec8c.
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

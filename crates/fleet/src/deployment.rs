@@ -83,6 +83,10 @@ pub struct FleetConfig {
     pub spawn_x: (f64, f64),
     /// …and y ∈ [spawn_y.0, spawn_y.1].
     pub spawn_y: (f64, f64),
+    /// Record every UE's protocol event stream for trace replay
+    /// ([`st_net::replay`]). Off by default — recording buffers the
+    /// full event history in memory.
+    pub record_traces: bool,
 }
 
 impl FleetConfig {
@@ -131,6 +135,11 @@ impl FleetConfig {
         if self.spawn_x.0 >= self.spawn_x.1 || self.spawn_y.0 > self.spawn_y.1 {
             return Err("degenerate spawn region".into());
         }
+        if self.record_traces && self.base.custom_ue_codebook.is_some() {
+            // Replay rebuilds the codebook from the recorded
+            // `BeamwidthClass`; a custom table would not round-trip.
+            return Err("trace recording requires a class codebook, not a custom one".into());
+        }
         Ok(())
     }
 }
@@ -149,6 +158,7 @@ pub struct Deployment {
     event_budget: u64,
     spawn_x: Option<(f64, f64)>,
     spawn_y: (f64, f64),
+    record_traces: bool,
 }
 
 impl Default for Deployment {
@@ -173,6 +183,7 @@ impl Deployment {
             event_budget: 200_000_000,
             spawn_x: None,
             spawn_y: (-3.0, 3.0),
+            record_traces: false,
         }
     }
 
@@ -277,6 +288,13 @@ impl Deployment {
         self
     }
 
+    /// Record every UE's protocol event stream for trace replay (see
+    /// [`FleetConfig::record_traces`]).
+    pub fn record_traces(mut self, on: bool) -> Deployment {
+        self.record_traces = on;
+        self
+    }
+
     /// Override the UE spawn region.
     pub fn spawn_region(mut self, x: (f64, f64), y: (f64, f64)) -> Deployment {
         self.spawn_x = Some(x);
@@ -313,6 +331,7 @@ impl Deployment {
             event_budget: self.event_budget,
             spawn_x,
             spawn_y: self.spawn_y,
+            record_traces: self.record_traces,
         };
         cfg.validate()?;
         Ok(cfg)

@@ -7,6 +7,7 @@ use std::collections::BTreeSet;
 use st_des::SimDuration;
 use st_mac::responder::ResponderStats;
 use st_metrics::{Accumulator, Ecdf, Table};
+use st_net::UeTrace;
 
 use crate::stage::StageCounters;
 
@@ -88,6 +89,12 @@ pub struct ShardOutcome {
     /// (runaway guard) instead of reaching the deadline. Zero on any
     /// healthy run.
     pub budget_exhausted_shards: u64,
+    /// Recorded per-UE protocol traces ([`FleetConfig::record_traces`]).
+    /// Merged in global UE-id order; deliberately excluded from
+    /// [`FleetOutcome::summary`].
+    ///
+    /// [`FleetConfig::record_traces`]: crate::FleetConfig
+    pub ue_traces: Vec<UeTrace>,
 }
 
 /// Nondeterministic execution-side observations of an exact-contention
@@ -172,7 +179,11 @@ impl FleetOutcome {
             totals.nrba_switches += s.nrba_switches;
             totals.events += s.events;
             totals.budget_exhausted_shards += s.budget_exhausted_shards;
+            totals.ue_traces.append(&mut s.ue_traces);
         }
+        // Shards interleave UEs round-robin; restore global id order so
+        // the trace set is identical for every shard/worker split.
+        totals.ue_traces.sort_by_key(|u| u.id);
         if exact {
             totals.exact = true;
             for (cell, t) in totals.per_cell.iter_mut().enumerate() {

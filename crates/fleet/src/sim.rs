@@ -301,6 +301,17 @@ impl ShardSim {
                     .map(|i| sites.best_tx_beam_towards(i, pose0.position))
                     .collect();
                 let uid = UeId(spec.id as u32 + 1);
+                let mut proto = Proto::new(
+                    spec.protocol,
+                    base.tracker,
+                    uid,
+                    CellId(serving as u16),
+                    Arc::clone(&ue_codebook),
+                    serving_rx,
+                );
+                if cfg.record_traces {
+                    proto.start_recording();
+                }
                 Ue {
                     uid,
                     pose_cache: (SimTime::ZERO, pose0),
@@ -308,14 +319,7 @@ impl ShardSim {
                     links: LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
                     rach_rng: streams.stream_indexed("fleet-rach", spec.id),
                     fault_rng: streams.stream_indexed("fleet-fault", spec.id),
-                    proto: Proto::new(
-                        spec.protocol,
-                        base.tracker,
-                        uid,
-                        CellId(serving as u16),
-                        Arc::clone(&ue_codebook),
-                        serving_rx,
-                    ),
+                    proto,
                     serving,
                     bs_tx_beam,
                     rlf_count: 0,
@@ -913,6 +917,18 @@ impl FleetWorld {
         // restarts there with the access beam as the serving beam (the
         // session continues — this is what the context transfer bought).
         ue.bank_proto();
+        // Warm-start (opt-in): the monitor that tracked the target beam
+        // pre-handover seeds the new serving monitor instead of starting
+        // the EWMA cold.
+        let warm = if self.cfg.base.tracker.warm_start_handover {
+            ue.proto
+                .tracked()
+                .filter(|(cell, _, _)| cell.0 as usize == rach.target)
+                .and_then(|_| ue.proto.tracked_monitor())
+        } else {
+            None
+        };
+        let rec = ue.proto.finish_recording();
         ue.proto = Proto::new(
             ue.spec.protocol,
             self.cfg.base.tracker,
@@ -921,6 +937,12 @@ impl FleetWorld {
             Arc::clone(&self.ue_codebook),
             rach.rx_beam,
         );
+        if let Some(w) = &warm {
+            ue.proto.warm_start(w);
+        }
+        if let Some(rec) = rec {
+            ue.proto.resume_recording(rec, warm);
+        }
         ue.rlf_declared = false;
         ue.rlf_count = 0;
         ue.handover_reason = None;
@@ -1006,6 +1028,10 @@ impl FleetWorld {
         };
         for ue in &mut self.ues {
             ue.bank_proto();
+            if let Some(rec) = ue.proto.finish_recording() {
+                out.ue_traces
+                    .push(rec.into_trace(ue.spec.id, ue.uid.0, ue.spec.protocol));
+            }
             out.handovers += ue.handovers;
             out.rlfs += ue.rlfs;
             out.rach_attempts += ue.rach_attempts;

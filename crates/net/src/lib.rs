@@ -10,26 +10,36 @@
 //! * [`radio`] — shared radio plumbing: static cell [`radio::Sites`] and a
 //!   per-UE [`radio::LinkSet`] of stochastic channels (also used by the
 //!   `st_fleet` multi-UE engine).
-//! * [`proto`] — the protocol arms behind one dispatch surface.
+//! * [`proto`] — the protocol arms behind one dispatch surface (and the
+//!   attachment point for trace recording).
 //! * [`scenario`] — the executor translating between physics and the
 //!   sans-IO protocol engines; one seeded trial per run.
 //! * [`scenarios`] — the paper's three mobility cases (walk, rotation,
 //!   vehicular) pre-wired.
 //! * [`outcome`] — per-run results the benches aggregate into the
 //!   paper's figures.
+//! * [`trace`] — end-to-end protocol trace recording: per-UE event
+//!   streams, action digests and final-state snapshots in a compact
+//!   binary format.
+//! * [`replay`] — refold recorded traces without `st_phy`/`st_des`;
+//!   byte-identical to live for the recorded config.
 
 pub mod config;
 pub mod outcome;
 pub mod proto;
 pub mod radio;
+pub mod replay;
 pub mod scenario;
 pub mod scenarios;
+pub mod trace;
 
 pub use config::{CellConfig, FaultConfig, ProtocolKind, ScenarioConfig};
 pub use outcome::{RunOutcome, SearchPass};
 pub use proto::Proto;
 pub use radio::{LinkSet, Sites};
+pub use replay::{replay_run, replay_run_timed, replay_run_with_config, ReplayReport};
 pub use scenario::Scenario;
+pub use trace::{FleetTrace, RunTrace, SegmentTrace, UeRecorder, UeTrace};
 
 #[cfg(test)]
 mod tests {

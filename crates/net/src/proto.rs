@@ -2,33 +2,39 @@
 //! single-UE executor and the fleet engine.
 //!
 //! Both arms are sans-IO state machines from the `silent-tracker` crate;
-//! this enum erases which one a given UE runs so the executors can drive
-//! heterogeneous populations through one code path.
+//! [`Proto`] erases which one a given UE runs so the executors can drive
+//! heterogeneous populations through one code path. It is also the
+//! attachment point for trace recording ([`crate::trace`]): with a
+//! [`UeRecorder`] attached, every event folded and every action emitted
+//! is captured on the way through [`Proto::handle`] — the executors need
+//! no per-event recording code of their own.
 
 use std::sync::Arc;
 
+use silent_tracker::measurement::LinkMonitor;
 use silent_tracker::tracker::{Action, Input, SilentTracker, TrackerStats};
-use silent_tracker::{ReactiveHandover, TrackerConfig};
+use silent_tracker::{ProtocolState, ReactiveHandover, TrackerConfig};
 use st_mac::pdu::{CellId, UeId};
 use st_mac::timing::TxBeamIndex;
 use st_phy::codebook::{BeamId, Codebook};
 use st_phy::units::Dbm;
 
 use crate::config::ProtocolKind;
+use crate::trace::UeRecorder;
 
-/// Protocol under test, behind one dispatch surface.
-pub enum Proto {
+/// The protocol arm a UE runs.
+#[derive(Debug)]
+enum Arm {
     Silent(Box<SilentTracker>),
     Reactive(Box<ReactiveHandover>),
 }
 
-impl std::fmt::Debug for Proto {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Proto::Silent(_) => write!(f, "Proto::Silent"),
-            Proto::Reactive(_) => write!(f, "Proto::Reactive"),
-        }
-    }
+/// Protocol under test, behind one dispatch surface, with an optional
+/// trace recorder riding on the event path.
+#[derive(Debug)]
+pub struct Proto {
+    arm: Arm,
+    recorder: Option<Box<UeRecorder>>,
 }
 
 impl Proto {
@@ -45,71 +51,143 @@ impl Proto {
         codebook: Arc<Codebook>,
         serving_rx: BeamId,
     ) -> Proto {
-        match kind {
-            ProtocolKind::SilentTracker => Proto::Silent(Box::new(SilentTracker::new(
+        let arm = match kind {
+            ProtocolKind::SilentTracker => Arm::Silent(Box::new(SilentTracker::new(
                 config, ue, serving, codebook, serving_rx,
             ))),
-            ProtocolKind::Reactive => Proto::Reactive(Box::new(ReactiveHandover::new(
+            ProtocolKind::Reactive => Arm::Reactive(Box::new(ReactiveHandover::new(
                 config, ue, serving, codebook, serving_rx,
             ))),
+        };
+        Proto {
+            arm,
+            recorder: None,
         }
     }
 
     pub fn kind(&self) -> ProtocolKind {
-        match self {
-            Proto::Silent(_) => ProtocolKind::SilentTracker,
-            Proto::Reactive(_) => ProtocolKind::Reactive,
+        match &self.arm {
+            Arm::Silent(_) => ProtocolKind::SilentTracker,
+            Arm::Reactive(_) => ProtocolKind::Reactive,
         }
     }
 
     pub fn handle(&mut self, input: Input) -> Vec<Action> {
-        match self {
-            Proto::Silent(t) => t.handle(input),
-            Proto::Reactive(r) => r.handle(input),
+        if let Some(rec) = &mut self.recorder {
+            rec.record_event(&input);
         }
+        let out = match &mut self.arm {
+            Arm::Silent(t) => t.handle(input),
+            Arm::Reactive(r) => r.handle(input),
+        };
+        if let Some(rec) = &mut self.recorder {
+            rec.record_actions(&out);
+        }
+        out
     }
 
     pub fn serving_rx_beam(&self) -> BeamId {
-        match self {
-            Proto::Silent(t) => t.serving_rx_beam(),
-            Proto::Reactive(r) => r.serving_rx_beam(),
+        match &self.arm {
+            Arm::Silent(t) => t.serving_rx_beam(),
+            Arm::Reactive(r) => r.serving_rx_beam(),
         }
     }
 
     pub fn gap_rx_beam(&self) -> BeamId {
-        match self {
-            Proto::Silent(t) => t.gap_rx_beam(),
-            Proto::Reactive(r) => r.gap_rx_beam(),
+        match &self.arm {
+            Arm::Silent(t) => t.gap_rx_beam(),
+            Arm::Reactive(r) => r.gap_rx_beam(),
         }
     }
 
     pub fn search_dwells(&self) -> u64 {
-        match self {
-            Proto::Silent(t) => t.stats().search_dwells,
-            Proto::Reactive(r) => r.search_dwells(),
+        match &self.arm {
+            Arm::Silent(t) => t.stats().search_dwells,
+            Arm::Reactive(r) => r.search_dwells(),
         }
     }
 
     pub fn tracked(&self) -> Option<(CellId, TxBeamIndex, BeamId)> {
-        match self {
-            Proto::Silent(t) => t.tracked(),
-            Proto::Reactive(_) => None,
+        match &self.arm {
+            Arm::Silent(t) => t.tracked(),
+            Arm::Reactive(_) => None,
         }
     }
 
     /// Smoothed tracked-neighbor level (Silent Tracker arm only).
     pub fn neighbor_level(&self) -> Option<Dbm> {
-        match self {
-            Proto::Silent(t) => t.neighbor_level(),
-            Proto::Reactive(_) => None,
+        match &self.arm {
+            Arm::Silent(t) => t.neighbor_level(),
+            Arm::Reactive(_) => None,
         }
     }
 
     /// Protocol counters (Silent Tracker arm only).
     pub fn stats(&self) -> Option<TrackerStats> {
-        match self {
-            Proto::Silent(t) => Some(t.stats()),
-            Proto::Reactive(_) => None,
+        match &self.arm {
+            Arm::Silent(t) => Some(t.stats()),
+            Arm::Reactive(_) => None,
         }
+    }
+
+    /// The serving cell the protocol is anchored on.
+    pub fn serving_cell(&self) -> CellId {
+        match &self.arm {
+            Arm::Silent(t) => t.ctx().serving_cell,
+            Arm::Reactive(r) => r.ctx().serving_cell,
+        }
+    }
+
+    /// Snapshot the complete mutable protocol state as a plain value.
+    pub fn snapshot(&self) -> ProtocolState {
+        match &self.arm {
+            Arm::Silent(t) => t.snapshot(),
+            Arm::Reactive(r) => r.snapshot(),
+        }
+    }
+
+    /// The monitor of the tracked neighbor beam (Silent arm only) — the
+    /// warm-start seed a driver banks right before completing a handover.
+    pub fn tracked_monitor(&self) -> Option<LinkMonitor> {
+        match &self.arm {
+            Arm::Silent(t) => t.tracked_monitor(),
+            Arm::Reactive(_) => None,
+        }
+    }
+
+    /// Warm-start re-anchoring (Silent arm only): seed the serving
+    /// monitor from the monitor that tracked this link pre-handover. The
+    /// caller gates on `TrackerConfig::warm_start_handover`.
+    pub fn warm_start(&mut self, monitor: &LinkMonitor) {
+        if let Arm::Silent(t) = &mut self.arm {
+            t.warm_start(monitor);
+        }
+    }
+
+    // ----- trace recording --------------------------------------------------
+
+    /// Attach a fresh recorder and open the first segment (anchored at
+    /// the protocol's current serving cell and receive beam). Call right
+    /// after construction, before any event is folded.
+    pub fn start_recording(&mut self) {
+        let mut rec = Box::new(UeRecorder::new());
+        rec.open_segment(self.serving_cell().0, self.serving_rx_beam().0, None);
+        self.recorder = Some(rec);
+    }
+
+    /// Detach the recorder, closing the open segment with the protocol's
+    /// final state snapshot. Returns `None` if recording is off.
+    pub fn finish_recording(&mut self) -> Option<Box<UeRecorder>> {
+        let mut rec = self.recorder.take()?;
+        rec.close_segment(&self.snapshot());
+        Some(rec)
+    }
+
+    /// Re-attach a recorder after a handover re-anchored this protocol
+    /// instance: opens the next segment at the new anchor, recording the
+    /// warm-start seed (if one was applied) so replay can reproduce it.
+    pub fn resume_recording(&mut self, mut rec: Box<UeRecorder>, warm: Option<LinkMonitor>) {
+        rec.open_segment(self.serving_cell().0, self.serving_rx_beam().0, warm);
+        self.recorder = Some(rec);
     }
 }

@@ -1,0 +1,387 @@
+//! Trace replay: re-evaluate the protocol core against a recorded event
+//! stream, with no physical layer and no event executive in the loop.
+//!
+//! Because the protocol core is a pure fold
+//! (`step(ctx, state, event) -> (state, actions)`), replay is just:
+//! rebuild each segment's [`ProtocolCtx`], restore the anchor (initial
+//! serving beam, optional warm-start seed), decode the recorded events
+//! and fold them. For the **recorded** configuration the refold is
+//! byte-identical to the live run — [`replay_run`] proves it by
+//! re-deriving each segment's action digest and final-state snapshot and
+//! comparing them byte for byte.
+//!
+//! Replaying under a **different** [`TrackerConfig`]
+//! ([`replay_run_with_config`]) re-evaluates a protocol variant against
+//! the same radio history in milliseconds instead of re-simulating.
+//! Caveat: the replay is open-loop — the recorded events embody the
+//! *recorded* protocol's beam choices (RSS samples were measured on the
+//! beams it selected), so variant results are an approximation whose
+//! fidelity degrades with how far the variant's beam trajectory diverges.
+//! Digest verification is disabled in that mode.
+
+use std::sync::Arc;
+
+use silent_tracker::wire::Fnv64;
+use silent_tracker::{
+    step_mut, ProtocolCtx, ProtocolEvent, ProtocolState, ReactiveState, SilentState, TrackerConfig,
+};
+use st_mac::pdu::{CellId, UeId};
+use st_phy::codebook::{BeamId, Codebook};
+
+use crate::config::ProtocolKind;
+use crate::trace::{RunTrace, SegmentTrace, UeTrace};
+
+/// Aggregate of one replayed run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    pub label: String,
+    pub ues: u64,
+    pub segments: u64,
+    /// Event records folded (tick runs count as one).
+    pub events: u64,
+    /// Actions the refold emitted.
+    pub actions: u64,
+    /// Completed handovers implied by the trace (segment boundaries).
+    pub handovers: u64,
+    /// FNV-1a over the per-segment refolded action digests, in global UE
+    /// order — one number summarizing the whole action history.
+    pub combined_digest: u64,
+    /// UE-seconds of simulated radio time the run covers.
+    pub ue_seconds: f64,
+    /// Wall-clock seconds the live run took (from the trace header).
+    pub live_wall_s: f64,
+    /// Byte-equality failures (empty on a verified replay of the
+    /// recorded config).
+    pub mismatches: Vec<String>,
+}
+
+/// Per-UE refold result (internal).
+struct UeReplay {
+    events: u64,
+    actions: u64,
+    segment_digests: Vec<u64>,
+    mismatches: Vec<String>,
+}
+
+fn initial_state(kind: ProtocolKind, ctx: &ProtocolCtx, seg: &SegmentTrace) -> ProtocolState {
+    let rx = BeamId(seg.serving_rx);
+    match kind {
+        ProtocolKind::SilentTracker => {
+            let mut s = SilentState::initial(ctx, rx);
+            if let Some(w) = &seg.warm {
+                s.warm_start(w);
+            }
+            ProtocolState::Silent(s)
+        }
+        ProtocolKind::Reactive => ProtocolState::Reactive(ReactiveState::initial(ctx, rx)),
+    }
+}
+
+fn replay_ue(cfg: TrackerConfig, codebook: &Arc<Codebook>, ut: &UeTrace, verify: bool) -> UeReplay {
+    let mut r = UeReplay {
+        events: 0,
+        actions: 0,
+        segment_digests: Vec::with_capacity(ut.segments.len()),
+        mismatches: Vec::new(),
+    };
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    for (k, seg) in ut.segments.iter().enumerate() {
+        let ctx = ProtocolCtx::new(
+            cfg,
+            UeId(ut.uid),
+            CellId(seg.serving_cell),
+            Arc::clone(codebook),
+        );
+        let mut state = initial_state(ut.kind, &ctx, seg);
+        let mut digest = Fnv64::new();
+        let mut actions = 0u64;
+        let mut buf: &[u8] = &seg.events;
+        let mut events = 0u64;
+        let mut failed = false;
+        let mut prev = st_des::SimTime::ZERO;
+        while !buf.is_empty() {
+            let ev = match ProtocolEvent::decode_from(&mut buf, prev) {
+                Ok((ev, anchor)) => {
+                    prev = anchor;
+                    ev
+                }
+                Err(e) => {
+                    r.mismatches
+                        .push(format!("ue {} seg {k}: event decode: {e}", ut.id));
+                    failed = true;
+                    break;
+                }
+            };
+            events += 1;
+            out.clear();
+            step_mut(&ctx, &mut state, &ev, &mut out);
+            for a in &out {
+                scratch.clear();
+                a.encode(&mut scratch);
+                digest.write(&scratch);
+            }
+            actions += out.len() as u64;
+        }
+        let digest = digest.finish();
+        r.events += events;
+        r.actions += actions;
+        r.segment_digests.push(digest);
+        if verify && !failed {
+            if events != seg.n_events {
+                r.mismatches.push(format!(
+                    "ue {} seg {k}: folded {events} events, trace recorded {}",
+                    ut.id, seg.n_events
+                ));
+            }
+            if actions != seg.action_count || digest != seg.action_digest {
+                r.mismatches.push(format!(
+                    "ue {} seg {k}: action stream diverged \
+                     ({actions} actions digest {digest:016x}, live {} digest {:016x})",
+                    ut.id, seg.action_count, seg.action_digest
+                ));
+            }
+            let mut final_bytes = Vec::with_capacity(seg.final_state.len());
+            state.encode(&mut final_bytes);
+            if final_bytes != seg.final_state {
+                r.mismatches
+                    .push(format!("ue {} seg {k}: final state diverged", ut.id));
+            }
+        }
+    }
+    r
+}
+
+fn replay_inner(run: &RunTrace, cfg: TrackerConfig, workers: usize, verify: bool) -> ReplayReport {
+    let codebook = Arc::new(Codebook::for_class(run.codebook));
+    let n = run.ues.len();
+    let workers = workers.clamp(1, n.max(1));
+    let chunk = n.div_ceil(workers).max(1);
+    let mut results: Vec<Option<UeReplay>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for (slots, ues) in results.chunks_mut(chunk).zip(run.ues.chunks(chunk)) {
+            let codebook = &codebook;
+            scope.spawn(move || {
+                for (slot, ut) in slots.iter_mut().zip(ues) {
+                    *slot = Some(replay_ue(cfg, codebook, ut, verify));
+                }
+            });
+        }
+    });
+
+    let mut report = ReplayReport {
+        label: run.label.clone(),
+        ues: n as u64,
+        segments: run.n_segments(),
+        events: 0,
+        actions: 0,
+        handovers: run
+            .ues
+            .iter()
+            .map(|u| u.segments.len().saturating_sub(1) as u64)
+            .sum(),
+        combined_digest: 0,
+        ue_seconds: run.ue_seconds(),
+        live_wall_s: run.live_wall_s,
+        mismatches: Vec::new(),
+    };
+    // Deterministic merge in global UE order, independent of workers.
+    let mut combined = Fnv64::new();
+    for r in results.into_iter().flatten() {
+        report.events += r.events;
+        report.actions += r.actions;
+        for d in r.segment_digests {
+            combined.write(&d.to_be_bytes());
+        }
+        report.mismatches.extend(r.mismatches);
+    }
+    report.combined_digest = combined.finish();
+    report
+}
+
+/// Replay one recorded run under its **recorded** configuration,
+/// verifying byte equality with the live action streams and final
+/// states. A clean replay returns `mismatches.is_empty()`.
+pub fn replay_run(run: &RunTrace, workers: usize) -> ReplayReport {
+    replay_inner(run, run.tracker, workers, true)
+}
+
+/// Replay `run` `passes` times and return the report plus the minimum
+/// wall-clock across passes. The refold is deterministic, so every pass
+/// produces the same report and the minimum is the noise-robust
+/// throughput estimator on a shared or loaded machine.
+pub fn replay_run_timed(run: &RunTrace, workers: usize, passes: usize) -> (ReplayReport, f64) {
+    let mut best: Option<(ReplayReport, f64)> = None;
+    for _ in 0..passes.max(1) {
+        let start = std::time::Instant::now();
+        let rep = replay_run(run, workers);
+        let wall = start.elapsed().as_secs_f64();
+        match &best {
+            Some((_, b)) if *b <= wall => {}
+            _ => best = Some((rep, wall)),
+        }
+    }
+    best.expect("at least one replay pass")
+}
+
+/// Replay one recorded run under a **different** configuration
+/// (open-loop re-evaluation; see the module docs for the caveat).
+/// Digest verification is off — the action stream is *expected* to
+/// differ from the recording.
+pub fn replay_run_with_config(
+    run: &RunTrace,
+    tracker: TrackerConfig,
+    workers: usize,
+) -> ReplayReport {
+    replay_inner(run, tracker, workers, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FleetTrace, UeRecorder};
+    use st_des::{SimDuration, SimTime};
+    use st_phy::codebook::BeamwidthClass;
+    use st_phy::units::{Db, Dbm};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// Record a little protocol history by hand (no simulator), then
+    /// replay it and check byte equality end to end.
+    fn record_one(kind: ProtocolKind) -> RunTrace {
+        let cfg = TrackerConfig::paper_defaults();
+        let codebook = Arc::new(Codebook::for_class(BeamwidthClass::Narrow));
+        let mut proto = crate::proto::Proto::new(
+            kind,
+            cfg,
+            UeId(5),
+            CellId(0),
+            Arc::clone(&codebook),
+            BeamId(4),
+        );
+        proto.start_recording();
+        for k in 0..40u64 {
+            proto.handle(silent_tracker::ProtocolEvent::Tick { at: t(k) });
+            if k % 5 == 0 {
+                proto.handle(silent_tracker::ProtocolEvent::ServingRss {
+                    at: t(k),
+                    rss: Dbm(-60.0 - k as f64 * 0.3),
+                });
+            }
+            if k % 10 == 3 {
+                proto.handle(silent_tracker::ProtocolEvent::NeighborSsb {
+                    at: t(k),
+                    cell: CellId(1),
+                    tx_beam: 2,
+                    rx_beam: proto.gap_rx_beam(),
+                    rss: Dbm(-58.0),
+                });
+                proto.handle(silent_tracker::ProtocolEvent::DwellComplete { at: t(k + 1) });
+            }
+        }
+        let rec = proto.finish_recording().unwrap();
+        let ue = rec.into_trace(0, 5, kind);
+        RunTrace {
+            label: "unit".into(),
+            seed: 1,
+            duration: SimDuration::from_millis(40),
+            live_wall_s: 0.01,
+            tracker: cfg,
+            codebook: BeamwidthClass::Narrow,
+            ues: vec![ue],
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_fold_byte_exactly() {
+        for kind in [ProtocolKind::SilentTracker, ProtocolKind::Reactive] {
+            let run = record_one(kind);
+            assert!(run.n_events() > 0);
+            let rep = replay_run(&run, 2);
+            assert_eq!(rep.mismatches, Vec::<String>::new(), "{kind:?}");
+            assert_eq!(rep.ues, 1);
+            // The trace round-trips through bytes and still verifies.
+            let trace = FleetTrace {
+                runs: vec![run.clone()],
+            };
+            let back = FleetTrace::from_bytes(&trace.to_bytes()).unwrap();
+            let rep2 = replay_run(&back.runs[0], 1);
+            assert!(rep2.mismatches.is_empty());
+            assert_eq!(rep2.combined_digest, rep.combined_digest);
+        }
+    }
+
+    #[test]
+    fn variant_config_replays_open_loop() {
+        let run = record_one(ProtocolKind::SilentTracker);
+        let mut variant = run.tracker;
+        variant.switch_threshold = Db(1.0);
+        variant.handover_hysteresis = Db(1.5);
+        let rep = replay_run_with_config(&run, variant, 1);
+        // No verification, so no mismatches — but the fold ran.
+        assert!(rep.mismatches.is_empty());
+        assert_eq!(rep.events, run.n_events());
+    }
+
+    #[test]
+    fn tampered_traces_fail_verification() {
+        let mut run = record_one(ProtocolKind::SilentTracker);
+        run.ues[0].segments[0].action_digest ^= 1;
+        let rep = replay_run(&run, 1);
+        assert_eq!(rep.mismatches.len(), 1);
+        assert!(rep.mismatches[0].contains("action stream diverged"));
+    }
+
+    /// Warm-start seeds recorded in the segment header are re-applied by
+    /// replay: a segment anchored with a warm monitor folds differently
+    /// from a cold anchor, and verification still passes because the
+    /// recording captured the seed.
+    #[test]
+    fn warm_start_seed_round_trips_through_replay() {
+        let cfg = TrackerConfig {
+            warm_start_handover: true,
+            ..TrackerConfig::paper_defaults()
+        };
+        let codebook = Arc::new(Codebook::for_class(BeamwidthClass::Narrow));
+        let mut warm_src = silent_tracker::measurement::LinkMonitor::new(cfg.ewma_alpha);
+        warm_src.on_sample(t(0), Dbm(-55.0));
+        warm_src.on_sample(t(1), Dbm(-56.0));
+
+        // The fleet engine's re-anchoring path: fresh proto on the new
+        // serving cell, warm-start it, then resume recording with the
+        // applied seed in the segment header.
+        let mut proto = crate::proto::Proto::new(
+            ProtocolKind::SilentTracker,
+            cfg,
+            UeId(5),
+            CellId(1),
+            Arc::clone(&codebook),
+            BeamId(4),
+        );
+        proto.warm_start(&warm_src);
+        proto.resume_recording(Box::new(UeRecorder::new()), Some(warm_src));
+        for k in 0..10u64 {
+            proto.handle(silent_tracker::ProtocolEvent::ServingRss {
+                at: t(k),
+                rss: Dbm(-60.0),
+            });
+        }
+        let rec = proto.finish_recording().unwrap();
+        let ue = rec.into_trace(0, 5, ProtocolKind::SilentTracker);
+        assert_eq!(ue.segments[0].warm, Some(warm_src));
+        let run = RunTrace {
+            label: "warm".into(),
+            seed: 1,
+            duration: SimDuration::from_millis(10),
+            live_wall_s: 0.01,
+            tracker: cfg,
+            codebook: BeamwidthClass::Narrow,
+            ues: vec![ue],
+        };
+        let rep = replay_run(&run, 1);
+        assert!(rep.mismatches.is_empty(), "{:?}", rep.mismatches);
+    }
+}

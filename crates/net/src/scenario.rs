@@ -234,9 +234,11 @@ impl Scenario {
             }
         });
 
-        match &world.proto {
-            Proto::Silent(_) => world.outcome.tracker_stats = world.proto.stats(),
-            Proto::Reactive(r) => world.outcome.reactive_dwells = Some(r.search_dwells()),
+        match world.proto.kind() {
+            ProtocolKind::SilentTracker => world.outcome.tracker_stats = world.proto.stats(),
+            ProtocolKind::Reactive => {
+                world.outcome.reactive_dwells = Some(world.proto.search_dwells());
+            }
         }
         (world.outcome, world.trace)
     }
@@ -409,7 +411,7 @@ impl World {
     /// After RLF the reactive baseline may reconnect to any cell,
     /// including the old serving one.
     fn post_rlf_search(&self) -> bool {
-        self.rlf_declared && matches!(self.proto, Proto::Reactive(_))
+        self.rlf_declared && self.proto.kind() == ProtocolKind::Reactive
     }
 
     /// Ground-truth alignment bookkeeping for the tracked neighbor beam.
@@ -446,10 +448,8 @@ impl World {
                 let actions = self.proto.handle(Input::ServingRss { at: now, rss: v });
                 self.apply_actions(ex, now, actions);
                 self.outcome.serving_rss.push(now.as_secs_f64(), v.0);
-                if let Proto::Silent(t) = &self.proto {
-                    if let Some(n) = t.neighbor_level() {
-                        self.outcome.neighbor_rss.push(now.as_secs_f64(), n.0);
-                    }
+                if let Some(n) = self.proto.neighbor_level() {
+                    self.outcome.neighbor_rss.push(now.as_secs_f64(), n.0);
                 }
             }
             _ => {

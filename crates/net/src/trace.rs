@@ -1,0 +1,681 @@
+//! End-to-end protocol trace record/replay containers.
+//!
+//! A **trace** is the complete protocol-visible history of a fleet run:
+//! for every UE, the exact [`ProtocolEvent`] stream its protocol instance
+//! consumed, segmented at handover re-anchorings, together with the
+//! FNV-1a digest of the action stream it emitted and the byte-exact
+//! final [`ProtocolState`] snapshot of each segment. Because the protocol
+//! core is a pure fold (`step(ctx, state, event) -> (state, actions)`),
+//! the trace is sufficient to re-evaluate the protocol *without* the
+//! physical layer or the event executive: [`crate::replay`] refolds the
+//! recorded events and checks the digests, byte for byte.
+//!
+//! Recording is opt-in and attaches at the [`crate::proto::Proto`]
+//! dispatch surface, so both the single-UE executor and the fleet engine
+//! record through one hook. The format is a compact custom binary built
+//! on the `silent_tracker::wire` primitives (LEB128 varints, bit-exact
+//! floats), with consecutive timer ticks compressed into
+//! [`ProtocolEvent::TickRun`] records — ticks dominate the raw event
+//! count but carry one timestamp of information each — and event
+//! timestamps delta-encoded against the previous record
+//! ([`ProtocolEvent::encode_from`]), since a monotone stream's deltas
+//! fit in one to three varint bytes where absolute times take five.
+
+use bytes::BufMut;
+use silent_tracker::measurement::LinkMonitor;
+use silent_tracker::tracker::Action;
+use silent_tracker::wire::{self, Fnv64, WireError};
+use silent_tracker::{ProtocolEvent, ProtocolState, TrackerConfig};
+use st_des::{SimDuration, SimTime};
+use st_phy::codebook::BeamwidthClass;
+use st_phy::units::Db;
+
+use crate::config::ProtocolKind;
+
+/// Magic + version prefix of a serialized [`FleetTrace`] file.
+pub const TRACE_MAGIC: &[u8; 8] = b"STTRACE1";
+
+/// One protocol incarnation of one UE: from (re-)anchoring on a serving
+/// cell until the next handover completes (or the run ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentTrace {
+    /// Serving cell the protocol was anchored on.
+    pub serving_cell: u16,
+    /// Initial serving receive beam.
+    pub serving_rx: u16,
+    /// Warm-start seed applied at anchoring, if any (the monitor that
+    /// tracked this link as a neighbor before the handover).
+    pub warm: Option<LinkMonitor>,
+    /// Concatenated canonical [`ProtocolEvent`] encodings, in fold
+    /// order, with delta timestamps ([`ProtocolEvent::encode_from`]
+    /// threaded from `SimTime::ZERO`).
+    pub events: Vec<u8>,
+    /// Number of encoded event records in `events` (tick runs count as
+    /// one record).
+    pub n_events: u64,
+    /// Actions the protocol emitted over the segment.
+    pub action_count: u64,
+    /// FNV-1a 64 digest over the canonical encodings of those actions.
+    pub action_digest: u64,
+    /// Byte-exact final [`ProtocolState`] snapshot.
+    pub final_state: Vec<u8>,
+}
+
+/// The full recorded history of one UE across all its segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UeTrace {
+    /// Global (fleet-wide) UE index, stable across shard counts.
+    pub id: u64,
+    /// The MAC-layer UE identity the protocol ran under (it appears in
+    /// emitted PDUs, so replay must reuse it exactly).
+    pub uid: u32,
+    pub kind: ProtocolKind,
+    pub segments: Vec<SegmentTrace>,
+}
+
+impl UeTrace {
+    /// Event records across all segments.
+    pub fn n_events(&self) -> u64 {
+        self.segments.iter().map(|s| s.n_events).sum()
+    }
+}
+
+/// One recorded fleet run (one protocol arm, one config, one seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTrace {
+    /// Human label, e.g. `"1000-silent"` or `"smoke"`.
+    pub label: String,
+    pub seed: u64,
+    /// Simulated duration of the run.
+    pub duration: SimDuration,
+    /// Wall-clock seconds the *live* run took (the replay speedup
+    /// denominator).
+    pub live_wall_s: f64,
+    /// The protocol configuration the trace was recorded under.
+    pub tracker: TrackerConfig,
+    /// The shared UE codebook, by class (custom codebooks are rejected
+    /// at recording time — the trace must be able to rebuild it).
+    pub codebook: BeamwidthClass,
+    /// Per-UE traces, sorted by global id.
+    pub ues: Vec<UeTrace>,
+}
+
+impl RunTrace {
+    pub fn n_segments(&self) -> u64 {
+        self.ues.iter().map(|u| u.segments.len() as u64).sum()
+    }
+
+    pub fn n_events(&self) -> u64 {
+        self.ues.iter().map(UeTrace::n_events).sum()
+    }
+
+    /// UE-seconds of simulated radio time the trace covers.
+    pub fn ue_seconds(&self) -> f64 {
+        self.ues.len() as f64 * self.duration.as_secs_f64()
+    }
+}
+
+/// A set of recorded runs (e.g. both protocol arms of a load sweep),
+/// serializable to one trace file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTrace {
+    pub runs: Vec<RunTrace>,
+}
+
+// ----- codec ----------------------------------------------------------------
+
+fn put_str<B: BufMut>(buf: &mut B, s: &str) {
+    wire::put_varu64(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, WireError> {
+    let n = wire::get_varu64(buf)? as usize;
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| WireError::Corrupt("label utf-8"))?
+        .to_string();
+    *buf = rest;
+    Ok(s)
+}
+
+fn put_bytes<B: BufMut>(buf: &mut B, v: &[u8]) {
+    wire::put_varu64(buf, v.len() as u64);
+    buf.put_slice(v);
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let n = wire::get_varu64(buf)? as usize;
+    if buf.len() < n {
+        return Err(WireError::Truncated);
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head.to_vec())
+}
+
+fn put_kind<B: BufMut>(buf: &mut B, k: ProtocolKind) {
+    buf.put_u8(match k {
+        ProtocolKind::SilentTracker => 0,
+        ProtocolKind::Reactive => 1,
+    });
+}
+
+fn get_kind(buf: &mut &[u8]) -> Result<ProtocolKind, WireError> {
+    match wire::get_u8(buf)? {
+        0 => Ok(ProtocolKind::SilentTracker),
+        1 => Ok(ProtocolKind::Reactive),
+        _ => Err(WireError::Corrupt("protocol kind tag")),
+    }
+}
+
+fn put_class<B: BufMut>(buf: &mut B, c: BeamwidthClass) {
+    buf.put_u8(match c {
+        BeamwidthClass::Narrow => 0,
+        BeamwidthClass::Wide => 1,
+        BeamwidthClass::Omni => 2,
+    });
+}
+
+fn get_class(buf: &mut &[u8]) -> Result<BeamwidthClass, WireError> {
+    match wire::get_u8(buf)? {
+        0 => Ok(BeamwidthClass::Narrow),
+        1 => Ok(BeamwidthClass::Wide),
+        2 => Ok(BeamwidthClass::Omni),
+        _ => Err(WireError::Corrupt("beamwidth class tag")),
+    }
+}
+
+fn put_tracker_config<B: BufMut>(buf: &mut B, c: &TrackerConfig) {
+    wire::put_f64(buf, c.switch_threshold.0);
+    wire::put_f64(buf, c.loss_threshold.0);
+    wire::put_f64(buf, c.handover_hysteresis.0);
+    wire::put_dur(buf, c.assist_timeout);
+    wire::put_dur(buf, c.serving_timeout);
+    wire::put_f64(buf, c.ewma_alpha);
+    wire::put_varu64(buf, c.max_search_dwells as u64);
+    wire::put_dur(buf, c.settle_time);
+    wire::put_dur(buf, c.track_staleness);
+    wire::put_f64(buf, c.loss_reference_decay.0);
+    wire::put_varu64(buf, u64::from(c.min_track_samples));
+    wire::put_bool(buf, c.warm_start_handover);
+}
+
+fn get_tracker_config(buf: &mut &[u8]) -> Result<TrackerConfig, WireError> {
+    let c = TrackerConfig {
+        switch_threshold: Db(wire::get_f64(buf)?),
+        loss_threshold: Db(wire::get_f64(buf)?),
+        handover_hysteresis: Db(wire::get_f64(buf)?),
+        assist_timeout: wire::get_dur(buf)?,
+        serving_timeout: wire::get_dur(buf)?,
+        ewma_alpha: wire::get_f64(buf)?,
+        max_search_dwells: wire::get_varu64(buf)? as usize,
+        settle_time: wire::get_dur(buf)?,
+        track_staleness: wire::get_dur(buf)?,
+        loss_reference_decay: Db(wire::get_f64(buf)?),
+        min_track_samples: wire::get_varu64(buf)? as u32,
+        warm_start_handover: wire::get_bool(buf)?,
+    };
+    c.validate().map_err(WireError::Corrupt)?;
+    Ok(c)
+}
+
+impl SegmentTrace {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.serving_cell);
+        buf.put_u16(self.serving_rx);
+        match &self.warm {
+            None => buf.put_u8(0),
+            Some(m) => {
+                buf.put_u8(1);
+                m.encode(buf);
+            }
+        }
+        put_bytes(buf, &self.events);
+        wire::put_varu64(buf, self.n_events);
+        wire::put_varu64(buf, self.action_count);
+        buf.put_u64(self.action_digest);
+        put_bytes(buf, &self.final_state);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<SegmentTrace, WireError> {
+        let serving_cell = wire::get_u16(buf)?;
+        let serving_rx = wire::get_u16(buf)?;
+        let warm = match wire::get_u8(buf)? {
+            0 => None,
+            1 => Some(LinkMonitor::decode(buf)?),
+            _ => return Err(WireError::Corrupt("warm seed tag")),
+        };
+        Ok(SegmentTrace {
+            serving_cell,
+            serving_rx,
+            warm,
+            events: get_bytes(buf)?,
+            n_events: wire::get_varu64(buf)?,
+            action_count: wire::get_varu64(buf)?,
+            action_digest: wire::get_u64(buf)?,
+            final_state: get_bytes(buf)?,
+        })
+    }
+}
+
+impl UeTrace {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        wire::put_varu64(buf, self.id);
+        wire::put_varu64(buf, u64::from(self.uid));
+        put_kind(buf, self.kind);
+        wire::put_varu64(buf, self.segments.len() as u64);
+        for s in &self.segments {
+            s.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<UeTrace, WireError> {
+        let id = wire::get_varu64(buf)?;
+        let uid = wire::get_varu64(buf)? as u32;
+        let kind = get_kind(buf)?;
+        let n = wire::get_varu64(buf)? as usize;
+        let mut segments = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            segments.push(SegmentTrace::decode(buf)?);
+        }
+        Ok(UeTrace {
+            id,
+            uid,
+            kind,
+            segments,
+        })
+    }
+}
+
+impl RunTrace {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        put_str(buf, &self.label);
+        wire::put_varu64(buf, self.seed);
+        wire::put_dur(buf, self.duration);
+        wire::put_f64(buf, self.live_wall_s);
+        put_tracker_config(buf, &self.tracker);
+        put_class(buf, self.codebook);
+        wire::put_varu64(buf, self.ues.len() as u64);
+        for u in &self.ues {
+            u.encode(buf);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<RunTrace, WireError> {
+        let label = get_str(buf)?;
+        let seed = wire::get_varu64(buf)?;
+        let duration = wire::get_dur(buf)?;
+        let live_wall_s = wire::get_f64(buf)?;
+        let tracker = get_tracker_config(buf)?;
+        let codebook = get_class(buf)?;
+        let n = wire::get_varu64(buf)? as usize;
+        let mut ues = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            ues.push(UeTrace::decode(buf)?);
+        }
+        Ok(RunTrace {
+            label,
+            seed,
+            duration,
+            live_wall_s,
+            tracker,
+            codebook,
+            ues,
+        })
+    }
+}
+
+impl FleetTrace {
+    /// Serialize to the compact binary trace format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_slice(TRACE_MAGIC);
+        wire::put_varu64(&mut buf, self.runs.len() as u64);
+        for r in &self.runs {
+            r.encode(&mut buf);
+        }
+        buf
+    }
+
+    /// Parse a serialized trace; rejects trailing garbage.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<FleetTrace, WireError> {
+        if buf.len() < TRACE_MAGIC.len() || &buf[..TRACE_MAGIC.len()] != TRACE_MAGIC {
+            return Err(WireError::Corrupt("trace magic"));
+        }
+        buf = &buf[TRACE_MAGIC.len()..];
+        let n = wire::get_varu64(&mut buf)? as usize;
+        let mut runs = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            runs.push(RunTrace::decode(&mut buf)?);
+        }
+        if !buf.is_empty() {
+            return Err(WireError::Corrupt("trailing bytes"));
+        }
+        Ok(FleetTrace { runs })
+    }
+
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    pub fn load(path: &std::path::Path) -> std::io::Result<FleetTrace> {
+        let bytes = std::fs::read(path)?;
+        FleetTrace::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+// ----- recorder -------------------------------------------------------------
+
+/// Consecutive-tick compression state: ticks at `start`, `start+period`,
+/// …, most recently `last`.
+#[derive(Debug, Clone, Copy)]
+struct PendingTicks {
+    start: SimTime,
+    period: SimDuration,
+    count: u64,
+    last: SimTime,
+}
+
+/// One segment being recorded.
+#[derive(Debug, Clone)]
+struct OpenSegment {
+    serving_cell: u16,
+    serving_rx: u16,
+    warm: Option<LinkMonitor>,
+    events: Vec<u8>,
+    n_events: u64,
+    /// Delta-timestamp anchor: the last instant the encoded stream
+    /// covers (see [`ProtocolEvent::encode_from`]).
+    prev: SimTime,
+    ticks: Option<PendingTicks>,
+    digest: Fnv64,
+    action_count: u64,
+}
+
+/// Per-UE event/action recorder, attached to a
+/// [`crate::proto::Proto`] via [`Proto::start_recording`]
+/// (see [`crate::proto`]). It captures every event the protocol folds
+/// (compressing consecutive timer ticks into [`ProtocolEvent::TickRun`]
+/// records, which fold identically) and digests every action the
+/// protocol emits. Drivers close one segment per protocol incarnation:
+/// on handover re-anchoring the fleet engine detaches the recorder from
+/// the old protocol instance ([`Proto::finish_recording`]) and
+/// re-attaches it to the new one ([`Proto::resume_recording`]).
+///
+/// [`Proto::start_recording`]: crate::proto::Proto::start_recording
+/// [`Proto::finish_recording`]: crate::proto::Proto::finish_recording
+/// [`Proto::resume_recording`]: crate::proto::Proto::resume_recording
+#[derive(Debug, Clone, Default)]
+pub struct UeRecorder {
+    segments: Vec<SegmentTrace>,
+    cur: Option<OpenSegment>,
+    scratch: Vec<u8>,
+}
+
+impl UeRecorder {
+    pub fn new() -> UeRecorder {
+        UeRecorder::default()
+    }
+
+    /// Begin recording a new segment (a fresh protocol incarnation
+    /// anchored on `serving_cell`/`serving_rx`, optionally warm-started).
+    pub fn open_segment(&mut self, serving_cell: u16, serving_rx: u16, warm: Option<LinkMonitor>) {
+        assert!(self.cur.is_none(), "previous segment still open");
+        self.cur = Some(OpenSegment {
+            serving_cell,
+            serving_rx,
+            warm,
+            events: Vec::new(),
+            n_events: 0,
+            prev: SimTime::ZERO,
+            ticks: None,
+            digest: Fnv64::new(),
+            action_count: 0,
+        });
+    }
+
+    /// Close the open segment with the protocol's final state snapshot.
+    pub fn close_segment(&mut self, final_state: &ProtocolState) {
+        let Some(mut seg) = self.cur.take() else {
+            return;
+        };
+        flush_ticks(&mut seg);
+        let mut state_bytes = Vec::new();
+        final_state.encode(&mut state_bytes);
+        self.segments.push(SegmentTrace {
+            serving_cell: seg.serving_cell,
+            serving_rx: seg.serving_rx,
+            warm: seg.warm,
+            events: seg.events,
+            n_events: seg.n_events,
+            action_count: seg.action_count,
+            action_digest: seg.digest.finish(),
+            final_state: state_bytes,
+        });
+    }
+
+    /// Record one event about to be folded into the protocol.
+    pub fn record_event(&mut self, ev: &ProtocolEvent) {
+        let Some(seg) = &mut self.cur else { return };
+        if let ProtocolEvent::Tick { at } = *ev {
+            // Merge into a run when the inter-tick period is constant and
+            // strictly positive (a zero period would change TickRun
+            // semantics, so equal-instant ticks are never merged).
+            match &mut seg.ticks {
+                None => {
+                    seg.ticks = Some(PendingTicks {
+                        start: at,
+                        period: SimDuration::ZERO,
+                        count: 1,
+                        last: at,
+                    });
+                    return;
+                }
+                Some(p) => {
+                    let gap = at.since(p.last);
+                    if gap.as_nanos() > 0 && (p.count == 1 || gap.as_nanos() == p.period.as_nanos())
+                    {
+                        p.period = gap;
+                        p.count += 1;
+                        p.last = at;
+                        return;
+                    }
+                }
+            }
+            flush_ticks(seg);
+            seg.ticks = Some(PendingTicks {
+                start: at,
+                period: SimDuration::ZERO,
+                count: 1,
+                last: at,
+            });
+            return;
+        }
+        flush_ticks(seg);
+        seg.prev = ev.encode_from(seg.prev, &mut seg.events);
+        seg.n_events += 1;
+    }
+
+    /// Digest the actions the protocol emitted for the last event.
+    pub fn record_actions(&mut self, actions: &[Action]) {
+        let Some(seg) = &mut self.cur else { return };
+        for a in actions {
+            self.scratch.clear();
+            a.encode(&mut self.scratch);
+            seg.digest.write(&self.scratch);
+        }
+        seg.action_count += actions.len() as u64;
+    }
+
+    /// Finish: the caller must have closed the last segment
+    /// ([`UeRecorder::close_segment`]). Wraps the recording into a
+    /// [`UeTrace`].
+    pub fn into_trace(self, id: u64, uid: u32, kind: ProtocolKind) -> UeTrace {
+        assert!(self.cur.is_none(), "segment still open");
+        UeTrace {
+            id,
+            uid,
+            kind,
+            segments: self.segments,
+        }
+    }
+}
+
+fn flush_ticks(seg: &mut OpenSegment) {
+    let Some(p) = seg.ticks.take() else { return };
+    let ev = if p.count == 1 {
+        ProtocolEvent::Tick { at: p.start }
+    } else {
+        ProtocolEvent::TickRun {
+            start: p.start,
+            period: p.period,
+            count: p.count,
+        }
+    };
+    seg.prev = ev.encode_from(seg.prev, &mut seg.events);
+    seg.n_events += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_phy::units::Dbm;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn sample_trace() -> FleetTrace {
+        let mut rec = UeRecorder::new();
+        rec.open_segment(0, 4, None);
+        for k in 0..5 {
+            rec.record_event(&ProtocolEvent::Tick { at: t(k) });
+        }
+        rec.record_event(&ProtocolEvent::ServingRss {
+            at: t(5),
+            rss: Dbm(-61.5),
+        });
+        rec.record_actions(&[Action::SetServingRxBeam(st_phy::codebook::BeamId(3))]);
+        let state = ProtocolState::Reactive(silent_tracker::ReactiveState::initial(
+            &silent_tracker::ProtocolCtx::new(
+                TrackerConfig::paper_defaults(),
+                st_mac::pdu::UeId(9),
+                st_mac::pdu::CellId(0),
+                st_phy::codebook::Codebook::for_class(BeamwidthClass::Narrow),
+            ),
+            st_phy::codebook::BeamId(4),
+        ));
+        rec.close_segment(&state);
+        let ue = rec.into_trace(3, 4, ProtocolKind::Reactive);
+        FleetTrace {
+            runs: vec![RunTrace {
+                label: "unit".into(),
+                seed: 7,
+                duration: SimDuration::from_secs(1),
+                live_wall_s: 0.25,
+                tracker: TrackerConfig::paper_defaults(),
+                codebook: BeamwidthClass::Narrow,
+                ues: vec![ue],
+            }],
+        }
+    }
+
+    #[test]
+    fn consecutive_ticks_compress_into_one_run() {
+        let trace = sample_trace();
+        let seg = &trace.runs[0].ues[0].segments[0];
+        // 5 ticks + 1 RSS sample → 1 TickRun record + 1 RSS record.
+        assert_eq!(seg.n_events, 2);
+        let mut buf: &[u8] = &seg.events;
+        let (first, anchor) = ProtocolEvent::decode_from(&mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(
+            first,
+            ProtocolEvent::TickRun {
+                start: t(0),
+                period: SimDuration::from_millis(1),
+                count: 5,
+            }
+        );
+        // The anchor lands on the run's final tick, so the next delta is
+        // small.
+        assert_eq!(anchor, t(4));
+        let (second, _) = ProtocolEvent::decode_from(&mut buf, anchor).unwrap();
+        assert_eq!(
+            second,
+            ProtocolEvent::ServingRss {
+                at: t(5),
+                rss: Dbm(-61.5),
+            }
+        );
+        assert!(buf.is_empty());
+        assert_eq!(seg.action_count, 1);
+    }
+
+    #[test]
+    fn irregular_ticks_split_runs() {
+        let mut rec = UeRecorder::new();
+        rec.open_segment(0, 0, None);
+        // 1 ms, 1 ms, then a 3 ms gap: run of 3, then a fresh run of 2.
+        for &ms in &[0u64, 1, 2, 5, 6] {
+            rec.record_event(&ProtocolEvent::Tick { at: t(ms) });
+        }
+        rec.record_event(&ProtocolEvent::DwellComplete { at: t(7) });
+        rec.record_actions(&[]);
+        let state = ProtocolState::Reactive(silent_tracker::ReactiveState::initial(
+            &silent_tracker::ProtocolCtx::new(
+                TrackerConfig::paper_defaults(),
+                st_mac::pdu::UeId(1),
+                st_mac::pdu::CellId(0),
+                st_phy::codebook::Codebook::for_class(BeamwidthClass::Narrow),
+            ),
+            st_phy::codebook::BeamId(0),
+        ));
+        rec.close_segment(&state);
+        let ue = rec.into_trace(0, 1, ProtocolKind::Reactive);
+        let seg = &ue.segments[0];
+        assert_eq!(seg.n_events, 3);
+        let mut buf: &[u8] = &seg.events;
+        let (first, anchor) = ProtocolEvent::decode_from(&mut buf, SimTime::ZERO).unwrap();
+        assert_eq!(
+            first,
+            ProtocolEvent::TickRun {
+                start: t(0),
+                period: SimDuration::from_millis(1),
+                count: 3,
+            }
+        );
+        let (second, _) = ProtocolEvent::decode_from(&mut buf, anchor).unwrap();
+        assert_eq!(
+            second,
+            ProtocolEvent::TickRun {
+                start: t(5),
+                period: SimDuration::from_millis(1),
+                count: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_round_trips_byte_exactly() {
+        let trace = sample_trace();
+        let bytes = trace.to_bytes();
+        let back = FleetTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, trace);
+        // Canonical: re-encoding the decoded trace is byte-identical.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_traces_are_rejected() {
+        let trace = sample_trace();
+        let mut bytes = trace.to_bytes();
+        assert!(FleetTrace::from_bytes(&bytes[..4]).is_err(), "bad magic");
+        bytes.push(0);
+        assert!(FleetTrace::from_bytes(&bytes).is_err(), "trailing bytes");
+    }
+}
