@@ -1,5 +1,6 @@
 //! Fleet-scale PRACH load sweep: soft vs hard handover under contention.
 //! Usage: `fleet_load [--smoke] [--exact-contention] [--workers N] [--json PATH]
+//!                    [--snapshot-s S] [--timeline PATH]
 //!                    [--record PATH | --replay PATH] [POPULATIONS...]`
 //!
 //! `--smoke` prints the deterministic aggregate summary of a small fixed
@@ -18,9 +19,17 @@
 //!
 //! Either mode also writes the `BENCH_fleet.json` perf artifact (per-run
 //! wall-clock, UE-seconds simulated per wall-second, contention mode and
-//! barrier overhead, plus the recorded pre-refactor baseline) to
-//! `--json PATH` (default `BENCH_fleet.json`); the artifact goes to a
-//! file so the smoke stdout stays byte-comparable.
+//! barrier overhead, the run-profiler counters/wall spans, plus the
+//! recorded pre-refactor baseline) to `--json PATH` (default
+//! `BENCH_fleet.json`); the artifact goes to a file so the smoke stdout
+//! stays byte-comparable.
+//!
+//! `--snapshot-s S` arms the streaming telemetry timeline: each fleet
+//! pushes a constant-memory snapshot slice every S simulated seconds,
+//! and the merged per-interval series is written to `--timeline PATH`
+//! (default `BENCH_fleet_timeline.json`). The timeline file contains no
+//! wall-clock values, so CI `cmp`s it byte-for-byte across worker
+//! counts. Arming snapshots does not change the smoke summary bytes.
 fn main() {
     let mut smoke = false;
     let mut exact = false;
@@ -28,6 +37,8 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let mut json_path = String::from("BENCH_fleet.json");
+    let mut timeline_path = String::from("BENCH_fleet_timeline.json");
+    let mut snapshot_s: Option<f64> = None;
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
     let mut populations: Vec<u64> = Vec::new();
@@ -44,6 +55,17 @@ fn main() {
             }
             "--json" => {
                 json_path = args.next().expect("--json PATH");
+            }
+            "--timeline" => {
+                timeline_path = args.next().expect("--timeline PATH");
+            }
+            "--snapshot-s" => {
+                snapshot_s = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&s: &f64| s > 0.0)
+                        .expect("--snapshot-s S (seconds, > 0)"),
+                );
             }
             "--record" => {
                 record_path = Some(args.next().expect("--record PATH"));
@@ -102,10 +124,22 @@ fn main() {
             }
         }
     };
+    let save_timeline = |load: &st_bench::fleet_load::FleetLoad| {
+        if snapshot_s.is_none() {
+            return;
+        }
+        match st_bench::fleet_load::write_timeline_json(&timeline_path, load) {
+            Ok(true) => eprintln!("timeline artifact: {timeline_path}"),
+            Ok(false) => eprintln!("warning: snapshots armed but no timeline survived the merge"),
+            Err(e) => eprintln!("warning: could not write {timeline_path}: {e}"),
+        }
+    };
     if smoke {
-        let (summary, mut load) = st_bench::fleet_load::smoke_timed(workers, exact, record);
+        let (summary, mut load) =
+            st_bench::fleet_load::smoke_timed_obs(workers, exact, record, snapshot_s);
         print!("{summary}");
         save_trace(&load);
+        save_timeline(&load);
         if record {
             load.replay = st_bench::fleet_load::replay_arms(&load, workers);
         }
@@ -119,8 +153,9 @@ fn main() {
     if populations.is_empty() {
         populations = vec![100, 300, 1000];
     }
-    let mut r = st_bench::fleet_load::run(&populations, 42, workers, exact, record);
+    let mut r = st_bench::fleet_load::run_obs(&populations, 42, workers, exact, record, snapshot_s);
     save_trace(&r);
+    save_timeline(&r);
     if record {
         r.replay = st_bench::fleet_load::replay_arms(&r, workers);
     }

@@ -20,8 +20,10 @@
 use std::time::Instant;
 
 use st_env::BlockerPopulation;
-use st_fleet::{run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind};
-use st_metrics::{Ecdf, Table};
+use st_fleet::{
+    run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, InterruptionStats, MobilityKind,
+};
+use st_metrics::Table;
 use st_net::ProtocolKind;
 
 /// One (density, arm) sweep point.
@@ -97,10 +99,10 @@ fn arm_label(p: ProtocolKind) -> &'static str {
     }
 }
 
-fn interruption_ecdf(a: &DensityArm) -> Option<Ecdf> {
+fn interruption_stats(a: &DensityArm) -> Option<InterruptionStats> {
     match a.protocol {
-        ProtocolKind::SilentTracker => a.outcome.soft_interruption_ecdf(),
-        ProtocolKind::Reactive => a.outcome.hard_interruption_ecdf(),
+        ProtocolKind::SilentTracker => a.outcome.soft_stats(),
+        ProtocolKind::Reactive => a.outcome.hard_stats(),
     }
 }
 
@@ -132,12 +134,12 @@ pub fn render(r: &BlockageStudy) -> String {
         ],
     );
     for a in &r.arms {
-        let (p50, p95, mean) = interruption_ecdf(a)
-            .map(|e| {
+        let (p50, p95, mean) = interruption_stats(a)
+            .map(|st| {
                 (
-                    format!("{:.1}", e.median()),
-                    format!("{:.1}", e.quantile(0.95)),
-                    format!("{:.1}", e.mean()),
+                    format!("{:.1}", st.p50_ms),
+                    format!("{:.1}", st.p95_ms),
+                    format!("{:.1}", st.mean_ms),
                 )
             })
             .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
@@ -175,8 +177,8 @@ pub fn bench_json(r: &BlockageStudy, mode: &str) -> String {
     writeln!(s, "  \"arms\": [").unwrap();
     for (i, a) in r.arms.iter().enumerate() {
         let sep = if i + 1 == r.arms.len() { "" } else { "," };
-        let (p50, p95) = interruption_ecdf(a)
-            .map(|e| (e.median(), e.quantile(0.95)))
+        let (p50, p95) = interruption_stats(a)
+            .map(|st| (st.p50_ms, st.p95_ms))
             .unwrap_or((-1.0, -1.0));
         // As in the table, the per-density `saved` delta appears once —
         // on the reactive row — so summing the field over rows is safe.

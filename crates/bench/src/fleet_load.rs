@@ -104,10 +104,11 @@ fn deployment(
     seed: u64,
     exact: bool,
     record: bool,
+    snapshot_s: Option<f64>,
 ) -> FleetConfig {
     let walkers = (ues * 4 / 5) as u32;
     let vehicles = ues as u32 - walkers;
-    Deployment::new()
+    let mut d = Deployment::new()
         .street(400.0, 30.0)
         .cell_row(4, 100.0)
         .tx_beams(8)
@@ -118,9 +119,11 @@ fn deployment(
         .seed(seed)
         .shards(8)
         .exact_contention(exact)
-        .record_traces(record)
-        .build()
-        .expect("valid fleet deployment")
+        .record_traces(record);
+    if let Some(s) = snapshot_s {
+        d = d.snapshot_interval_secs(s);
+    }
+    d.build().expect("valid fleet deployment")
 }
 
 /// Package a run's recorded traces as one [`RunTrace`] (recording arms
@@ -147,10 +150,25 @@ fn take_trace(
 }
 
 pub fn run(populations: &[u64], seed: u64, workers: usize, exact: bool, record: bool) -> FleetLoad {
+    run_obs(populations, seed, workers, exact, record, None)
+}
+
+/// [`run`] with the snapshot timeline armed: every fleet in the sweep
+/// pushes a telemetry slice each `snapshot_s` seconds of simulated
+/// time, and the merged rings land in the outcomes for
+/// [`timeline_json`] / [`write_timeline_json`].
+pub fn run_obs(
+    populations: &[u64],
+    seed: u64,
+    workers: usize,
+    exact: bool,
+    record: bool,
+    snapshot_s: Option<f64>,
+) -> FleetLoad {
     let mut arms = Vec::new();
     for &ues in populations {
         for protocol in [ProtocolKind::SilentTracker, ProtocolKind::Reactive] {
-            let cfg = deployment(ues, protocol, seed, exact, record);
+            let cfg = deployment(ues, protocol, seed, exact, record, snapshot_s);
             let start = Instant::now();
             let mut outcome = run_fleet_with_workers(&cfg, workers);
             let wall_s = start.elapsed().as_secs_f64();
@@ -239,10 +257,8 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
         )
         .unwrap();
     }
-    if r.replay.is_empty() {
-        writeln!(s, "  ]").unwrap();
-    } else {
-        writeln!(s, "  ],").unwrap();
+    writeln!(s, "  ],").unwrap();
+    if !r.replay.is_empty() {
         writeln!(s, "  \"replay\": [").unwrap();
         for (i, row) in r.replay.iter().enumerate() {
             let sep = if i + 1 == r.replay.len() { "" } else { "," };
@@ -261,10 +277,71 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
             )
             .unwrap();
         }
-        writeln!(s, "  ]").unwrap();
+        writeln!(s, "  ],").unwrap();
     }
+    // Run profiler, per arm: the `counters` object is deterministic
+    // (same bytes for any worker count); `wall` is machine time and is
+    // kept in a separate object so determinism checks can mask it.
+    writeln!(s, "  \"profile\": [").unwrap();
+    for (i, a) in r.arms.iter().enumerate() {
+        let sep = if i + 1 == r.arms.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"counters\": {}, \"wall\": {}}}{sep}",
+            a.ues,
+            arm_label(a.protocol),
+            a.outcome.profile().counters_json(),
+            a.outcome.profile().wall_json(),
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
     writeln!(s, "}}").unwrap();
     s
+}
+
+/// Serialize every armed snapshot timeline in the sweep as one
+/// deterministic JSON document — the `BENCH_fleet_timeline.json`
+/// artifact. Returns `None` when no arm carried a timeline (run without
+/// `--snapshot-s`, or a shard dropped its ring). Contains **no
+/// wall-clock values**, so CI can `cmp` the file across worker counts.
+pub fn timeline_json(r: &FleetLoad) -> Option<String> {
+    use std::fmt::Write as _;
+    let arms: Vec<(&Arm, String)> = r
+        .arms
+        .iter()
+        .filter_map(|a| a.outcome.timeline_json().map(|tj| (a, tj)))
+        .collect();
+    if arms.is_empty() {
+        return None;
+    }
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"bench\": \"fleet_timeline\",").unwrap();
+    writeln!(s, "  \"arms\": [").unwrap();
+    for (i, (a, tj)) in arms.iter().enumerate() {
+        let sep = if i + 1 == arms.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"timeline\": {}}}{sep}",
+            a.ues,
+            arm_label(a.protocol),
+            tj.trim_end(),
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    Some(s)
+}
+
+/// Write [`timeline_json`] to `path`; returns whether a timeline
+/// existed to write.
+pub fn write_timeline_json(path: &str, r: &FleetLoad) -> std::io::Result<bool> {
+    match timeline_json(r) {
+        Some(doc) => std::fs::write(path, doc).map(|()| true),
+        None => Ok(false),
+    }
 }
 
 /// Write [`bench_json`] to `path`.
@@ -285,6 +362,7 @@ pub fn render(r: &FleetLoad) -> String {
             "queue_ms",
             "intr_p50_ms",
             "intr_p95_ms",
+            "intr_p99_ms",
             "ue_s/wall_s",
         ],
     );
@@ -312,18 +390,19 @@ pub fn render(r: &FleetLoad) -> String {
             .sum();
         let used: u64 = tot.per_cell.iter().map(|c| c.occasions_used).sum();
         let total: u64 = tot.per_cell.iter().map(|c| c.occasions_total).sum();
-        let (name, ecdf) = match a.protocol {
-            ProtocolKind::SilentTracker => ("silent", a.outcome.soft_interruption_ecdf()),
-            ProtocolKind::Reactive => ("reactive", a.outcome.hard_interruption_ecdf()),
+        let (name, stats) = match a.protocol {
+            ProtocolKind::SilentTracker => ("silent", a.outcome.soft_stats()),
+            ProtocolKind::Reactive => ("reactive", a.outcome.hard_stats()),
         };
-        let (p50, p95) = ecdf
-            .map(|e| {
+        let (p50, p95, p99) = stats
+            .map(|st| {
                 (
-                    format!("{:.1}", e.median()),
-                    format!("{:.1}", e.quantile(0.95)),
+                    format!("{:.1}", st.p50_ms),
+                    format!("{:.1}", st.p95_ms),
+                    format!("{:.1}", st.p99_ms),
                 )
             })
-            .unwrap_or_else(|| ("-".into(), "-".into()));
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
         t.row(&[
             format!("{}", a.ues),
             name.into(),
@@ -341,6 +420,7 @@ pub fn render(r: &FleetLoad) -> String {
             format!("{queue_ms:.1}"),
             p50,
             p95,
+            p99,
             format!("{:.0}", a.ue_seconds_per_wall_second()),
         ]);
     }
@@ -385,7 +465,16 @@ pub fn smoke_config(exact: bool) -> FleetConfig {
 /// [`smoke_config`] with trace recording optionally armed (recording
 /// does not perturb the protocol fold, so the summary stays identical).
 pub fn smoke_config_recorded(exact: bool, record: bool) -> FleetConfig {
-    Deployment::new()
+    smoke_config_obs(exact, record, None)
+}
+
+/// [`smoke_config_recorded`] with the snapshot timeline optionally
+/// armed. Snapshot events consume no RNG draws, so arming them leaves
+/// the aggregate summary byte-identical; the CI telemetry smoke relies
+/// on both properties (same summary, `cmp`-equal timelines across
+/// worker counts).
+pub fn smoke_config_obs(exact: bool, record: bool, snapshot_s: Option<f64>) -> FleetConfig {
+    let mut d = Deployment::new()
         .street(200.0, 30.0)
         .cell_row(2, 80.0)
         .tx_beams(8)
@@ -397,9 +486,11 @@ pub fn smoke_config_recorded(exact: bool, record: bool) -> FleetConfig {
         .seed(7)
         .shards(4)
         .exact_contention(exact)
-        .record_traces(record)
-        .build()
-        .expect("valid smoke fleet")
+        .record_traces(record);
+    if let Some(s) = snapshot_s {
+        d = d.snapshot_interval_secs(s);
+    }
+    d.build().expect("valid smoke fleet")
 }
 
 pub fn smoke(workers: usize, exact: bool) -> String {
@@ -411,7 +502,18 @@ pub fn smoke(workers: usize, exact: bool) -> String {
 /// code path as the full sweep. The returned summary string is identical
 /// to [`smoke`]'s (the byte-compare contract).
 pub fn smoke_timed(workers: usize, exact: bool, record: bool) -> (String, FleetLoad) {
-    let cfg = smoke_config_recorded(exact, record);
+    smoke_timed_obs(workers, exact, record, None)
+}
+
+/// [`smoke_timed`] with the snapshot timeline optionally armed — the
+/// entry point behind `fleet_load --smoke --snapshot-s <dt>`.
+pub fn smoke_timed_obs(
+    workers: usize,
+    exact: bool,
+    record: bool,
+    snapshot_s: Option<f64>,
+) -> (String, FleetLoad) {
+    let cfg = smoke_config_obs(exact, record, snapshot_s);
     let ues = cfg.n_ues();
     let start = Instant::now();
     let mut outcome = run_fleet_with_workers(&cfg, workers);
@@ -458,6 +560,33 @@ mod tests {
             collisions(&exact) >= collisions(&sharded),
             "exact {exact}\nsharded {sharded}"
         );
+    }
+
+    #[test]
+    fn smoke_timeline_json_is_worker_invariant() {
+        let (sa, a) = smoke_timed_obs(1, false, false, Some(0.25));
+        let (sb, b) = smoke_timed_obs(4, false, false, Some(0.25));
+        // Arming snapshots never perturbs the aggregate summary…
+        assert_eq!(sa, smoke(1, false));
+        assert_eq!(sa, sb);
+        // …and the timeline artifact itself is byte-identical across
+        // worker counts (it carries no wall-clock values).
+        let ta = timeline_json(&a).expect("timeline armed");
+        assert_eq!(ta, timeline_json(&b).expect("timeline armed"));
+        assert!(!ta.contains("wall"), "timeline must carry no wall times");
+        // Without --snapshot-s there is nothing to write.
+        assert!(timeline_json(&run(&[24], 3, 2, false, false)).is_none());
+    }
+
+    #[test]
+    fn bench_json_profile_counters_are_worker_invariant() {
+        let (_, a) = smoke_timed(1, false, false);
+        let (_, b) = smoke_timed(4, false, false);
+        let counters = |l: &FleetLoad| l.arms[0].outcome.profile().counters_json();
+        assert_eq!(counters(&a), counters(&b));
+        let doc = bench_json(&a, "smoke");
+        assert!(doc.contains("\"profile\": ["), "{doc}");
+        assert!(doc.contains("des.events_popped"), "{doc}");
     }
 
     #[test]

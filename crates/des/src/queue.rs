@@ -86,6 +86,10 @@ pub struct EventQueue<E> {
     live: usize,
     /// Tombstone entries still physically in the heap.
     dead: usize,
+    /// High-water mark of `live` — the queue-depth peak a run profiler
+    /// reports. Deterministic: a pure function of the schedule/cancel/
+    /// pop sequence.
+    live_peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -97,6 +101,7 @@ impl<E> Default for EventQueue<E> {
             next_seq: 0,
             live: 0,
             dead: 0,
+            live_peak: 0,
         }
     }
 }
@@ -119,6 +124,12 @@ impl<E> EventQueue<E> {
     /// regression test (and the `des_throughput` bench) can assert it.
     pub fn heap_occupancy(&self) -> usize {
         self.heap.len()
+    }
+
+    /// High-water mark of the live pending count over the queue's whole
+    /// lifetime — the depth peak the run profiler reports.
+    pub fn len_peak(&self) -> usize {
+        self.live_peak
     }
 
     /// Schedule `payload` at absolute time `at`.
@@ -145,6 +156,9 @@ impl<E> EventQueue<E> {
         };
         self.heap.push(HeapEntry { at, seq, slot });
         self.live += 1;
+        if self.live > self.live_peak {
+            self.live_peak = self.live;
+        }
         EventHandle {
             slot,
             generation: self.slots[slot as usize].generation,
@@ -368,6 +382,23 @@ mod tests {
         }
         assert!(q.is_empty());
         assert_eq!(q.heap_occupancy(), 0);
+    }
+
+    #[test]
+    fn len_peak_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len_peak(), 0);
+        let h1 = q.schedule(t(1), "a");
+        q.schedule(t(2), "b");
+        q.schedule(t(3), "c");
+        assert_eq!(q.len_peak(), 3);
+        q.cancel(h1);
+        q.pop();
+        // Peak is a lifetime high-water mark; draining doesn't lower it.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.len_peak(), 3);
+        q.schedule(t(4), "d");
+        assert_eq!(q.len_peak(), 3);
     }
 
     #[test]

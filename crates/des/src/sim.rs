@@ -69,6 +69,13 @@ impl<E> Executive<E> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending-event count — the queue-depth
+    /// peak a run profiler reports. Deterministic for a given event
+    /// sequence.
+    pub fn pending_peak(&self) -> usize {
+        self.queue.len_peak()
+    }
+
     /// Schedule an event at an absolute time. Panics if `at` is in the
     /// past — time travel would silently corrupt causality.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {

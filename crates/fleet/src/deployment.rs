@@ -87,6 +87,15 @@ pub struct FleetConfig {
     /// ([`st_net::replay`]). Off by default — recording buffers the
     /// full event history in memory.
     pub record_traces: bool,
+    /// Retain raw interruption sample vectors and drive aggregates from
+    /// exact [`st_metrics::Ecdf`]s instead of the constant-memory
+    /// [`st_metrics::QuantileSketch`]es. Off by default — opt in for
+    /// figure regeneration; memory grows O(samples).
+    pub exact_ecdfs: bool,
+    /// Emit a time-sliced telemetry snapshot every `dt` of simulated
+    /// time (the [`crate::SnapshotRing`] timeline). `None` (default)
+    /// records no timeline and schedules no snapshot events.
+    pub snapshot_interval: Option<SimDuration>,
 }
 
 impl FleetConfig {
@@ -135,6 +144,9 @@ impl FleetConfig {
         if self.spawn_x.0 >= self.spawn_x.1 || self.spawn_y.0 > self.spawn_y.1 {
             return Err("degenerate spawn region".into());
         }
+        if self.snapshot_interval.is_some_and(|dt| dt.as_nanos() == 0) {
+            return Err("snapshot interval must be positive".into());
+        }
         if self.record_traces && self.base.custom_ue_codebook.is_some() {
             // Replay rebuilds the codebook from the recorded
             // `BeamwidthClass`; a custom table would not round-trip.
@@ -159,6 +171,8 @@ pub struct Deployment {
     spawn_x: Option<(f64, f64)>,
     spawn_y: (f64, f64),
     record_traces: bool,
+    exact_ecdfs: bool,
+    snapshot_interval: Option<SimDuration>,
 }
 
 impl Default for Deployment {
@@ -184,6 +198,8 @@ impl Deployment {
             spawn_x: None,
             spawn_y: (-3.0, 3.0),
             record_traces: false,
+            exact_ecdfs: false,
+            snapshot_interval: None,
         }
     }
 
@@ -295,6 +311,25 @@ impl Deployment {
         self
     }
 
+    /// Retain raw interruption samples and drive aggregates from exact
+    /// ECDFs instead of sketches (see [`FleetConfig::exact_ecdfs`]).
+    pub fn exact_ecdfs(mut self, on: bool) -> Deployment {
+        self.exact_ecdfs = on;
+        self
+    }
+
+    /// Emit a telemetry snapshot slice every `dt` of simulated time
+    /// (see [`FleetConfig::snapshot_interval`]).
+    pub fn snapshot_interval(mut self, dt: SimDuration) -> Deployment {
+        self.snapshot_interval = Some(dt);
+        self
+    }
+
+    /// [`Self::snapshot_interval`] in seconds.
+    pub fn snapshot_interval_secs(self, s: f64) -> Deployment {
+        self.snapshot_interval(SimDuration::from_secs_f64(s))
+    }
+
     /// Override the UE spawn region.
     pub fn spawn_region(mut self, x: (f64, f64), y: (f64, f64)) -> Deployment {
         self.spawn_x = Some(x);
@@ -332,6 +367,8 @@ impl Deployment {
             spawn_x,
             spawn_y: self.spawn_y,
             record_traces: self.record_traces,
+            exact_ecdfs: self.exact_ecdfs,
+            snapshot_interval: self.snapshot_interval,
         };
         cfg.validate()?;
         Ok(cfg)

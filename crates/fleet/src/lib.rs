@@ -27,6 +27,10 @@
 //!   the aggregate byte-identical across *shard* counts too.
 //! * [`metrics`] — per-cell RACH collision rate / occasion occupancy and
 //!   fleet-wide interruption CDFs, flowing through `st_metrics`.
+//! * [`telemetry`] — streaming constant-memory observability: shard rings
+//!   of time-sliced [`SnapshotSlice`]s (mergeable quantile sketches plus
+//!   counters), surfaced as a timeline on [`FleetOutcome`] together with
+//!   the deterministic run profiler.
 //!
 //! ```
 //! use st_fleet::{Deployment, MobilityKind, run_fleet};
@@ -50,11 +54,13 @@ pub mod metrics;
 pub mod runner;
 pub mod sim;
 pub mod stage;
+pub mod telemetry;
 
 pub use deployment::{Deployment, FleetConfig, MobilityKind, PopulationSpec, UeSpec};
-pub use metrics::{CellLoad, FleetOutcome, ShardOutcome, StageReport};
+pub use metrics::{CellLoad, FleetOutcome, InterruptionStats, ShardOutcome, StageReport};
 pub use runner::{run_fleet, run_fleet_exact_with_order, run_fleet_with_workers, StageOrder};
 pub use stage::{RachAttemptMsg, RachReply, RachReq, SharedRachStage, StageCounters};
+pub use telemetry::{SnapshotRing, SnapshotSlice};
 
 #[cfg(test)]
 mod tests {

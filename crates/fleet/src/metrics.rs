@@ -6,10 +6,11 @@ use std::collections::BTreeSet;
 
 use st_des::SimDuration;
 use st_mac::responder::ResponderStats;
-use st_metrics::{Accumulator, Ecdf, Table};
+use st_metrics::{Accumulator, Ecdf, Profiler, QuantileSketch, Table};
 use st_net::UeTrace;
 
 use crate::stage::StageCounters;
+use crate::telemetry::SnapshotRing;
 
 /// RACH and backhaul load observed at one cell.
 #[derive(Debug, Clone, Copy, Default)]
@@ -75,9 +76,27 @@ pub struct ShardOutcome {
     /// globally shared occasion is counted once.
     pub occasion_instants: Vec<BTreeSet<u64>>,
     /// Soft-handover (make-before-break) interruptions, ms, in UE order.
+    /// Populated only under [`FleetConfig::exact_ecdfs`] — the streaming
+    /// default keeps no raw samples and the sketches below are the
+    /// source of quantiles.
+    ///
+    /// [`FleetConfig::exact_ecdfs`]: crate::FleetConfig::exact_ecdfs
     pub soft_interruptions_ms: Vec<f64>,
     /// Hard-handover (post-RLF reactive) interruptions, ms, in UE order.
+    /// Same retention rule as `soft_interruptions_ms`.
     pub hard_interruptions_ms: Vec<f64>,
+    /// Streaming soft-interruption sketch — always populated, fixed
+    /// size, mergeable across shards with byte-identical results.
+    pub soft_sketch: QuantileSketch,
+    /// Streaming hard-interruption sketch.
+    pub hard_sketch: QuantileSketch,
+    /// Time-sliced snapshot ring ([`FleetConfig::snapshot_interval`]).
+    ///
+    /// [`FleetConfig::snapshot_interval`]: crate::FleetConfig::snapshot_interval
+    pub timeline: Option<SnapshotRing>,
+    /// Deterministic work counters plus (non-deterministic, separately
+    /// surfaced) wall-time spans for this shard / the merged run.
+    pub profile: Profiler,
     pub ues: u64,
     pub handovers: u64,
     pub rlfs: u64,
@@ -143,9 +162,27 @@ impl FleetOutcome {
         // shared config; the exact-mode fixup below relies on that, so
         // capture the first shard's values to assert it.
         let mut first_occasions_total: Vec<u64> = Vec::new();
+        let mut timeline: Option<SnapshotRing> = None;
+        let mut timeline_ok = true;
         for mut s in shards {
             n_shards += 1;
             exact |= s.exact;
+            totals.soft_sketch.merge(&s.soft_sketch);
+            totals.hard_sketch.merge(&s.hard_sketch);
+            totals.profile.merge(&s.profile);
+            // Shard timelines share one shape (same config drives the
+            // compaction schedule); a mismatch means some shard was cut
+            // short (event-budget guard), in which case the timeline is
+            // dropped rather than reported wrong or panicked on.
+            if n_shards == 1 {
+                timeline = s.timeline.take();
+            } else {
+                match (timeline.as_mut(), s.timeline.as_ref()) {
+                    (Some(t), Some(r)) if t.compatible(r) => t.merge(r),
+                    (None, None) => {}
+                    _ => timeline_ok = false,
+                }
+            }
             if totals.per_cell.is_empty() {
                 totals.per_cell = vec![CellLoad::default(); s.per_cell.len()];
                 first_occasions_total = s.per_cell.iter().map(|c| c.occasions_total).collect();
@@ -184,6 +221,7 @@ impl FleetOutcome {
         // Shards interleave UEs round-robin; restore global id order so
         // the trace set is identical for every shard/worker split.
         totals.ue_traces.sort_by_key(|u| u.id);
+        totals.timeline = if timeline_ok { timeline } else { None };
         if exact {
             totals.exact = true;
             for (cell, t) in totals.per_cell.iter_mut().enumerate() {
@@ -303,16 +341,29 @@ impl FleetOutcome {
             )
             .unwrap();
         }
-        let quant = |v: &[f64]| -> String {
-            match Ecdf::new(v.to_vec()) {
-                Ok(e) => format!(
+        // Quantile source switch: raw samples when retained (exact-ECDF
+        // mode — reproduces the pre-sketch bytes exactly), the merged
+        // sketch otherwise. Same line format either way, and both are
+        // deterministic functions of (config, seed).
+        let quant = |v: &[f64], sk: &QuantileSketch| -> String {
+            if let Ok(e) = Ecdf::new(v.to_vec()) {
+                format!(
                     "n={} p50_ms={:.3} p95_ms={:.3} max_ms={:.3}",
                     e.len(),
                     e.median(),
                     e.quantile(0.95),
                     e.max()
-                ),
-                Err(_) => "n=0".into(),
+                )
+            } else if !sk.is_empty() {
+                format!(
+                    "n={} p50_ms={:.3} p95_ms={:.3} max_ms={:.3}",
+                    sk.count(),
+                    sk.quantile(0.5).unwrap_or(0.0),
+                    sk.quantile(0.95).unwrap_or(0.0),
+                    sk.max().unwrap_or(0.0)
+                )
+            } else {
+                "n=0".into()
             }
         };
         writeln!(
@@ -327,8 +378,18 @@ impl FleetOutcome {
             t.budget_exhausted_shards,
         )
         .unwrap();
-        writeln!(s, "soft {}", quant(&t.soft_interruptions_ms)).unwrap();
-        writeln!(s, "hard {}", quant(&t.hard_interruptions_ms)).unwrap();
+        writeln!(
+            s,
+            "soft {}",
+            quant(&t.soft_interruptions_ms, &t.soft_sketch)
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "hard {}",
+            quant(&t.hard_interruptions_ms, &t.hard_sketch)
+        )
+        .unwrap();
         s
     }
 
@@ -371,6 +432,165 @@ impl FleetOutcome {
     pub fn hard_interruption_summary(&self) -> Option<st_metrics::Summary> {
         summarize(&self.totals.hard_interruptions_ms)
     }
+
+    /// Soft-interruption quantiles — exact when raw samples were
+    /// retained, sketch-derived (bounded relative error) otherwise.
+    pub fn soft_stats(&self) -> Option<InterruptionStats> {
+        interruption_stats(&self.totals.soft_interruptions_ms, &self.totals.soft_sketch)
+    }
+
+    /// Hard-interruption quantiles; same sourcing rule as
+    /// [`FleetOutcome::soft_stats`].
+    pub fn hard_stats(&self) -> Option<InterruptionStats> {
+        interruption_stats(&self.totals.hard_interruptions_ms, &self.totals.hard_sketch)
+    }
+
+    /// The merged snapshot timeline, when the run was armed with
+    /// [`FleetConfig::snapshot_interval`].
+    ///
+    /// [`FleetConfig::snapshot_interval`]: crate::FleetConfig::snapshot_interval
+    pub fn timeline(&self) -> Option<&SnapshotRing> {
+        self.totals.timeline.as_ref()
+    }
+
+    /// The merged run profiler: deterministic work counters (asserted
+    /// byte-identical across worker counts) plus wall-time spans (not).
+    pub fn profile(&self) -> &Profiler {
+        &self.totals.profile
+    }
+
+    /// Render the merged timeline as deterministic JSON — the
+    /// `BENCH_fleet_timeline.json` artifact. Contains **no wall-clock
+    /// values**: every byte is a function of (config, seed), so CI can
+    /// `cmp` the file across worker counts.
+    ///
+    /// Schema (`st-fleet-timeline-v1`): `dt_s` is the effective slice
+    /// width after ring compaction (`base_dt_s` times a power of two);
+    /// `slices[i]` covers `[t_start_s, t_end_s)` with per-arm
+    /// interruption quantiles (`n/p50_ms/p95_ms/p99_ms/max_ms`, zero
+    /// when `n == 0`), interval counters (handovers, rlfs,
+    /// rach_attempts, preambles_tx, occasions_used, preambles_heard,
+    /// collisions, collision_rate, contention_losses, backhaul_wait_us)
+    /// and boundary gauges (backhaul_backlog_us, event_queue_depth).
+    pub fn timeline_json(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let ring = self.totals.timeline.as_ref()?;
+        let dt = ring.effective_interval();
+        let mut s = String::new();
+        writeln!(s, "{{").unwrap();
+        writeln!(s, "  \"schema\": \"st-fleet-timeline-v1\",").unwrap();
+        writeln!(s, "  \"seed\": {},", self.seed).unwrap();
+        writeln!(s, "  \"duration_s\": {:.6},", self.duration.as_secs_f64()).unwrap();
+        writeln!(
+            s,
+            "  \"base_dt_s\": {:.6},",
+            ring.base_interval().as_secs_f64()
+        )
+        .unwrap();
+        writeln!(s, "  \"dt_s\": {:.6},", dt.as_secs_f64()).unwrap();
+        writeln!(s, "  \"n_slices\": {},", ring.slices().len()).unwrap();
+        writeln!(s, "  \"slices\": [").unwrap();
+        let arm = |sk: &QuantileSketch| -> String {
+            if sk.is_empty() {
+                "{\"n\": 0, \"p50_ms\": 0.000, \"p95_ms\": 0.000, \
+                 \"p99_ms\": 0.000, \"max_ms\": 0.000}"
+                    .into()
+            } else {
+                format!(
+                    "{{\"n\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+                     \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}",
+                    sk.count(),
+                    sk.quantile(0.5).unwrap_or(0.0),
+                    sk.quantile(0.95).unwrap_or(0.0),
+                    sk.quantile(0.99).unwrap_or(0.0),
+                    sk.max().unwrap_or(0.0)
+                )
+            }
+        };
+        let n = ring.slices().len();
+        for (i, sl) in ring.slices().iter().enumerate() {
+            let t0 = dt.as_secs_f64() * i as f64;
+            let t1 = (dt.as_secs_f64() * (i + 1) as f64).min(self.duration.as_secs_f64());
+            writeln!(s, "    {{").unwrap();
+            writeln!(s, "      \"t_start_s\": {t0:.6}, \"t_end_s\": {t1:.6},").unwrap();
+            writeln!(s, "      \"soft\": {},", arm(&sl.soft)).unwrap();
+            writeln!(s, "      \"hard\": {},", arm(&sl.hard)).unwrap();
+            writeln!(
+                s,
+                "      \"handovers\": {}, \"rlfs\": {}, \"rach_attempts\": {},",
+                sl.handovers, sl.rlfs, sl.rach_attempts
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "      \"preambles_tx\": {}, \"occasions_used\": {}, \
+                 \"preambles_heard\": {},",
+                sl.preambles_tx, sl.occasions_used, sl.preambles_heard
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "      \"collisions\": {}, \"collision_rate\": {:.4}, \
+                 \"contention_losses\": {},",
+                sl.collisions,
+                sl.collision_rate(),
+                sl.contention_losses
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "      \"backhaul_wait_us\": {}, \"backhaul_backlog_us\": {}, \
+                 \"event_queue_depth\": {}",
+                sl.backhaul_wait_us, sl.backhaul_backlog_us, sl.event_queue_depth
+            )
+            .unwrap();
+            writeln!(s, "    }}{}", if i + 1 < n { "," } else { "" }).unwrap();
+        }
+        writeln!(s, "  ]").unwrap();
+        writeln!(s, "}}").unwrap();
+        Some(s)
+    }
+}
+
+/// Quantile surface of one interruption arm — the bench-table view that
+/// works in both retention modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterruptionStats {
+    pub n: u64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub mean_ms: f64,
+    pub max_ms: f64,
+    /// `true` when computed from retained raw samples (exact), `false`
+    /// when read off the streaming sketch (relative error ≤ its bound).
+    pub exact: bool,
+}
+
+fn interruption_stats(raw: &[f64], sk: &QuantileSketch) -> Option<InterruptionStats> {
+    if let Ok(e) = Ecdf::new(raw.to_vec()) {
+        return Some(InterruptionStats {
+            n: e.len() as u64,
+            p50_ms: e.median(),
+            p95_ms: e.quantile(0.95),
+            p99_ms: e.quantile(0.99),
+            mean_ms: raw.iter().sum::<f64>() / raw.len() as f64,
+            max_ms: e.max(),
+            exact: true,
+        });
+    }
+    if sk.is_empty() {
+        return None;
+    }
+    Some(InterruptionStats {
+        n: sk.count(),
+        p50_ms: sk.quantile(0.5).unwrap_or(0.0),
+        p95_ms: sk.quantile(0.95).unwrap_or(0.0),
+        p99_ms: sk.quantile(0.99).unwrap_or(0.0),
+        mean_ms: sk.mean().unwrap_or(0.0),
+        max_ms: sk.max().unwrap_or(0.0),
+        exact: false,
+    })
 }
 
 fn summarize(v: &[f64]) -> Option<st_metrics::Summary> {

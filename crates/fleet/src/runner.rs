@@ -35,7 +35,8 @@ use st_des::SimTime;
 use crate::deployment::FleetConfig;
 use crate::metrics::{FleetOutcome, ShardOutcome, StageReport};
 use crate::sim::{build_world, responder_config, run_shard, ShardSim};
-use crate::stage::{RachAttemptMsg, RachReply, SharedRachStage};
+use crate::stage::{RachAttemptMsg, RachReply, SharedRachStage, StageSliceDelta};
+use crate::telemetry::{SnapshotRing, SnapshotSlice};
 
 /// Deterministic-interleaving harness knob: the order a worker steps its
 /// shards and the order the resolution pass drains worker mailboxes.
@@ -88,23 +89,38 @@ pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome
     let (sites, ue_codebook) = build_world(cfg);
     let mut results: Vec<Option<ShardOutcome>> = (0..n_shards).map(|_| None).collect();
     let chunk = n_shards.div_ceil(workers);
+    // Wall-time spans are execution-side observations: summed across
+    // workers, kept out of every determinism-checked artifact.
+    let shard_run_ns = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for (w, slots) in results.chunks_mut(chunk).enumerate() {
-            let (sites, ue_codebook) = (&sites, &ue_codebook);
+            let (sites, ue_codebook, shard_run_ns) = (&sites, &ue_codebook, &shard_run_ns);
             scope.spawn(move || {
+                let t0 = Instant::now();
                 for (j, slot) in slots.iter_mut().enumerate() {
                     *slot = Some(run_shard(cfg, w * chunk + j, sites, ue_codebook));
                 }
+                shard_run_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
 
-    FleetOutcome::merge(
+    let t_merge = Instant::now();
+    let mut out = FleetOutcome::merge(
         cfg.base.seed,
         cfg.base.duration,
         results.into_iter().map(|r| r.expect("shard missing")),
-    )
+    );
+    out.totals.profile.record_span_nanos(
+        "shard.run",
+        u128::from(shard_run_ns.load(Ordering::Relaxed)),
+        n_shards as u64,
+    );
+    out.totals
+        .profile
+        .record_span_nanos("fleet.merge", t_merge.elapsed().as_nanos(), 1);
+    out
 }
 
 /// Barrier-synchronized exact-contention execution, with an explicit
@@ -129,11 +145,18 @@ pub fn run_fleet_exact_with_order(
         .map(|s| ShardSim::new(cfg, s, &sites, &ue_codebook))
         .collect();
 
-    let stage = Mutex::new(SharedRachStage::new(
+    let mut stage_raw = SharedRachStage::new(
         cfg.base.cells.len(),
         responder_config(&cfg.base),
         cfg.n_ues() as usize,
-    ));
+    );
+    if let Some(dt) = cfg.snapshot_interval {
+        // The per-shard responders are idle under the stage, so the
+        // timeline's responder-side fields come from the stage's own
+        // per-interval attribution.
+        stage_raw.arm_slices(dt);
+    }
+    let stage = Mutex::new(stage_raw);
     let epoch = stage.lock().unwrap().epoch();
     let deadline = SimTime::ZERO + cfg.base.duration;
     let n_epochs = cfg.base.duration.as_nanos().div_ceil(epoch.as_nanos());
@@ -147,6 +170,7 @@ pub fn run_fleet_exact_with_order(
     let shard_replies: Vec<Mutex<Vec<RachReply>>> =
         (0..n_shards).map(|_| Mutex::new(Vec::new())).collect();
     let barrier_wait_ns = AtomicU64::new(0);
+    let shard_run_ns = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for (w, my_sims) in sims.chunks_mut(chunk).enumerate() {
@@ -159,14 +183,17 @@ pub fn run_fleet_exact_with_order(
             );
             let step_order = order.permutation(my_sims.len());
             let drain_order = order.permutation(n_workers);
+            let shard_run_ns = &shard_run_ns;
             scope.spawn(move || {
                 let mut local: Vec<RachAttemptMsg> = Vec::new();
                 for k in 1..=n_epochs {
                     let horizon = (SimTime::ZERO + epoch * k).min(deadline);
+                    let t_step = Instant::now();
                     for &j in &step_order {
                         my_sims[j].run_until(horizon);
                         my_sims[j].take_outbox(&mut local);
                     }
+                    shard_run_ns.fetch_add(t_step.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     if !local.is_empty() {
                         mailboxes[w].lock().unwrap().append(&mut local);
                     }
@@ -201,18 +228,81 @@ pub fn run_fleet_exact_with_order(
     });
 
     let stage = stage.into_inner().unwrap();
+    let t_merge = Instant::now();
     let mut out = FleetOutcome::merge(
         cfg.base.seed,
         cfg.base.duration,
         sims.into_iter().map(ShardSim::finish),
     );
     out.apply_shared_responders(stage.responder_stats());
+    merge_stage_timeline(&mut out, &stage);
+    let counters = stage.counters();
     out.stage = Some(StageReport {
         epochs: n_epochs,
         barrier_wait_s: barrier_wait_ns.load(Ordering::Relaxed) as f64 * 1e-9,
-        counters: stage.counters(),
+        counters,
     });
+    // The stage counters are functions of the canonical attempt stream,
+    // so they belong with the deterministic profiler counters.
+    let c = &mut out.totals.profile.counters;
+    c.add("stage.resolved_preambles", counters.resolved_preambles);
+    c.add("stage.resolved_msg3", counters.resolved_msg3);
+    c.add("stage.busy_barriers", counters.busy_barriers);
+    let p = &mut out.totals.profile;
+    p.record_span_nanos(
+        "shard.run",
+        u128::from(shard_run_ns.load(Ordering::Relaxed)),
+        n_shards as u64,
+    );
+    p.record_span_nanos(
+        "stage.barrier_wait",
+        u128::from(barrier_wait_ns.load(Ordering::Relaxed)),
+        n_epochs * n_workers as u64,
+    );
+    p.record_span_nanos("fleet.merge", t_merge.elapsed().as_nanos(), 1);
     out
+}
+
+/// Fold the stage's per-interval responder deltas into the merged shard
+/// timeline as a pseudo-shard: a ring with the same shape (same base
+/// interval, capacity and push count compacts identically), whose slices
+/// carry only the responder-side fields the idle per-shard responders
+/// left at zero.
+fn merge_stage_timeline(out: &mut FleetOutcome, stage: &SharedRachStage) {
+    let Some(mut ring) = out.totals.timeline.take() else {
+        return;
+    };
+    fn fold(sl: &mut SnapshotSlice, d: &StageSliceDelta) {
+        sl.preambles_heard += d.preambles_heard;
+        sl.collisions += d.collisions;
+        sl.contention_losses += d.contention_losses;
+        sl.backhaul_wait_us += d.backhaul_wait_us;
+    }
+    let deltas = stage.slice_deltas();
+    let pushed = ring.pushed();
+    let mut sr = SnapshotRing::new(ring.base_interval(), ring.cap());
+    for k in 0..pushed {
+        let mut sl = SnapshotSlice::new();
+        if let Some(d) = deltas.get(&k) {
+            fold(&mut sl, d);
+        }
+        if k + 1 == pushed {
+            // Attempts arrive one air delay after the sending event, so
+            // the last few can land past the final boundary; fold any
+            // overflow indices into the final slice.
+            for d in deltas.range(pushed..).map(|(_, d)| d) {
+                fold(&mut sl, d);
+            }
+        }
+        sr.push(sl);
+    }
+    sr.finish();
+    if ring.compatible(&sr) {
+        ring.merge(&sr);
+        out.totals.timeline = Some(ring);
+    }
+    // Incompatible shapes (only possible if a shard was cut short by the
+    // event-budget guard) drop the timeline rather than report it wrong.
 }
 
 #[cfg(test)]

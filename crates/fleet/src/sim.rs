@@ -45,9 +45,12 @@ use st_phy::units::Dbm;
 
 use st_net::config::ScenarioConfig;
 
+use st_metrics::{Profiler, QuantileSketch};
+
 use crate::deployment::{nearest_cell, FleetConfig, MobilityKind, UeSpec};
 use crate::metrics::{CellLoad, ShardOutcome};
 use crate::stage::{RachAttemptMsg, RachReply, RachReq};
+use crate::telemetry::{SnapshotRing, SnapshotSlice};
 
 /// Short over-the-air + processing delays (as in the single-UE executor).
 const AIR_DELAY: SimDuration = SimDuration::from_micros(500);
@@ -87,6 +90,13 @@ enum Ev {
     RachTry {
         ue: u32,
     },
+    /// Telemetry boundary `k` (at `k * snapshot_interval`): seal the
+    /// current [`SnapshotSlice`] and chain the next boundary. The
+    /// handler only reads counters — it consumes no RNG draws, so
+    /// arming snapshots never perturbs the simulated outcome.
+    Snapshot {
+        k: u64,
+    },
 }
 
 /// In-flight random access towards a handover target.
@@ -125,6 +135,10 @@ struct Ue {
     rach_attempts: u64,
     dwells_banked: u64,
     nrba_banked: u64,
+    /// Raw interruption samples — retained (and allocated) only under
+    /// [`FleetConfig::exact_ecdfs`]; the streaming default records into
+    /// the shard's constant-memory sketches instead, so fleet metric
+    /// memory stays O(cells × buckets), not O(samples).
     interruptions_ms: Vec<f64>,
 }
 
@@ -180,6 +194,42 @@ struct FleetWorld {
     shard_idx: u32,
     /// Attempts published this epoch, drained at each barrier.
     outbox: Vec<RachAttemptMsg>,
+    telemetry: Telemetry,
+}
+
+/// Streaming per-shard telemetry. Every field is constant-size: the
+/// sketches are fixed bucket arrays, the ring is bounded by its
+/// compaction cap, and the rest are scalars — nothing grows with the
+/// number of recorded samples.
+struct Telemetry {
+    /// Run-level interruption sketches (the streaming replacement for
+    /// the raw per-UE sample vectors), one per protocol arm.
+    soft: QuantileSketch,
+    hard: QuantileSketch,
+    /// Time-sliced snapshots, armed by [`FleetConfig::snapshot_interval`].
+    ring: Option<SnapshotRing>,
+    /// The slice accumulating since the last sealed boundary.
+    cur: SnapshotSlice,
+    /// Responder-counter baseline at the last sealed boundary:
+    /// (preambles heard, collisions, contention losses, backhaul wait ns).
+    /// Sealing records the delta, so slices stay differences not totals.
+    last_resp: (u64, u64, u64, u64),
+    /// Steady-state allocation violations: how often a reused scratch
+    /// buffer (sweep scratch, exact-mode outbox) actually had to grow.
+    scratch_growth: u64,
+}
+
+/// Sum the per-cell responder counters that feed snapshot slices.
+fn responder_sum(responders: &[RachResponder]) -> (u64, u64, u64, u64) {
+    let mut s = (0u64, 0u64, 0u64, 0u64);
+    for r in responders {
+        let st = r.stats();
+        s.0 += st.preambles_heard;
+        s.1 += st.collisions;
+        s.2 += st.contention_losses;
+        s.3 += st.backhaul_queue_wait.as_nanos();
+    }
+    s
 }
 
 /// The BS responder timing shared by the per-shard responders (legacy
@@ -358,6 +408,16 @@ impl ShardSim {
             exact: cfg.exact_contention,
             shard_idx: shard_idx as u32,
             outbox: Vec::new(),
+            telemetry: Telemetry {
+                soft: QuantileSketch::latency_ms(),
+                hard: QuantileSketch::latency_ms(),
+                ring: cfg
+                    .snapshot_interval
+                    .map(|dt| SnapshotRing::new(dt, SnapshotRing::DEFAULT_CAP)),
+                cur: SnapshotSlice::new(),
+                last_resp: (0, 0, 0, 0),
+                scratch_growth: 0,
+            },
             cfg: cfg.clone(),
         };
 
@@ -369,6 +429,9 @@ impl ShardSim {
         );
         ex.schedule_in(SimDuration::from_millis(1), Ev::ServingMeas);
         ex.schedule_in(SimDuration::from_micros(500), Ev::Tick);
+        if let Some(dt) = cfg.snapshot_interval {
+            ex.schedule_at(SimTime::ZERO + dt, Ev::Snapshot { k: 1 });
+        }
 
         ShardSim {
             world,
@@ -428,8 +491,14 @@ impl ShardSim {
     }
 
     pub(crate) fn finish(self) -> ShardOutcome {
-        self.world
-            .collect(self.ex.events_processed(), self.budget_exhausted)
+        let pending = self.ex.pending() as u64;
+        let pending_peak = self.ex.pending_peak() as u64;
+        self.world.collect(
+            self.ex.events_processed(),
+            self.budget_exhausted,
+            pending,
+            pending_peak,
+        )
     }
 }
 
@@ -492,7 +561,48 @@ impl FleetWorld {
                 );
             }
             Ev::RachTry { ue } => self.on_rach_try(ex, now, ue as usize),
+            Ev::Snapshot { k } => {
+                // Depth sampled before the next boundary is armed, so the
+                // chain itself never inflates the gauge.
+                let depth = ex.pending() as u64;
+                self.seal_slice(now, depth);
+                let dt = self
+                    .cfg
+                    .snapshot_interval
+                    .expect("Snapshot event only armed with an interval");
+                if dt * (k + 1) <= self.cfg.base.duration {
+                    ex.schedule_at(SimTime::ZERO + dt * (k + 1), Ev::Snapshot { k: k + 1 });
+                }
+            }
         }
+    }
+
+    /// Seal the accumulating slice at a snapshot boundary (or at the end
+    /// of the run, for a partial tail): fold in the delta of the
+    /// responder counters since the previous boundary, sample the two
+    /// gauges, and push the slice into the ring. In exact-contention
+    /// mode the per-shard responders are idle, so the responder-side
+    /// fields stay zero here and the shared stage's slice ring supplies
+    /// them at merge time.
+    fn seal_slice(&mut self, now: SimTime, event_queue_depth: u64) {
+        if self.telemetry.ring.is_none() {
+            return;
+        }
+        let mut slice = std::mem::take(&mut self.telemetry.cur);
+        let sum = responder_sum(&self.responders);
+        let last = self.telemetry.last_resp;
+        slice.preambles_heard = sum.0 - last.0;
+        slice.collisions = sum.1 - last.1;
+        slice.contention_losses = sum.2 - last.2;
+        slice.backhaul_wait_us = (sum.3 - last.3) / 1_000;
+        self.telemetry.last_resp = sum;
+        slice.backhaul_backlog_us = self
+            .responders
+            .iter()
+            .map(|r| r.backhaul_backlog(now).as_nanos() / 1_000)
+            .sum();
+        slice.event_queue_depth = event_queue_depth;
+        self.telemetry.ring.as_mut().unwrap().push(slice);
     }
 
     // ----- physics ----------------------------------------------------------
@@ -555,6 +665,9 @@ impl FleetWorld {
                     continue;
                 }
                 let n_beams = self.cfg.base.cells[cell].n_tx_beams as usize;
+                if n_beams > self.sweep_scratch.capacity() {
+                    self.telemetry.scratch_growth += 1;
+                }
                 self.sweep_scratch.resize(n_beams, Dbm(f64::NEG_INFINITY));
                 let ue = &mut self.ues[i];
                 let pose = ue.pose_at(now);
@@ -620,6 +733,7 @@ impl FleetWorld {
                 if ue.rlf_count >= needed && !ue.rlf_declared {
                     ue.rlf_declared = true;
                     ue.rlfs += 1;
+                    self.telemetry.cur.rlfs += 1;
                     ue.rlf_at = Some(now);
                     let actions = ue.proto.handle(Input::ServingLinkLost { at: now });
                     self.apply_actions(ex, now, i, actions);
@@ -765,7 +879,10 @@ impl FleetWorld {
             // Offered-load accounting: every transmission counts, whether
             // or not the BS ends up hearing it.
             self.preambles_tx[cell] += 1;
-            self.occasions_used[cell].insert(now.as_nanos());
+            self.telemetry.cur.preambles_tx += 1;
+            if self.occasions_used[cell].insert(now.as_nanos()) {
+                self.telemetry.cur.occasions_used += 1;
+            }
         }
         let r = self.link_rss(i, now, cell, tx_beam, rx_beam);
         let faulted = self.ues[i].fault_rng.random::<f64>()
@@ -780,6 +897,9 @@ impl FleetWorld {
                     // Published to the shared cross-shard stage instead of
                     // this shard's responder; the resolved reply fans back
                     // as a plain `UeRx` after the next occasion barrier.
+                    if self.outbox.len() == self.outbox.capacity() {
+                        self.telemetry.scratch_growth += 1;
+                    }
                     self.outbox.push(req);
                     return;
                 }
@@ -857,6 +977,7 @@ impl FleetWorld {
         match rach.proc.send_preamble(now, ssb_beam, preamble) {
             Ok(msg1) => {
                 self.ues[i].rach_attempts += 1;
+                self.telemetry.cur.rach_attempts += 1;
                 self.send_to_bs(ex, now, i, target, msg1);
             }
             Err(_) => self.abort_rach(ex, now, i),
@@ -902,9 +1023,23 @@ impl FleetWorld {
             _ => ue.rlf_at.or(ue.trigger_at),
         };
         if let Some(s) = start {
-            ue.interruptions_ms.push(done_at.since(s).as_millis_f64());
+            let ms = done_at.since(s).as_millis_f64();
+            match ue.spec.protocol {
+                ProtocolKind::SilentTracker => {
+                    self.telemetry.soft.record(ms);
+                    self.telemetry.cur.soft.record(ms);
+                }
+                ProtocolKind::Reactive => {
+                    self.telemetry.hard.record(ms);
+                    self.telemetry.cur.hard.record(ms);
+                }
+            }
+            if self.cfg.exact_ecdfs {
+                ue.interruptions_ms.push(ms);
+            }
         }
         ue.handovers += 1;
+        self.telemetry.cur.handovers += 1;
         self.handovers_in[rach.target] += 1;
         ue.serving = rach.target;
         // The target BS served the whole RACH exchange on the SSB beam
@@ -998,7 +1133,25 @@ impl FleetWorld {
 
     // ----- result collection ------------------------------------------------
 
-    fn collect(mut self, events: u64, budget_exhausted: bool) -> ShardOutcome {
+    fn collect(
+        mut self,
+        events: u64,
+        budget_exhausted: bool,
+        pending: u64,
+        pending_peak: u64,
+    ) -> ShardOutcome {
+        // A duration that is not a whole number of snapshot intervals
+        // leaves a partial tail slice; seal it with end-of-run gauges so
+        // the timeline covers the full run.
+        if let Some(dt) = self.cfg.snapshot_interval {
+            if self.cfg.base.duration.as_nanos() % dt.as_nanos() != 0 {
+                let end = SimTime::ZERO + self.cfg.base.duration;
+                self.seal_slice(end, pending);
+            }
+        }
+        if let Some(ring) = self.telemetry.ring.as_mut() {
+            ring.finish();
+        }
         let occasions_per_cell = |cell: usize| {
             let ssb = self.cfg.base.ssb(cell);
             (self.cfg.base.duration.as_nanos() / ssb.burst_period.as_nanos())
@@ -1026,12 +1179,17 @@ impl FleetWorld {
             occasion_instants: std::mem::take(&mut self.occasions_used),
             ..ShardOutcome::default()
         };
+        let mut traces_cast = 0u64;
+        let mut rays_tested = 0u64;
         for ue in &mut self.ues {
             ue.bank_proto();
             if let Some(rec) = ue.proto.finish_recording() {
                 out.ue_traces
                     .push(rec.into_trace(ue.spec.id, ue.uid.0, ue.spec.protocol));
             }
+            let ls = ue.links.stats();
+            traces_cast += ls.traces_cast;
+            rays_tested += ls.rays_tested;
             out.handovers += ue.handovers;
             out.rlfs += ue.rlfs;
             out.rach_attempts += ue.rach_attempts;
@@ -1046,6 +1204,35 @@ impl FleetWorld {
                     .extend(ue.interruptions_ms.iter().copied()),
             }
         }
+        // Deterministic work counters: every value here is a pure
+        // function of the simulated run, so merged profiles must be
+        // byte-identical across worker counts (wall-time spans are kept
+        // separate and carry no such contract).
+        let mut profile = Profiler::default();
+        profile.counters.add("phy.traces_cast", traces_cast);
+        profile.counters.add("phy.rays_tested", rays_tested);
+        profile.counters.add("des.events_popped", events);
+        profile
+            .counters
+            .set_max("des.event_queue_peak", pending_peak);
+        profile
+            .counters
+            .add("fleet.scratch_growth", self.telemetry.scratch_growth);
+        if let Some(ring) = &self.telemetry.ring {
+            profile.counters.add("obs.snapshot_slices", ring.pushed());
+        }
+        out.profile = profile;
+        out.soft_sketch = std::mem::take(&mut self.telemetry.soft);
+        out.hard_sketch = std::mem::take(&mut self.telemetry.hard);
+        out.timeline = self.telemetry.ring.take();
+        // The constant-memory contract: unless the exact-ECDF opt-in is
+        // armed, no per-handover sample vector may leave the shard —
+        // quantiles travel only through the fixed-size sketches.
+        debug_assert!(
+            self.cfg.exact_ecdfs
+                || (out.soft_interruptions_ms.is_empty() && out.hard_interruptions_ms.is_empty()),
+            "raw interruption samples retained without exact_ecdfs"
+        );
         out
     }
 }

@@ -46,6 +46,8 @@
 //! occasions allocates nothing once warm (asserted by
 //! `tests/zero_alloc.rs`).
 
+use std::collections::BTreeMap;
+
 use st_des::{SimDuration, SimTime};
 use st_mac::pdu::{Pdu, UeId};
 use st_mac::responder::{PreambleRx, RachResponder, RarPlan, ResponderConfig, ResponderStats};
@@ -122,6 +124,20 @@ pub struct StageCounters {
     pub busy_barriers: u64,
 }
 
+/// Responder-side counter deltas the stage attributes to one base
+/// snapshot interval (exact-contention runs only): in exact mode the
+/// per-shard responders are idle, so the timeline's responder-side
+/// fields have to come from here. The attribution is canonical —
+/// interval index = attempt instant ÷ base interval — so it is
+/// identical across worker and shard counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageSliceDelta {
+    pub preambles_heard: u64,
+    pub collisions: u64,
+    pub contention_losses: u64,
+    pub backhaul_wait_us: u64,
+}
+
 /// The shared cross-shard responder stage: one [`RachResponder`] per
 /// cell, fed the globally merged, canonically ordered attempt stream.
 #[derive(Debug)]
@@ -136,6 +152,11 @@ pub struct SharedRachStage {
     rar_out: Vec<Option<RarPlan>>,
     counters: StageCounters,
     min_reply_delay: SimDuration,
+    /// Snapshot-slice attribution ([`SharedRachStage::arm_slices`]):
+    /// base interval and per-interval counter deltas, keyed by interval
+    /// index.
+    slice_dt: Option<SimDuration>,
+    slice_deltas: BTreeMap<u64, StageSliceDelta>,
 }
 
 impl SharedRachStage {
@@ -155,7 +176,39 @@ impl SharedRachStage {
             rar_out: Vec::with_capacity(cap),
             counters: StageCounters::default(),
             min_reply_delay: config.rar_delay.min(config.msg4_delay),
+            slice_dt: None,
+            slice_deltas: BTreeMap::new(),
         }
+    }
+
+    /// Attribute responder-side counter changes to snapshot intervals of
+    /// width `dt` (the fleet's base snapshot interval). Call before the
+    /// first barrier; the per-interval deltas are read back with
+    /// [`SharedRachStage::slice_deltas`] and merged into the shard
+    /// timeline as a pseudo-shard.
+    pub fn arm_slices(&mut self, dt: SimDuration) {
+        assert!(dt.as_nanos() > 0, "snapshot interval must be positive");
+        self.slice_dt = Some(dt);
+    }
+
+    /// Per-interval responder counter deltas accumulated since
+    /// [`SharedRachStage::arm_slices`], keyed by interval index.
+    pub fn slice_deltas(&self) -> &BTreeMap<u64, StageSliceDelta> {
+        &self.slice_deltas
+    }
+
+    /// Sum of the per-cell responder counters that feed slice deltas:
+    /// (preambles heard, collisions, contention losses, backhaul wait ns).
+    fn stats_snapshot(&self) -> (u64, u64, u64, u64) {
+        let mut s = (0u64, 0u64, 0u64, 0u64);
+        for r in &self.responders {
+            let st = r.stats();
+            s.0 += st.preambles_heard;
+            s.1 += st.collisions;
+            s.2 += st.contention_losses;
+            s.3 += st.backhaul_queue_wait.as_nanos();
+        }
+        s
     }
 
     /// The barrier spacing this stage is safe under: replies to attempts
@@ -206,6 +259,8 @@ impl SharedRachStage {
             while j < due && self.holding[j].at == at {
                 j += 1;
             }
+            // Snapshot-slice attribution brackets this instant's work.
+            let before = self.slice_dt.map(|_| self.stats_snapshot());
 
             // Merged-occasion resolution per cell: gather the instant's
             // preambles for each cell (already in canonical UE order) and
@@ -282,6 +337,17 @@ impl SharedRachStage {
                         );
                     }
                 }
+            }
+            if let (Some(dt), Some(b)) = (self.slice_dt, before) {
+                let a = self.stats_snapshot();
+                let d = self
+                    .slice_deltas
+                    .entry(at.as_nanos() / dt.as_nanos())
+                    .or_default();
+                d.preambles_heard += a.0 - b.0;
+                d.collisions += a.1 - b.1;
+                d.contention_losses += a.2 - b.2;
+                d.backhaul_wait_us += (a.3 - b.3) / 1_000;
             }
             i = j;
         }

@@ -314,6 +314,17 @@ impl RachResponder {
         self.stats
     }
 
+    /// How far into the future the backhaul pipe is already committed
+    /// at `now` — the instantaneous queue-depth gauge a telemetry
+    /// snapshot reads. Zero when the pipe is idle.
+    pub fn backhaul_backlog(&self, now: SimTime) -> SimDuration {
+        if self.backhaul_busy_until > now {
+            self.backhaul_busy_until.since(now)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
     /// Handle Msg1. Returns the RAR plan, or `None` when admission
     /// control rejects the preamble (the mobile's RAR window will lapse
     /// and it retries — exactly the congestion behaviour of real PRACH).

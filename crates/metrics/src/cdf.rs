@@ -24,8 +24,9 @@ impl Ecdf {
         self.sorted.len()
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        false // construction rejects empty sets
+        self.sorted.is_empty()
     }
 
     /// P(X ≤ x).

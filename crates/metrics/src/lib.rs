@@ -9,15 +9,28 @@
 //!   success rates (Fig. 2a right).
 //! * [`series::TimeSeries`] — time-stamped RSS/alignment traces.
 //! * [`table`] — aligned ASCII tables and CSV export for bench output.
+//!
+//! Plus the streaming observability layer used by fleet-scale runs:
+//!
+//! * [`sketch::QuantileSketch`] — mergeable log-bucketed quantile
+//!   sketches with bounded relative error (constant memory, replaces
+//!   raw-sample ECDFs in fleet hot paths).
+//! * [`obs`] — deterministic run profiler: monotonic counters (byte-
+//!   identical across worker counts) + wall-time spans (reported
+//!   separately so determinism tests can mask them).
 
 pub mod cdf;
 pub mod histogram;
+pub mod obs;
 pub mod series;
+pub mod sketch;
 pub mod summary;
 pub mod table;
 
 pub use cdf::Ecdf;
 pub use histogram::Histogram;
+pub use obs::{Counters, Profiler, Scope, SpanStat};
 pub use series::TimeSeries;
+pub use sketch::QuantileSketch;
 pub use summary::{Accumulator, RateCounter, Summary};
 pub use table::{render_series, Table};

@@ -1,0 +1,254 @@
+//! Deterministic run profiler — wall-time spans plus monotonic counters.
+//!
+//! A [`Profiler`] carries two kinds of telemetry with different
+//! determinism contracts:
+//!
+//! * **Counters** ([`Counters`]) are pure functions of the simulated
+//!   event sequence (traces cast, rays tested, events popped, barrier
+//!   epochs, alloc-free-path violations). They merge shard-order
+//!   deterministically and are byte-identical across worker counts —
+//!   CI asserts this.
+//! * **Spans** (via [`Profiler::scope`]) measure wall-clock time and
+//!   are machine-dependent by nature. They are kept in a separate
+//!   section ([`Profiler::wall_json`]) so determinism tests can mask
+//!   them while perf tracking still sees where time went.
+//!
+//! Merge rule: counters add, except keys ending in `_peak`, which take
+//! the max — a per-shard high-water mark (e.g. event-queue depth) is a
+//! max across shards, not a sum.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Monotonic, simulation-deterministic counters keyed by static names.
+///
+/// Backed by a `BTreeMap` so iteration (and therefore JSON rendering)
+/// is in canonical key order regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `n` to `key` (creating it at zero).
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.map.entry(key).or_insert(0) += n;
+    }
+
+    /// Raise `key` to at least `v` — for `_peak`-style high-water marks.
+    pub fn set_max(&mut self, key: &'static str, v: u64) {
+        let e = self.map.entry(key).or_insert(0);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merge another counter set: values add, except keys ending in
+    /// `_peak` which take the max (per-shard high-water marks).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.map {
+            if k.ends_with("_peak") {
+                self.set_max(k, *v);
+            } else {
+                self.add(k, *v);
+            }
+        }
+    }
+
+    /// Canonical JSON object — deterministic: sorted keys, integer
+    /// values, no whitespace variation. Safe to byte-compare.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{k}\": {v}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Accumulated wall-clock time for one named span.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStat {
+    pub calls: u64,
+    pub nanos: u128,
+}
+
+impl SpanStat {
+    pub fn secs(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+}
+
+/// Per-shard (or per-run) profile: deterministic counters + wall spans.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    pub counters: Counters,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl Profiler {
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Open a wall-time span; the elapsed time is recorded under `name`
+    /// when the returned [`Scope`] drops.
+    pub fn scope(&mut self, name: &'static str) -> Scope<'_> {
+        Scope {
+            profiler: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Record an externally measured span (e.g. a barrier wait summed
+    /// across workers) without going through a [`Scope`].
+    pub fn record_span_nanos(&mut self, name: &'static str, nanos: u128, calls: u64) {
+        let e = self.spans.entry(name).or_default();
+        e.calls += calls;
+        e.nanos += nanos;
+    }
+
+    pub fn span(&self, name: &str) -> Option<SpanStat> {
+        self.spans.get(name).copied()
+    }
+
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, SpanStat)> + '_ {
+        self.spans.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merge a shard profile: counters per the [`Counters::merge`]
+    /// rule, span calls and nanos added.
+    pub fn merge(&mut self, other: &Profiler) {
+        self.counters.merge(&other.counters);
+        for (k, v) in &other.spans {
+            let e = self.spans.entry(k).or_default();
+            e.calls += v.calls;
+            e.nanos += v.nanos;
+        }
+    }
+
+    /// Deterministic counter section — byte-comparable across runs.
+    pub fn counters_json(&self) -> String {
+        self.counters.to_json()
+    }
+
+    /// Wall-clock section — machine-dependent; reported separately so
+    /// determinism checks can mask it.
+    pub fn wall_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "\"{k}\": {{\"calls\": {}, \"secs\": {:.6}}}",
+                v.calls,
+                v.secs()
+            );
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// RAII wall-time span; records into its [`Profiler`] on drop.
+pub struct Scope<'a> {
+    profiler: &'a mut Profiler,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        let nanos = self.start.elapsed().as_nanos();
+        self.profiler.record_span_nanos(self.name, nanos, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_sums_and_peaks_max() {
+        let mut a = Counters::new();
+        a.add("des.events_popped", 10);
+        a.set_max("des.event_queue_peak", 7);
+        let mut b = Counters::new();
+        b.add("des.events_popped", 5);
+        b.set_max("des.event_queue_peak", 3);
+        b.add("phy.traces_cast", 2);
+        a.merge(&b);
+        assert_eq!(a.get("des.events_popped"), 15);
+        assert_eq!(a.get("des.event_queue_peak"), 7);
+        assert_eq!(a.get("phy.traces_cast"), 2);
+    }
+
+    #[test]
+    fn counters_json_is_sorted_and_canonical() {
+        let mut c = Counters::new();
+        c.add("zeta", 1);
+        c.add("alpha", 2);
+        assert_eq!(c.to_json(), "{\"alpha\": 2, \"zeta\": 1}");
+    }
+
+    #[test]
+    fn scope_records_span() {
+        let mut p = Profiler::new();
+        {
+            let _s = p.scope("work");
+        }
+        {
+            let _s = p.scope("work");
+        }
+        let s = p.span("work").unwrap();
+        assert_eq!(s.calls, 2);
+    }
+
+    #[test]
+    fn profiler_merge_combines_both_sections() {
+        let mut a = Profiler::new();
+        a.counters.add("x", 1);
+        a.record_span_nanos("run", 1_000, 1);
+        let mut b = Profiler::new();
+        b.counters.add("x", 2);
+        b.record_span_nanos("run", 2_000, 3);
+        a.merge(&b);
+        assert_eq!(a.counters.get("x"), 3);
+        let s = a.span("run").unwrap();
+        assert_eq!(s.calls, 4);
+        assert_eq!(s.nanos, 3_000);
+    }
+
+    #[test]
+    fn wall_json_lists_spans() {
+        let mut p = Profiler::new();
+        p.record_span_nanos("merge", 500_000_000, 2);
+        let j = p.wall_json();
+        assert!(j.contains("\"merge\""));
+        assert!(j.contains("\"calls\": 2"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Mergeable, fixed-size quantile sketches — streaming replacements for
+//! raw-sample [`crate::Ecdf`]s in fleet-scale runs.
+//!
+//! A [`QuantileSketch`] is a log-bucketed histogram in the DDSketch
+//! family: bucket `k` covers `(γ^(k-1), γ^k]` with `γ = (1+α)/(1-α)`,
+//! and a value in bucket `k` is estimated by the bucket's harmonic
+//! midpoint `2γ^k / (γ+1)`, which guarantees a *relative* error of at
+//! most `α` for any quantile — independent of how many samples were
+//! recorded. Memory is a fixed `O(log(hi/lo) / log γ)` array of integer
+//! counters (≈ 190 buckets ≈ 1.5 KB for the latency preset), so fleet
+//! metric state is O(cells × buckets), not O(samples).
+//!
+//! Merging two sketches adds their bucket counters: merge is
+//! associative and commutative, so shard-order merges produce
+//! byte-identical aggregates regardless of worker count — the fleet
+//! determinism contract extends to sketched telemetry unchanged.
+
+/// A log-bucketed quantile sketch with bounded relative error.
+///
+/// Bucket boundaries and counter layout are fixed at construction; two
+/// sketches built by [`QuantileSketch::new`] (or the same preset) with
+/// identical parameters can always be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative-error bound α.
+    alpha: f64,
+    /// ln γ where γ = (1+α)/(1-α).
+    ln_gamma: f64,
+    /// Lowest indexed bucket: k_lo = ceil(ln lo / ln γ).
+    k_lo: i64,
+    /// Counts for buckets k_lo..=k_hi; index 0 is the underflow bucket
+    /// (values in `(-inf, γ^(k_lo-1)]`), the last index is the overflow
+    /// bucket (values above `γ^k_hi`).
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact extrema, tracked alongside the buckets so `min` and `max`
+    /// stay exact and quantile estimates can be clamped into the
+    /// observed range. No floating-point running sum is kept: every
+    /// field merges with an exactly associative operation (integer add
+    /// / f64 min / f64 max), so merge order can never perturb a byte.
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch covering `[lo, hi]` with relative-error bound `alpha`.
+    ///
+    /// Values below `lo` land in an underflow bucket (reported as the
+    /// exact minimum), values above `hi` in an overflow bucket
+    /// (reported as the exact maximum); everything in between carries
+    /// the `alpha` guarantee.
+    pub fn new(alpha: f64, lo: f64, hi: f64) -> QuantileSketch {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let ln_gamma = gamma.ln();
+        let k_lo = (lo.ln() / ln_gamma).ceil() as i64;
+        let k_hi = (hi.ln() / ln_gamma).ceil() as i64;
+        let n = (k_hi - k_lo + 1) as usize + 2; // + underflow + overflow
+        QuantileSketch {
+            alpha,
+            ln_gamma,
+            k_lo,
+            counts: vec![0; n],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The preset used for fleet latency/interruption telemetry:
+    /// 5% relative error over 1 µs .. 100 s, expressed in milliseconds.
+    pub fn latency_ms() -> QuantileSketch {
+        QuantileSketch::new(0.05, 1e-3, 1e5)
+    }
+
+    /// Two sketches merge (and compare) only if they share a layout.
+    pub fn same_layout(&self, other: &QuantileSketch) -> bool {
+        self.alpha == other.alpha
+            && self.k_lo == other.k_lo
+            && self.counts.len() == other.counts.len()
+    }
+
+    /// Record one sample. Non-finite values are ignored.
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` copies of a sample in O(1).
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if !v.is_finite() || n == 0 {
+            return;
+        }
+        let idx = self.bucket_index(v);
+        self.counts[idx] += n;
+        self.total += n;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn bucket_index(&self, v: f64) -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let k = (v.ln() / self.ln_gamma).ceil() as i64;
+        let last = self.counts.len() as i64 - 1;
+        // Shift into the dense array: bucket k_lo sits at index 1.
+        (k - self.k_lo + 1).clamp(0, last) as usize
+    }
+
+    /// Merge another sketch into this one (bucket-wise addition).
+    /// Associative and commutative; panics if the layouts differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.same_layout(other),
+            "merging sketches with different layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact minimum of the recorded samples; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact maximum of the recorded samples; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Estimated mean, computed from bucket midpoints at query time —
+    /// within the relative-error bound for in-range samples, and a
+    /// pure function of the merged state (so merge order cannot
+    /// perturb it). `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| c as f64 * self.bucket_value(i))
+            .sum();
+        Some(sum / self.total as f64)
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), nearest-rank over bucket counts —
+    /// the same rank convention as [`crate::Ecdf::quantile`], so the
+    /// estimate differs from the exact value by at most
+    /// [`Self::relative_error_bound`]. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bucket_value(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Harmonic-midpoint estimate for bucket `i`, clamped to the exact
+    /// observed range (which also resolves under/overflow buckets).
+    fn bucket_value(&self, i: usize) -> f64 {
+        if i == 0 {
+            return self.min;
+        }
+        if i == self.counts.len() - 1 {
+            return self.max;
+        }
+        let k = self.k_lo + (i as i64 - 1);
+        let gamma_k = (k as f64 * self.ln_gamma).exp();
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        (2.0 * gamma_k / (gamma + 1.0)).clamp(self.min, self.max)
+    }
+
+    /// The guaranteed relative-error bound α for in-range quantiles.
+    pub fn relative_error_bound(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of buckets (including under/overflow).
+    pub fn n_buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Heap bytes held by the counter array — the whole O(buckets)
+    /// footprint; independent of how many samples were recorded.
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// The default sketch is the fleet latency preset, so aggregate structs
+/// holding sketches can keep `#[derive(Default)]`.
+impl Default for QuantileSketch {
+    fn default() -> QuantileSketch {
+        QuantileSketch::latency_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ecdf;
+
+    /// Deterministic pseudo-samples spanning several decades.
+    fn samples(n: usize) -> Vec<f64> {
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                // Log-uniform over [0.1, 1000) ms — latency-shaped.
+                10f64.powf(-1.0 + 4.0 * u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantiles_within_relative_error_bound() {
+        let xs = samples(10_000);
+        let exact = Ecdf::new(xs.clone()).unwrap();
+        let mut sk = QuantileSketch::latency_ms();
+        for &x in &xs {
+            sk.record(x);
+        }
+        let bound = sk.relative_error_bound();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let e = exact.quantile(q);
+            let s = sk.quantile(q).unwrap();
+            assert!(
+                (s - e).abs() <= bound * e + 1e-12,
+                "q={q}: sketch {s} vs exact {e} exceeds {bound}"
+            );
+        }
+        assert_eq!(sk.min().unwrap(), exact.min());
+        assert_eq!(sk.max().unwrap(), exact.max());
+        let (m, em) = (sk.mean().unwrap(), exact.mean());
+        assert!((m - em).abs() <= bound * em, "mean {m} vs exact {em}");
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_bulk() {
+        let xs = samples(3_000);
+        let (a, rest) = xs.split_at(1_000);
+        let (b, c) = rest.split_at(1_000);
+        let build = |part: &[f64]| {
+            let mut s = QuantileSketch::latency_ms();
+            for &x in part {
+                s.record(x);
+            }
+            s
+        };
+        let (sa, sb, sc) = (build(a), build(b), build(c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right = sb.clone();
+        right.merge(&sc);
+        let mut right2 = sa.clone();
+        right2.merge(&right);
+        assert_eq!(left, right2);
+        // Either order equals recording everything into one sketch.
+        assert_eq!(left, build(&xs));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_exact_extrema() {
+        let mut s = QuantileSketch::new(0.05, 1.0, 100.0);
+        s.record(1e-9); // underflow
+        s.record(1e9); // overflow
+        s.record(10.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.0).unwrap(), 1e-9);
+        assert_eq!(s.quantile(1.0).unwrap(), 1e9);
+    }
+
+    #[test]
+    fn empty_sketch_reports_none() {
+        let s = QuantileSketch::latency_ms();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.mean().is_none());
+    }
+
+    #[test]
+    fn memory_is_o_buckets() {
+        let mut s = QuantileSketch::latency_ms();
+        let before = s.memory_bytes();
+        assert!(s.n_buckets() < 256, "preset should stay O(100) buckets");
+        for &x in &samples(100_000) {
+            s.record(x);
+        }
+        assert_eq!(s.memory_bytes(), before, "recording must not allocate");
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = QuantileSketch::latency_ms();
+        let mut b = QuantileSketch::latency_ms();
+        a.record_n(42.0, 5);
+        for _ in 0..5 {
+            b.record(42.0);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_finite_ignored() {
+        let mut s = QuantileSketch::latency_ms();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert!(s.is_empty());
+    }
+}

@@ -36,7 +36,7 @@ pub mod trace;
 pub use config::{CellConfig, FaultConfig, ProtocolKind, ScenarioConfig};
 pub use outcome::{RunOutcome, SearchPass};
 pub use proto::Proto;
-pub use radio::{LinkSet, Sites};
+pub use radio::{LinkSet, LinkStats, Sites};
 pub use replay::{replay_run, replay_run_timed, replay_run_with_config, ReplayReport};
 pub use scenario::Scenario;
 pub use trace::{FleetTrace, RunTrace, SegmentTrace, UeRecorder, UeTrace};

@@ -117,6 +117,21 @@ pub struct LinkSet {
     /// Occlusion candidate scratch for the dynamic-environment pass,
     /// reused every snapshot (sized once to the blocker count).
     occl: OcclusionScratch,
+    /// Profiler counters: actual geometry traces performed (cache
+    /// misses of the snapshot key) and rays produced by those traces.
+    /// Deterministic — pure functions of the measurement sequence.
+    traces_cast: u64,
+    rays_tested: u64,
+}
+
+/// Deterministic per-link-set work counters, drained into the run
+/// profiler when a shard collects its outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Geometry traces actually performed (snapshot-cache misses).
+    pub traces_cast: u64,
+    /// Rays produced by those traces (post-occlusion path count).
+    pub rays_tested: u64,
 }
 
 impl LinkSet {
@@ -152,6 +167,16 @@ impl LinkSet {
             snaps: (0..n).map(|_| PathSet::new()).collect(),
             snap_key: vec![None; n],
             occl: OcclusionScratch::new(),
+            traces_cast: 0,
+            rays_tested: 0,
+        }
+    }
+
+    /// Trace/ray work counters accumulated since construction.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            traces_cast: self.traces_cast,
+            rays_tested: self.rays_tested,
         }
     }
 
@@ -194,6 +219,8 @@ impl LinkSet {
                     &mut self.occl,
                 );
             }
+            self.traces_cast += 1;
+            self.rays_tested += self.snaps[cell].len() as u64;
             self.snap_key[cell] = key;
         }
         &self.snaps[cell]
@@ -327,6 +354,27 @@ mod tests {
             let again = a.rss(&s, 0, 3, ue_pose, &ue_cb, rx).unwrap();
             assert_eq!(again, out[3]);
         }
+    }
+
+    #[test]
+    fn stats_count_traces_not_snapshot_hits() {
+        let s = sites();
+        let streams = RngStreams::new(1);
+        let mut links = LinkSet::single_ue(&streams, s.channel, s.len());
+        let ue_pose = Pose::new(Vec2::new(-30.0, 0.0), Radians(0.0));
+        let ue_cb = Codebook::for_class(BeamwidthClass::Narrow);
+        assert_eq!(links.stats(), LinkStats::default());
+        links.rss(&s, 0, 2, ue_pose, &ue_cb, BeamId(0));
+        let after_one = links.stats();
+        assert_eq!(after_one.traces_cast, 1);
+        assert!(after_one.rays_tested >= 1);
+        // Same instant + position: snapshot reuse, no new trace.
+        links.rss(&s, 0, 3, ue_pose, &ue_cb, BeamId(1));
+        assert_eq!(links.stats(), after_one);
+        // New instant invalidates the snapshot.
+        links.step_to(SimTime::ZERO + st_des::SimDuration::from_millis(5));
+        links.rss(&s, 0, 2, ue_pose, &ue_cb, BeamId(0));
+        assert_eq!(links.stats().traces_cast, 2);
     }
 
     #[test]

@@ -36,12 +36,23 @@ fn main() {
     let out = run_fleet(&cfg);
 
     println!("{}", out.render_cells());
-    if let Some(s) = out.soft_interruption_summary() {
-        println!("soft handover interruption (ms): {s}");
-    }
-    if let Some(s) = out.hard_interruption_summary() {
-        println!("hard handover interruption (ms): {s}");
-    }
+    let arm = |name: &str, s: Option<silent_tracker_repro::st_fleet::InterruptionStats>| {
+        if let Some(s) = s {
+            println!(
+                "{name} handover interruption (ms): n={} mean={:.3} p50={:.3} \
+                 p95={:.3} p99={:.3} max={:.3}{}",
+                s.n,
+                s.mean_ms,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.max_ms,
+                if s.exact { "" } else { " (sketch)" },
+            );
+        }
+    };
+    arm("soft", out.soft_stats());
+    arm("hard", out.hard_stats());
     println!("\naggregate summary (bit-identical for this seed):");
     print!("{}", out.summary());
 }

@@ -77,7 +77,13 @@ fn thousand_ue_fleet_completes_under_event_budget() {
     );
     // The fleet actually exercised the contended MAC.
     assert!(out.totals.handovers > 50, "{}", out.summary());
-    assert!(out.soft_interruption_ecdf().is_some());
+    // Interruption quantiles flow through the streaming sketch in the
+    // default mode — and no raw sample vectors were retained (the
+    // constant-memory contract of the telemetry layer).
+    let soft = out.soft_stats().expect("soft interruptions recorded");
+    assert!(soft.n > 0 && !soft.exact);
+    assert!(out.totals.soft_interruptions_ms.is_empty());
+    assert!(out.soft_interruption_ecdf().is_none());
     // Worker-count invariance holds at scale too.
     let again = run_fleet_with_workers(&cfg, 3);
     assert_eq!(out.summary(), again.summary());

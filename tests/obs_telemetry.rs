@@ -1,0 +1,175 @@
+//! Observability-layer contracts: streaming sketches, the snapshot
+//! timeline and the run profiler.
+//!
+//! * **Worker invariance** — the merged interruption sketches, the
+//!   timeline JSON and the profiler's work counters are byte-identical
+//!   at 1/2/4/8 workers, in both contention modes. Worker threads are an
+//!   execution detail; only shard count is a config property.
+//! * **Constant memory** — the default mode retains no raw sample
+//!   vectors; quantiles flow through the fixed-size log-bucketed sketch.
+//! * **Exact opt-in** — `FleetConfig::exact_ecdfs` restores the raw
+//!   vectors (and the pre-sketch summary sourcing) without disturbing
+//!   worker invariance.
+
+use silent_tracker_repro::st_fleet::{
+    run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind,
+};
+use silent_tracker_repro::st_net::ProtocolKind;
+
+/// A small mixed fleet with snapshots armed: enough contention to light
+/// every telemetry field, small enough for debug-build CI.
+fn obs_fleet(seed: u64, exact_contention: bool, exact_ecdfs: bool) -> FleetConfig {
+    Deployment::new()
+        .street(200.0, 30.0)
+        .cell_row(2, 80.0)
+        .tx_beams(8)
+        .prach_preambles(4)
+        .spawn_region((-25.0, 15.0), (-3.0, 3.0))
+        .population(20, MobilityKind::Walk, ProtocolKind::SilentTracker)
+        .population(8, MobilityKind::Vehicular, ProtocolKind::Reactive)
+        .duration_secs(0.9)
+        .seed(seed)
+        .shards(4)
+        .snapshot_interval_secs(0.2)
+        .exact_contention(exact_contention)
+        .exact_ecdfs(exact_ecdfs)
+        .build()
+        .unwrap()
+}
+
+/// Everything the determinism contract covers, as one comparable blob.
+fn deterministic_blob(out: &FleetOutcome) -> String {
+    format!(
+        "summary:{}\ncounters:{}\ntimeline:{}",
+        out.summary(),
+        out.profile().counters_json(),
+        out.timeline_json().unwrap_or_else(|| "none".into()),
+    )
+}
+
+#[test]
+fn telemetry_is_worker_invariant_in_both_contention_modes() {
+    for exact_contention in [false, true] {
+        let cfg = obs_fleet(7, exact_contention, false);
+        let base = deterministic_blob(&run_fleet_with_workers(&cfg, 1));
+        for workers in [2, 4, 8] {
+            let other = deterministic_blob(&run_fleet_with_workers(&cfg, workers));
+            assert_eq!(
+                base, other,
+                "telemetry diverged at {workers} workers (exact_contention={exact_contention})"
+            );
+        }
+        // The blob actually carried a timeline and non-trivial counters.
+        assert!(!base.contains("timeline:none"), "{base}");
+        assert!(base.contains("des.events_popped"), "{base}");
+        if exact_contention {
+            assert!(base.contains("stage.resolved_preambles"), "{base}");
+        }
+    }
+}
+
+#[test]
+fn default_mode_retains_no_raw_samples() {
+    let cfg = obs_fleet(7, false, false);
+    let out = run_fleet_with_workers(&cfg, 4);
+    // Quantiles are served from the sketch…
+    let soft = out.soft_stats().expect("soft interruptions recorded");
+    assert!(soft.n > 0 && !soft.exact);
+    // …and no raw per-handover vector survived anywhere.
+    assert!(out.totals.soft_interruptions_ms.is_empty());
+    assert!(out.totals.hard_interruptions_ms.is_empty());
+    assert!(out.soft_interruption_ecdf().is_none());
+    assert!(out.hard_interruption_ecdf().is_none());
+    // The sketch footprint is fixed: buckets × u64, independent of n.
+    let empty = silent_tracker_repro::st_metrics::QuantileSketch::latency_ms();
+    assert_eq!(out.totals.soft_sketch.memory_bytes(), empty.memory_bytes());
+    assert_eq!(out.totals.soft_sketch.n_buckets(), empty.n_buckets());
+}
+
+#[test]
+fn exact_ecdfs_opt_in_restores_raw_vectors_and_stays_invariant() {
+    let cfg = obs_fleet(7, false, true);
+    let one = run_fleet_with_workers(&cfg, 1);
+    let four = run_fleet_with_workers(&cfg, 4);
+    assert_eq!(one.summary(), four.summary());
+    // Raw vectors are back, and the stats surface reports exact quantiles.
+    let ecdf = one.soft_interruption_ecdf().expect("raw ecdf retained");
+    let stats = one.soft_stats().expect("stats");
+    assert!(stats.exact);
+    assert_eq!(stats.n, ecdf.len() as u64);
+    assert_eq!(stats.p50_ms, ecdf.median());
+    // The sketch runs alongside and agrees with the raw samples.
+    assert_eq!(one.totals.soft_sketch.count(), ecdf.len() as u64);
+}
+
+#[test]
+fn exact_ecdfs_off_matches_exact_on_counts() {
+    // Dropping the raw vectors must not change what was *measured* —
+    // only how it is summarized. Same config either way, same sketch.
+    let lean = run_fleet_with_workers(&obs_fleet(7, false, false), 2);
+    let full = run_fleet_with_workers(&obs_fleet(7, false, true), 2);
+    assert_eq!(lean.totals.handovers, full.totals.handovers);
+    assert_eq!(
+        lean.totals.soft_sketch.count(),
+        full.totals.soft_sketch.count()
+    );
+    assert_eq!(
+        lean.profile().counters_json(),
+        full.profile().counters_json()
+    );
+    assert_eq!(lean.timeline_json(), full.timeline_json());
+}
+
+#[test]
+fn timeline_slices_cover_the_run_and_sum_to_totals() {
+    let cfg = obs_fleet(7, false, false);
+    let out = run_fleet_with_workers(&cfg, 4);
+    let ring = out.timeline().expect("snapshots armed");
+    // 0.9 s at 0.2 s slices: four full boundaries + the sealed tail.
+    assert_eq!(ring.slices().len(), 5);
+    let handovers: u64 = ring.slices().iter().map(|s| s.handovers).sum();
+    assert_eq!(handovers, out.totals.handovers);
+    let rlfs: u64 = ring.slices().iter().map(|s| s.rlfs).sum();
+    assert_eq!(rlfs, out.totals.rlfs);
+    // Interruption sketches sliced by interval re-merge to the totals.
+    let sliced: u64 = ring.slices().iter().map(|s| s.soft.count()).sum();
+    assert_eq!(sliced, out.totals.soft_sketch.count());
+    // The timeline JSON carries the schema tag and no wall-clock keys.
+    let json = out.timeline_json().unwrap();
+    assert!(json.contains("st-fleet-timeline-v1"), "{json}");
+    assert!(!json.contains("wall"), "{json}");
+}
+
+#[test]
+fn exact_contention_timeline_sees_responder_traffic() {
+    // In exact mode the responder counters flow through the shared
+    // stage's per-interval deltas rather than per-shard responders; the
+    // merged timeline must still attribute them to slices.
+    let out = run_fleet_with_workers(&obs_fleet(7, true, false), 2);
+    let ring = out.timeline().expect("snapshots armed");
+    let heard: u64 = ring.slices().iter().map(|s| s.preambles_heard).sum();
+    let total: u64 = out
+        .totals
+        .per_cell
+        .iter()
+        .map(|c| c.responder.preambles_heard)
+        .sum();
+    assert_eq!(heard, total);
+    assert!(heard > 0, "exact smoke saw no preambles");
+}
+
+#[test]
+fn profiler_separates_deterministic_counters_from_wall_spans() {
+    let out = run_fleet_with_workers(&obs_fleet(7, false, false), 2);
+    let p = out.profile();
+    // Work counters present and plausible.
+    assert!(p.counters.get("des.events_popped") > 0);
+    assert!(p.counters.get("phy.traces_cast") > 0);
+    assert!(p.counters.get("des.event_queue_peak") > 0);
+    // Five slices per shard (four boundaries + sealed tail), four shards.
+    assert_eq!(p.counters.get("obs.snapshot_slices"), 5 * 4);
+    // Wall spans live in a separate, non-deterministic section.
+    assert!(p.wall_json().contains("shard.run"));
+    assert!(p.wall_json().contains("fleet.merge"));
+    assert!(!p.counters_json().contains("shard.run"));
+}
