@@ -1,0 +1,143 @@
+//! Trace-replay autopsy: refold a recorded fleet trace's causal marks
+//! into phase-decomposed interruption breakdowns and print a
+//! human-readable causal timeline for the worst interruptions.
+//!
+//! Usage: `autopsy --trace PATH [--ue ID] [--top N]`
+//!
+//! The breakdown derivation is a pure function of the
+//! [`silent_tracker::attribution::InterruptionMarks`] each handover
+//! recorded into its UE trace, so the autopsy of a trace is bit-identical
+//! to what the live run derived — no simulator, no RNG, no phy layer is
+//! re-run. `--ue ID` restricts the report to one UE's handovers; `--top
+//! N` (default 5) bounds each run's report to its N longest
+//! interruptions (canonical worst-first order: duration descending, then
+//! completion instant and UE id).
+
+use silent_tracker::attribution::{InterruptionBreakdown, InterruptionMarks};
+use st_fleet::attribution::worst_order;
+
+/// One timeline line: absolute instant (ms into the run) plus what
+/// happened there. Instants come straight from the recorded marks.
+fn timeline(m: &InterruptionMarks) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let at = |t: st_des::SimTime| t.as_millis_f64();
+    writeln!(
+        s,
+        "    t={:>10.3} ms  interruption starts ({})",
+        at(m.start),
+        if m.reason_rlf {
+            "radio link failure on the serving beam"
+        } else {
+            "serving link released for make-before-break handover"
+        }
+    )
+    .unwrap();
+    if m.trigger > m.start {
+        writeln!(
+            s,
+            "    t={:>10.3} ms  handover trigger matured -> cell {}",
+            at(m.trigger),
+            m.to_cell
+        )
+        .unwrap();
+    }
+    if let Some(t) = m.first_tx {
+        writeln!(
+            s,
+            "    t={:>10.3} ms  first preamble transmitted ({} RACH round{})",
+            at(t),
+            m.rach_rounds,
+            if m.rach_rounds == 1 { "" } else { "s" }
+        )
+        .unwrap();
+    }
+    if let Some(t) = m.msg3 {
+        let bh = m.backhaul_ns as f64 / 1e6;
+        if bh > 0.0 {
+            writeln!(
+                s,
+                "    t={:>10.3} ms  Msg3 sent (context fetch held Msg4 for {:.3} ms)",
+                at(t),
+                bh
+            )
+            .unwrap();
+        } else {
+            writeln!(s, "    t={:>10.3} ms  Msg3 sent (context cached)", at(t)).unwrap();
+        }
+    }
+    writeln!(
+        s,
+        "    t={:>10.3} ms  connected to cell {}",
+        at(m.connected),
+        m.to_cell
+    )
+    .unwrap();
+    if m.penalty_ns > 0 {
+        writeln!(
+            s,
+            "    t={:>10.3} ms  interruption charged until here (recovery penalty {:.3} ms)",
+            at(m.done_at()),
+            m.penalty_ns as f64 / 1e6
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn main() {
+    let mut trace_path: Option<String> = None;
+    let mut ue: Option<u64> = None;
+    let mut top = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace PATH")),
+            "--ue" => {
+                ue = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--ue ID (u64)"),
+                );
+            }
+            "--top" => {
+                top = args.next().and_then(|v| v.parse().ok()).expect("--top N");
+            }
+            other => {
+                panic!("unknown argument {other} (usage: autopsy --trace PATH [--ue ID] [--top N])")
+            }
+        }
+    }
+    let path = trace_path.expect("autopsy --trace PATH [--ue ID] [--top N]");
+    let trace = st_net::FleetTrace::load(std::path::Path::new(&path))
+        .unwrap_or_else(|e| panic!("could not load trace {path}: {e}"));
+
+    for run in &trace.runs {
+        let mut items: Vec<(InterruptionMarks, InterruptionBreakdown)> =
+            st_fleet::marks_from_traces(&run.ues)
+                .into_iter()
+                .map(|m| (m, InterruptionBreakdown::from_marks(&m)))
+                .collect();
+        if let Some(id) = ue {
+            items.retain(|(m, _)| m.ue == id);
+        }
+        items.sort_by(|a, b| worst_order(&a.1, &b.1));
+        println!(
+            "run {}: {} attributed interruption{} (seed {}, {:.1} s simulated){}",
+            run.label,
+            items.len(),
+            if items.len() == 1 { "" } else { "s" },
+            run.seed,
+            run.duration.as_secs_f64(),
+            ue.map(|id| format!(", ue {id}")).unwrap_or_default(),
+        );
+        for (i, (m, bd)) in items.iter().take(top).enumerate() {
+            print!("#{} {}", i + 1, st_fleet::format_breakdown(bd));
+            print!("{}", timeline(m));
+        }
+        if items.is_empty() {
+            println!("  (no attributed interruptions in this run)");
+        }
+        println!();
+    }
+}

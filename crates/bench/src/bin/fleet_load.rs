@@ -1,7 +1,8 @@
 //! Fleet-scale PRACH load sweep: soft vs hard handover under contention.
 //! Usage: `fleet_load [--smoke] [--exact-contention] [--workers N] [--json PATH]
-//!                    [--snapshot-s S] [--timeline PATH]
-//!                    [--record PATH | --replay PATH] [POPULATIONS...]`
+//!                    [--snapshot-s S] [--timeline PATH] [--explain-top N]
+//!                    [--causes PATH] [--record PATH | --replay PATH]
+//!                    [POPULATIONS...]`
 //!
 //! `--smoke` prints the deterministic aggregate summary of a small fixed
 //! fleet (CI compares two invocations byte-for-byte); otherwise the
@@ -30,6 +31,13 @@
 //! (default `BENCH_fleet_timeline.json`). The timeline file contains no
 //! wall-clock values, so CI `cmp`s it byte-for-byte across worker
 //! counts. Arming snapshots does not change the smoke summary bytes.
+//!
+//! `--explain-top N` prints the N worst interruptions of each arm with
+//! their full causal phase breakdowns (the same formatter the `autopsy`
+//! tool uses) right after the summary/table. `--causes PATH` writes the
+//! per-cause attribution artifact (cause-keyed quantile ledgers plus the
+//! worst-k exemplars; no wall-clock values, so CI `cmp`s it across
+//! worker counts).
 fn main() {
     let mut smoke = false;
     let mut exact = false;
@@ -41,6 +49,8 @@ fn main() {
     let mut snapshot_s: Option<f64> = None;
     let mut record_path: Option<String> = None;
     let mut replay_path: Option<String> = None;
+    let mut explain_top: usize = 0;
+    let mut causes_path: Option<String> = None;
     let mut populations: Vec<u64> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +82,15 @@ fn main() {
             }
             "--replay" => {
                 replay_path = Some(args.next().expect("--replay PATH"));
+            }
+            "--explain-top" => {
+                explain_top = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--explain-top N");
+            }
+            "--causes" => {
+                causes_path = Some(args.next().expect("--causes PATH"));
             }
             other => populations.push(other.parse().expect("population size")),
         }
@@ -124,6 +143,14 @@ fn main() {
             }
         }
     };
+    let save_causes = |load: &st_bench::fleet_load::FleetLoad| {
+        if let Some(path) = &causes_path {
+            match st_bench::fleet_load::write_causes_json(path, load) {
+                Ok(()) => eprintln!("causes artifact: {path}"),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
+    };
     let save_timeline = |load: &st_bench::fleet_load::FleetLoad| {
         if snapshot_s.is_none() {
             return;
@@ -138,8 +165,12 @@ fn main() {
         let (summary, mut load) =
             st_bench::fleet_load::smoke_timed_obs(workers, exact, record, snapshot_s);
         print!("{summary}");
+        if explain_top > 0 {
+            print!("{}", st_bench::fleet_load::explain_top(&load, explain_top));
+        }
         save_trace(&load);
         save_timeline(&load);
+        save_causes(&load);
         if record {
             load.replay = st_bench::fleet_load::replay_arms(&load, workers);
         }
@@ -156,10 +187,14 @@ fn main() {
     let mut r = st_bench::fleet_load::run_obs(&populations, 42, workers, exact, record, snapshot_s);
     save_trace(&r);
     save_timeline(&r);
+    save_causes(&r);
     if record {
         r.replay = st_bench::fleet_load::replay_arms(&r, workers);
     }
     println!("{}", st_bench::fleet_load::render(&r));
+    if explain_top > 0 {
+        print!("{}", st_bench::fleet_load::explain_top(&r, explain_top));
+    }
     if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, &mode_label("sweep")) {
         eprintln!("warning: could not write {json_path}: {e}");
     }

@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use silent_tracker::attribution::Cause;
 use st_env::BlockerPopulation;
 use st_fleet::{
     run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, InterruptionStats, MobilityKind,
@@ -106,6 +107,21 @@ fn interruption_stats(a: &DensityArm) -> Option<InterruptionStats> {
     }
 }
 
+/// How many of this arm's interruptions each root cause accounts for,
+/// indexed by [`Cause`] discriminant — read off the arm's own cause
+/// ledger (soft for silent, hard for reactive).
+fn cause_counts(a: &DensityArm) -> [u64; 5] {
+    let map = match a.protocol {
+        ProtocolKind::SilentTracker => &a.outcome.totals.soft_causes,
+        ProtocolKind::Reactive => &a.outcome.totals.hard_causes,
+    };
+    let mut out = [0u64; 5];
+    for c in Cause::ALL {
+        out[c as usize] = map.get(c.label()).map_or(0, |sk| sk.count());
+    }
+    out
+}
+
 /// Radio-link failures the reactive arm suffered *beyond* the silent arm
 /// at the same density — the sessions silent tracking saved.
 fn saved_at(r: &BlockageStudy, blockers: u32) -> Option<i64> {
@@ -118,7 +134,10 @@ fn saved_at(r: &BlockageStudy, blockers: u32) -> Option<i64> {
     Some(rlfs(ProtocolKind::Reactive)? - rlfs(ProtocolKind::SilentTracker)?)
 }
 
-/// The figure: interruption and session-loss against blocker density.
+/// The figure: interruption and session-loss against blocker density,
+/// with the causal decomposition of each arm's interruptions — as
+/// density rises, the cause mass should migrate from trigger-maturity
+/// toward blockage-onset (and, under contention, preamble-collision).
 pub fn render(r: &BlockageStudy) -> String {
     let mut t = Table::new(
         "Blockage study: silent vs reactive under moving blockers (2 cells, 2 s)",
@@ -131,6 +150,11 @@ pub fn render(r: &BlockageStudy) -> String {
             "intr_p50_ms",
             "intr_p95_ms",
             "intr_mean_ms",
+            "c_blockage",
+            "c_fade",
+            "c_collision",
+            "c_backhaul",
+            "c_trigger",
         ],
     );
     for a in &r.arms {
@@ -150,6 +174,7 @@ pub fn render(r: &BlockageStudy) -> String {
                 .unwrap_or_else(|| "-".into()),
             ProtocolKind::SilentTracker => "-".into(),
         };
+        let causes = cause_counts(a);
         t.row(&[
             format!("{}", a.blockers),
             arm_label(a.protocol).into(),
@@ -159,6 +184,11 @@ pub fn render(r: &BlockageStudy) -> String {
             p50,
             p95,
             mean,
+            format!("{}", causes[Cause::BlockageOnset as usize]),
+            format!("{}", causes[Cause::Fade as usize]),
+            format!("{}", causes[Cause::PreambleCollision as usize]),
+            format!("{}", causes[Cause::BackhaulCongestion as usize]),
+            format!("{}", causes[Cause::TriggerMaturity as usize]),
         ]);
     }
     t.render()
@@ -188,17 +218,25 @@ pub fn bench_json(r: &BlockageStudy, mode: &str) -> String {
             }
             ProtocolKind::SilentTracker => String::new(),
         };
+        // Per-cause interruption counts, in Cause-discriminant order —
+        // the causal decomposition of the row's interruption mass.
+        let counts = cause_counts(a);
+        let causes: Vec<String> = Cause::ALL
+            .iter()
+            .map(|&c| format!("\"{}\": {}", c.label(), counts[c as usize]))
+            .collect();
         writeln!(
             s,
             "    {{\"blockers\": {}, \"arm\": \"{}\", \"handovers\": {}, \"rlfs\": {}, \
              {saved}\"intr_p50_ms\": {:.3}, \"intr_p95_ms\": {:.3}, \
-             \"wall_s\": {:.3}}}{sep}",
+             \"causes\": {{{}}}, \"wall_s\": {:.3}}}{sep}",
             a.blockers,
             arm_label(a.protocol),
             a.outcome.totals.handovers,
             a.outcome.totals.rlfs,
             p50,
             p95,
+            causes.join(", "),
             a.wall_s,
         )
         .unwrap();
@@ -255,6 +293,9 @@ mod tests {
         let json = bench_json(&r, "test");
         assert!(json.contains("\"blockers\": 16"), "{json}");
         assert!(json.contains("\"saved\""), "{json}");
+        // Every row carries its causal decomposition.
+        assert!(table.contains("c_blockage"), "{table}");
+        assert!(json.contains("\"causes\": {\"blockage-onset\""), "{json}");
         // Density 0 is the clear-street control (geometric model armed,
         // zero obstacles); 16 carries a real field.
         let clear = &r.arms[0];

@@ -16,7 +16,9 @@
 
 use std::time::Instant;
 
-use st_fleet::{run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind};
+use st_fleet::{
+    format_worst, run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind,
+};
 use st_metrics::Table;
 use st_net::{ProtocolKind, RunTrace};
 
@@ -279,6 +281,22 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
         }
         writeln!(s, "  ],").unwrap();
     }
+    // Causal attribution, per arm: deterministic per-cause ledgers and
+    // worst-k exemplars — the same document `--causes` writes standalone
+    // (no wall-clock values, so the section is worker-invariant).
+    writeln!(s, "  \"causes\": [").unwrap();
+    for (i, a) in r.arms.iter().enumerate() {
+        let sep = if i + 1 == r.arms.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"attribution\": {}}}{sep}",
+            a.ues,
+            arm_label(a.protocol),
+            a.outcome.causes_json().trim_end(),
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ],").unwrap();
     // Run profiler, per arm: the `counters` object is deterministic
     // (same bytes for any worker count); `wall` is machine time and is
     // kept in a separate object so determinism checks can mask it.
@@ -347,6 +365,61 @@ pub fn write_timeline_json(path: &str, r: &FleetLoad) -> std::io::Result<bool> {
 /// Write [`bench_json`] to `path`.
 pub fn write_bench_json(path: &str, r: &FleetLoad, mode: &str) -> std::io::Result<()> {
     std::fs::write(path, bench_json(r, mode))
+}
+
+/// Serialize the per-cause attribution aggregates of every arm as one
+/// deterministic JSON document — the artifact behind `fleet_load
+/// --causes PATH`. Unlike `BENCH_fleet.json` (which embeds the same
+/// per-arm sections next to wall-clock numbers) this file contains **no
+/// wall-clock values**, so CI `cmp`s it byte-for-byte across worker
+/// counts.
+pub fn causes_json(r: &FleetLoad) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(s, "{{").unwrap();
+    writeln!(s, "  \"bench\": \"fleet_causes\",").unwrap();
+    writeln!(s, "  \"arms\": [").unwrap();
+    for (i, a) in r.arms.iter().enumerate() {
+        let sep = if i + 1 == r.arms.len() { "" } else { "," };
+        writeln!(
+            s,
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"attribution\": {}}}{sep}",
+            a.ues,
+            arm_label(a.protocol),
+            a.outcome.causes_json().trim_end(),
+        )
+        .unwrap();
+    }
+    writeln!(s, "  ]").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Write [`causes_json`] to `path`.
+pub fn write_causes_json(path: &str, r: &FleetLoad) -> std::io::Result<()> {
+    std::fs::write(path, causes_json(r))
+}
+
+/// Render the worst-`n` interruptions of each arm with their full phase
+/// decompositions — the `fleet_load --explain-top N` view. Reuses the
+/// shared breakdown formatter behind the `autopsy` tool, so the inline
+/// explanation and the offline autopsy always agree on what a breakdown
+/// looks like.
+pub fn explain_top(r: &FleetLoad, n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for a in &r.arms {
+        writeln!(
+            s,
+            "worst interruptions — {} ues, {} arm (top {}):",
+            a.ues,
+            arm_label(a.protocol),
+            n
+        )
+        .unwrap();
+        s.push_str(&format_worst(&a.outcome.totals.worst, n));
+    }
+    s
 }
 
 pub fn render(r: &FleetLoad) -> String {
@@ -587,6 +660,25 @@ mod tests {
         let doc = bench_json(&a, "smoke");
         assert!(doc.contains("\"profile\": ["), "{doc}");
         assert!(doc.contains("des.events_popped"), "{doc}");
+    }
+
+    #[test]
+    fn causes_json_and_explain_top_are_worker_invariant() {
+        let (_, a) = smoke_timed(1, false, false);
+        let (_, b) = smoke_timed(4, false, false);
+        let ca = causes_json(&a);
+        assert_eq!(ca, causes_json(&b));
+        assert!(
+            !ca.contains("wall"),
+            "causes artifact must carry no wall times"
+        );
+        assert!(ca.contains("\"schema\": \"st-fleet-causes-v1\""), "{ca}");
+        assert!(ca.contains("\"worst\": ["), "{ca}");
+        let ea = explain_top(&a, 3);
+        assert_eq!(ea, explain_top(&b, 3));
+        assert!(ea.contains("cause="), "{ea}");
+        // The bench artifact embeds the same per-arm sections.
+        assert!(bench_json(&a, "smoke").contains("\"causes\": ["));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   both protocol arms and behind trace record/replay.
 //! * [`wire`] — canonical compact binary codec primitives (varints,
 //!   bit-exact floats, FNV-1a action digests).
+//! * [`attribution`] — causal interruption attribution: phase
+//!   decompositions that sum bit-exactly to the recorded interruption,
+//!   plus deterministic root-cause tags.
 //! * [`search`] — directional neighbor-cell search with spiral ordering
 //!   and dwell accounting (the Fig. 2a metrics).
 //! * [`tracker`] — [`tracker::SilentTracker`], the sans-IO protocol
@@ -53,6 +56,7 @@
 //! assert!(actions.is_empty()); // healthy link: nothing to do
 //! ```
 
+pub mod attribution;
 pub mod baseline;
 pub mod config;
 pub mod machine;
@@ -65,6 +69,7 @@ pub mod wire;
 #[cfg(test)]
 mod tracker_tests;
 
+pub use attribution::{Cause, InterruptionBreakdown, InterruptionMarks, Phase};
 pub use baseline::{OracleTracker, ReactiveHandover};
 pub use config::TrackerConfig;
 pub use machine::{

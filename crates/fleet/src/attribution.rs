@@ -1,0 +1,181 @@
+//! Fleet-side causal attribution plumbing: the bounded worst-k
+//! retention order, trace refolds, and the human-readable breakdown
+//! formatter shared by the fleet summary, `fleet_load --explain-top`
+//! and the `autopsy` tool.
+//!
+//! The derivation itself lives in `silent_tracker::attribution` (a pure
+//! function of the recorded [`InterruptionMarks`]); this module owns
+//! everything that needs fleet context — how worst-k exemplars are
+//! retained deterministically across shard and worker counts, how marks
+//! recorded into UE traces are refolded into breakdowns, and how a
+//! breakdown renders for humans.
+
+use std::cmp::Ordering;
+
+use silent_tracker::attribution::{InterruptionBreakdown, InterruptionMarks, Phase};
+use st_net::trace::UeTrace;
+
+/// Bounded retention for worst-interruption exemplars: large enough for
+/// any `--explain-top` request worth reading, constant memory per shard.
+pub const WORST_CAP: usize = 16;
+
+/// The canonical worst-first total order: duration descending
+/// (`total_cmp`, so no float comparison pitfalls), then completion
+/// instant and UE id ascending. This is a total order over distinct
+/// handovers — one UE cannot complete two handovers at the same instant
+/// — so any concat + sort + truncate pipeline over shard results
+/// retains the same exemplar set at any worker count.
+pub fn worst_order(a: &InterruptionBreakdown, b: &InterruptionBreakdown) -> Ordering {
+    b.total_ms
+        .total_cmp(&a.total_ms)
+        .then_with(|| a.end.as_nanos().cmp(&b.end.as_nanos()))
+        .then_with(|| a.ue.cmp(&b.ue))
+}
+
+/// Insert one breakdown, keeping canonical order and the bounded cap.
+pub fn push_worst(worst: &mut Vec<InterruptionBreakdown>, bd: InterruptionBreakdown) {
+    worst.push(bd);
+    worst.sort_by(worst_order);
+    worst.truncate(WORST_CAP);
+}
+
+/// Merge another shard's worst list: concat + canonical sort + cap.
+pub fn merge_worst(into: &mut Vec<InterruptionBreakdown>, other: &[InterruptionBreakdown]) {
+    into.extend_from_slice(other);
+    into.sort_by(worst_order);
+    into.truncate(WORST_CAP);
+}
+
+/// Every causal mark recorded in a set of UE traces, in recording order
+/// per UE (traces are kept sorted by global id, so the overall order is
+/// canonical too).
+pub fn marks_from_traces(traces: &[UeTrace]) -> Vec<InterruptionMarks> {
+    traces
+        .iter()
+        .flat_map(|u| u.segments.iter().flat_map(|s| s.marks.iter().copied()))
+        .collect()
+}
+
+/// Refold recorded marks into breakdowns. The derivation is a pure
+/// function of the marks, so these are bit-identical to the breakdowns
+/// the live run derived for the same handovers — the property the
+/// autopsy tool and the replay-equivalence tests stand on.
+pub fn breakdowns_from_traces(traces: &[UeTrace]) -> Vec<InterruptionBreakdown> {
+    marks_from_traces(traces)
+        .iter()
+        .map(InterruptionBreakdown::from_marks)
+        .collect()
+}
+
+/// One breakdown rendered as a header line plus an aligned phase table.
+/// Shared by `fleet_load --explain-top` and the `autopsy` tool, so the
+/// two always agree on what a breakdown looks like.
+pub fn format_breakdown(bd: &InterruptionBreakdown) -> String {
+    let mut out = format!(
+        "ue {:>4}  cell {} -> {}  cause={}  total={:.3} ms  rach-rounds={}\n",
+        bd.ue,
+        bd.from_cell,
+        bd.to_cell,
+        bd.cause.label(),
+        bd.total_ms,
+        bd.rach_rounds
+    );
+    for p in Phase::ALL {
+        let ms = bd.phases_ms[p as usize];
+        if ms == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "    {:<12} {:>10.3} ms  ({:>5.1}%)\n",
+            p.label(),
+            ms,
+            if bd.total_ms > 0.0 {
+                100.0 * ms / bd.total_ms
+            } else {
+                0.0
+            }
+        ));
+    }
+    out
+}
+
+/// The worst-`k` breakdowns of a run rendered as numbered sections.
+pub fn format_worst(worst: &[InterruptionBreakdown], k: usize) -> String {
+    let mut out = String::new();
+    for (i, bd) in worst.iter().take(k).enumerate() {
+        out.push_str(&format!("#{} ", i + 1));
+        out.push_str(&format_breakdown(bd));
+    }
+    if out.is_empty() {
+        out.push_str("(no attributed interruptions)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_des::SimTime;
+
+    fn bd(ue: u64, total_ms: f64, end_ns: u64) -> InterruptionBreakdown {
+        let m = InterruptionMarks {
+            ue,
+            from_cell: 0,
+            to_cell: 1,
+            reason_rlf: false,
+            dynamics: false,
+            start: SimTime::from_nanos(end_ns.saturating_sub((total_ms * 1e6) as u64)),
+            trigger: SimTime::from_nanos(end_ns.saturating_sub((total_ms * 1e6) as u64)),
+            first_tx: None,
+            msg3: None,
+            backhaul_ns: 0,
+            connected: SimTime::from_nanos(end_ns),
+            penalty_ns: 0,
+            rach_rounds: 1,
+        };
+        InterruptionBreakdown::from_marks(&m)
+    }
+
+    #[test]
+    fn worst_retention_is_order_independent() {
+        let items: Vec<_> = (0..40u64)
+            .map(|i| bd(i, (i * 7 % 23) as f64 + 1.0, 1_000_000 * (i + 1)))
+            .collect();
+        let mut fwd = Vec::new();
+        for b in &items {
+            push_worst(&mut fwd, *b);
+        }
+        let mut rev = Vec::new();
+        for b in items.iter().rev() {
+            push_worst(&mut rev, *b);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.len(), WORST_CAP);
+        assert!(fwd.windows(2).all(|w| w[0].total_ms >= w[1].total_ms));
+
+        // Shard-split merge retains the same set as single-stream push.
+        let (left, right) = items.split_at(17);
+        let mut a = Vec::new();
+        for b in left {
+            push_worst(&mut a, *b);
+        }
+        let mut b2 = Vec::new();
+        for b in right {
+            push_worst(&mut b2, *b);
+        }
+        merge_worst(&mut a, &b2);
+        assert_eq!(a, fwd);
+    }
+
+    #[test]
+    fn formatter_prints_cause_and_nonzero_phases_only() {
+        let b = bd(3, 12.0, 20_000_000);
+        let s = format_breakdown(&b);
+        assert!(s.contains("cause=trigger-maturity"));
+        assert!(s.contains("msg4")); // residual slot carries the total
+        assert!(!s.contains("penalty"));
+        let w = format_worst(&[b], 5);
+        assert!(w.starts_with("#1 ue"));
+        assert!(format_worst(&[], 3).contains("no attributed"));
+    }
+}

@@ -31,6 +31,10 @@
 //!   of time-sliced [`SnapshotSlice`]s (mergeable quantile sketches plus
 //!   counters), surfaced as a timeline on [`FleetOutcome`] together with
 //!   the deterministic run profiler.
+//! * [`attribution`] — fleet-side causal interruption attribution:
+//!   deterministic worst-k exemplar retention, refolding recorded trace
+//!   marks into phase breakdowns, and the shared human-readable
+//!   formatter behind `fleet_load --explain-top` and `autopsy`.
 //!
 //! ```
 //! use st_fleet::{Deployment, MobilityKind, run_fleet};
@@ -49,6 +53,7 @@
 //! assert_eq!(out.totals.ues, 4);
 //! ```
 
+pub mod attribution;
 pub mod deployment;
 pub mod metrics;
 pub mod runner;
@@ -56,6 +61,7 @@ pub mod sim;
 pub mod stage;
 pub mod telemetry;
 
+pub use attribution::{breakdowns_from_traces, format_breakdown, format_worst, marks_from_traces};
 pub use deployment::{Deployment, FleetConfig, MobilityKind, PopulationSpec, UeSpec};
 pub use metrics::{CellLoad, FleetOutcome, InterruptionStats, ShardOutcome, StageReport};
 pub use runner::{run_fleet, run_fleet_exact_with_order, run_fleet_with_workers, StageOrder};

@@ -4,9 +4,10 @@
 
 use std::collections::BTreeSet;
 
+use silent_tracker::attribution::{Cause, InterruptionBreakdown, Phase};
 use st_des::SimDuration;
 use st_mac::responder::ResponderStats;
-use st_metrics::{Accumulator, Ecdf, Profiler, QuantileSketch, Table};
+use st_metrics::{Accumulator, Ecdf, Profiler, QuantileSketch, SketchMap, Table};
 use st_net::UeTrace;
 
 use crate::stage::StageCounters;
@@ -90,6 +91,17 @@ pub struct ShardOutcome {
     pub soft_sketch: QuantileSketch,
     /// Streaming hard-interruption sketch.
     pub hard_sketch: QuantileSketch,
+    /// Per-cause soft-interruption ledger: one streaming sketch per root
+    /// cause, keyed by the stable cause label, merged in canonical key
+    /// order (byte-identical across worker counts, constant memory).
+    pub soft_causes: SketchMap,
+    /// Per-cause hard-interruption ledger; same contract.
+    pub hard_causes: SketchMap,
+    /// Worst interruptions of the run with full phase breakdowns —
+    /// bounded ([`crate::attribution::WORST_CAP`]) and kept in the
+    /// canonical worst-first order, so the retained set is identical at
+    /// any shard/worker split.
+    pub worst: Vec<InterruptionBreakdown>,
     /// Time-sliced snapshot ring ([`FleetConfig::snapshot_interval`]).
     ///
     /// [`FleetConfig::snapshot_interval`]: crate::FleetConfig::snapshot_interval
@@ -169,6 +181,9 @@ impl FleetOutcome {
             exact |= s.exact;
             totals.soft_sketch.merge(&s.soft_sketch);
             totals.hard_sketch.merge(&s.hard_sketch);
+            totals.soft_causes.merge(&s.soft_causes);
+            totals.hard_causes.merge(&s.hard_causes);
+            crate::attribution::merge_worst(&mut totals.worst, &s.worst);
             totals.profile.merge(&s.profile);
             // Shard timelines share one shape (same config drives the
             // compaction schedule); a mismatch means some shard was cut
@@ -390,6 +405,23 @@ impl FleetOutcome {
             quant(&t.hard_interruptions_ms, &t.hard_sketch)
         )
         .unwrap();
+        // Per-cause attribution ledgers, in canonical (lexicographic
+        // label) order — only causes that actually occurred are listed.
+        for (arm, map) in [("soft", &t.soft_causes), ("hard", &t.hard_causes)] {
+            for (key, sk) in map.iter() {
+                writeln!(
+                    s,
+                    "cause {} {} n={} p50_ms={:.3} p95_ms={:.3} max_ms={:.3}",
+                    arm,
+                    key,
+                    sk.count(),
+                    sk.quantile(0.5).unwrap_or(0.0),
+                    sk.quantile(0.95).unwrap_or(0.0),
+                    sk.max().unwrap_or(0.0)
+                )
+                .unwrap();
+            }
+        }
         s
     }
 
@@ -464,21 +496,23 @@ impl FleetOutcome {
     /// values**: every byte is a function of (config, seed), so CI can
     /// `cmp` the file across worker counts.
     ///
-    /// Schema (`st-fleet-timeline-v1`): `dt_s` is the effective slice
+    /// Schema (`st-fleet-timeline-v2`): `dt_s` is the effective slice
     /// width after ring compaction (`base_dt_s` times a power of two);
     /// `slices[i]` covers `[t_start_s, t_end_s)` with per-arm
     /// interruption quantiles (`n/p50_ms/p95_ms/p99_ms/max_ms`, zero
     /// when `n == 0`), interval counters (handovers, rlfs,
     /// rach_attempts, preambles_tx, occasions_used, preambles_heard,
-    /// collisions, collision_rate, contention_losses, backhaul_wait_us)
-    /// and boundary gauges (backhaul_backlog_us, event_queue_depth).
+    /// collisions, collision_rate, contention_losses, backhaul_wait_us),
+    /// per-cause attributed-interruption counts (`causes`, canonical
+    /// cause order — v2 addition) and boundary gauges
+    /// (backhaul_backlog_us, event_queue_depth).
     pub fn timeline_json(&self) -> Option<String> {
         use std::fmt::Write as _;
         let ring = self.totals.timeline.as_ref()?;
         let dt = ring.effective_interval();
         let mut s = String::new();
         writeln!(s, "{{").unwrap();
-        writeln!(s, "  \"schema\": \"st-fleet-timeline-v1\",").unwrap();
+        writeln!(s, "  \"schema\": \"st-fleet-timeline-v2\",").unwrap();
         writeln!(s, "  \"seed\": {},", self.seed).unwrap();
         writeln!(s, "  \"duration_s\": {:.6},", self.duration.as_secs_f64()).unwrap();
         writeln!(
@@ -537,6 +571,11 @@ impl FleetOutcome {
                 sl.contention_losses
             )
             .unwrap();
+            let causes: Vec<String> = Cause::ALL
+                .iter()
+                .map(|&c| format!("\"{}\": {}", c.label(), sl.cause_counts[c as usize]))
+                .collect();
+            writeln!(s, "      \"causes\": {{{}}},", causes.join(", ")).unwrap();
             writeln!(
                 s,
                 "      \"backhaul_wait_us\": {}, \"backhaul_backlog_us\": {}, \
@@ -549,6 +588,69 @@ impl FleetOutcome {
         writeln!(s, "  ]").unwrap();
         writeln!(s, "}}").unwrap();
         Some(s)
+    }
+
+    /// Render the per-cause attribution aggregates as deterministic JSON
+    /// (`st-fleet-causes-v1`): per-arm cause ledgers (streaming-sketch
+    /// quantiles per cause label, canonical order) and the worst-k
+    /// exemplars with their full phase decompositions. Contains **no
+    /// wall-clock values** — every byte is a function of (config, seed),
+    /// so CI can `cmp` the file across worker counts.
+    pub fn causes_json(&self) -> String {
+        use std::fmt::Write as _;
+        let t = &self.totals;
+        let mut s = String::new();
+        writeln!(s, "{{").unwrap();
+        writeln!(s, "  \"schema\": \"st-fleet-causes-v1\",").unwrap();
+        writeln!(s, "  \"seed\": {},", self.seed).unwrap();
+        for (name, map) in [
+            ("soft_causes", &t.soft_causes),
+            ("hard_causes", &t.hard_causes),
+        ] {
+            writeln!(s, "  \"{name}\": {{").unwrap();
+            let n = map.len();
+            for (i, (key, sk)) in map.iter().enumerate() {
+                writeln!(
+                    s,
+                    "    \"{}\": {{\"n\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+                     \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}{}",
+                    key,
+                    sk.count(),
+                    sk.quantile(0.5).unwrap_or(0.0),
+                    sk.quantile(0.95).unwrap_or(0.0),
+                    sk.quantile(0.99).unwrap_or(0.0),
+                    sk.max().unwrap_or(0.0),
+                    if i + 1 < n { "," } else { "" }
+                )
+                .unwrap();
+            }
+            writeln!(s, "  }},").unwrap();
+        }
+        writeln!(s, "  \"worst\": [").unwrap();
+        let n = t.worst.len();
+        for (i, bd) in t.worst.iter().enumerate() {
+            let phases: Vec<String> = Phase::ALL
+                .iter()
+                .map(|&p| format!("\"{}\": {:.6}", p.label(), bd.phases_ms[p as usize]))
+                .collect();
+            writeln!(
+                s,
+                "    {{\"ue\": {}, \"from_cell\": {}, \"to_cell\": {}, \"cause\": \"{}\", \
+                 \"total_ms\": {:.6}, \"rach_rounds\": {}, \"phases_ms\": {{{}}}}}{}",
+                bd.ue,
+                bd.from_cell,
+                bd.to_cell,
+                bd.cause.label(),
+                bd.total_ms,
+                bd.rach_rounds,
+                phases.join(", "),
+                if i + 1 < n { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(s, "  ]").unwrap();
+        writeln!(s, "}}").unwrap();
+        s
     }
 }
 

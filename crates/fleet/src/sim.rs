@@ -27,6 +27,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::RngExt as _;
 
+use silent_tracker::attribution::{InterruptionBreakdown, InterruptionMarks};
 use silent_tracker::tracker::{Action, HandoverDirective, Input};
 use silent_tracker::HandoverReason;
 use st_des::{Control, Executive, RngStreams, SimDuration, SimTime, StopReason};
@@ -45,7 +46,7 @@ use st_phy::units::Dbm;
 
 use st_net::config::ScenarioConfig;
 
-use st_metrics::{Profiler, QuantileSketch};
+use st_metrics::{Profiler, QuantileSketch, SketchMap};
 
 use crate::deployment::{nearest_cell, FleetConfig, MobilityKind, UeSpec};
 use crate::metrics::{CellLoad, ShardOutcome};
@@ -106,6 +107,15 @@ struct RachExec {
     rx_beam: BeamId,
     proc: RachProcedure,
     try_pending: bool,
+    /// First preamble actually transmitted — opens the RACH phase of the
+    /// causal attribution timeline.
+    first_tx: Option<SimTime>,
+    /// Latest Msg3 transmission — opens the backhaul window. Overwritten
+    /// on retransmission (the last Msg3 is the one the Msg4 answers).
+    msg3_at: Option<SimTime>,
+    /// Backhaul span (queue wait + context fetch) the target responder
+    /// embedded in the Msg4 delay for this UE's winning Msg3, in nanos.
+    backhaul_ns: u64,
 }
 
 /// One mobile of the fleet.
@@ -206,6 +216,22 @@ struct Telemetry {
     /// the raw per-UE sample vectors), one per protocol arm.
     soft: QuantileSketch,
     hard: QuantileSketch,
+    /// Per-cause interruption ledgers, one map per protocol arm —
+    /// constant memory (O(causes × buckets)), canonical merge order.
+    soft_causes: SketchMap,
+    hard_causes: SketchMap,
+    /// Per-arm (soft=0, hard=1), per-cause recorded interruption totals
+    /// and their phase-decomposition sums, accumulated in recording
+    /// order. Each summand pair is bit-equal by construction, so the
+    /// accumulated pairs stay bit-equal — `collect` debug-asserts it.
+    cause_totals: [[f64; 5]; 2],
+    cause_phase_sums: [[f64; 5]; 2],
+    /// Run-level per-cause interruption counts — the conservation ledger
+    /// the timeline slice cause counts must sum to.
+    cause_counts_run: [u64; 5],
+    /// Worst interruptions of the run (bounded, canonically ordered) —
+    /// the exemplars `--explain-top` and the fleet summary print.
+    worst: Vec<InterruptionBreakdown>,
     /// Time-sliced snapshots, armed by [`FleetConfig::snapshot_interval`].
     ring: Option<SnapshotRing>,
     /// The slice accumulating since the last sealed boundary.
@@ -411,6 +437,12 @@ impl ShardSim {
             telemetry: Telemetry {
                 soft: QuantileSketch::latency_ms(),
                 hard: QuantileSketch::latency_ms(),
+                soft_causes: SketchMap::new(),
+                hard_causes: SketchMap::new(),
+                cause_totals: [[0.0; 5]; 2],
+                cause_phase_sums: [[0.0; 5]; 2],
+                cause_counts_run: [0; 5],
+                worst: Vec::new(),
                 ring: cfg
                     .snapshot_interval
                     .map(|dt| SnapshotRing::new(dt, SnapshotRing::DEFAULT_CAP)),
@@ -479,6 +511,16 @@ impl ShardSim {
     /// guarantees `deliver_at` lies strictly beyond the barrier horizon,
     /// i.e. in this shard's future.
     pub(crate) fn deliver(&mut self, r: &RachReply) {
+        // Exact mode resolves Msg3 at the shared stage, so the backhaul
+        // span embedded in the Msg4 delay arrives with the reply; stamp
+        // it on the in-flight procedure for causal attribution. Last
+        // write wins — a UE has at most one Msg3 outstanding, so a
+        // dropped Msg4's retry simply restamps.
+        if matches!(r.pdu, Pdu::ContentionResolution { .. }) {
+            if let Some(rach) = self.world.ues[r.ue_local as usize].rach.as_mut() {
+                rach.backhaul_ns = r.backhaul_ns;
+            }
+        }
         self.ex.schedule_at(
             r.deliver_at,
             Ev::UeRx {
@@ -785,6 +827,7 @@ impl FleetWorld {
             let action = rach.proc.on_pdu(now, &pdu);
             let connected = rach.proc.state() == RachState::Connected;
             if let st_mac::rach::RachAction::Transmit(msg3) = action {
+                rach.msg3_at = Some(now);
                 self.send_to_bs(ex, now, i, cell, msg3);
             }
             if connected {
@@ -843,6 +886,12 @@ impl FleetWorld {
                 // First Msg3 per temporary id wins contention; a loser's
                 // Msg3 goes unanswered and its timer drives the retry.
                 if let Some(plan) = self.responders[cell].on_msg3(now, temp, ue, context_token) {
+                    // The backhaul span embedded in the Msg4 delay is the
+                    // quantity causal attribution charges to the backhaul
+                    // phase of this UE's interruption.
+                    if let Some(r) = self.ues[i].rach.as_mut() {
+                        r.backhaul_ns = (plan.queue_wait + plan.fetch).as_nanos();
+                    }
                     let tx_beam = self.ues[i].rach.as_ref().map(|r| r.ssb_beam).unwrap_or(0);
                     ex.schedule_in(
                         plan.delay,
@@ -976,6 +1025,9 @@ impl FleetWorld {
         let (target, ssb_beam) = (rach.target, rach.ssb_beam);
         match rach.proc.send_preamble(now, ssb_beam, preamble) {
             Ok(msg1) => {
+                if rach.first_tx.is_none() {
+                    rach.first_tx = Some(now);
+                }
                 self.ues[i].rach_attempts += 1;
                 self.telemetry.cur.rach_attempts += 1;
                 self.send_to_bs(ex, now, i, target, msg1);
@@ -1024,16 +1076,52 @@ impl FleetWorld {
         };
         if let Some(s) = start {
             let ms = done_at.since(s).as_millis_f64();
-            match ue.spec.protocol {
+            // Causal attribution: capture the raw handover timeline as
+            // marks (recorded into the trace for autopsy refolds) and
+            // derive the phase decomposition + root cause. The breakdown
+            // total is bit-equal to the `ms` sample recorded below — one
+            // interruption, one number, two views.
+            let marks = InterruptionMarks {
+                ue: ue.spec.id,
+                from_cell: ue.serving as u16,
+                to_cell: rach.target as u16,
+                reason_rlf: !matches!(ue.handover_reason, Some(HandoverReason::NeighborStronger))
+                    && ue.rlf_at.is_some(),
+                dynamics: self.cfg.base.dynamics.is_some(),
+                start: s,
+                trigger: ue.trigger_at.unwrap_or(s),
+                first_tx: rach.first_tx,
+                msg3: rach.msg3_at,
+                backhaul_ns: rach.backhaul_ns,
+                connected: now,
+                penalty_ns: hard_penalty.as_nanos(),
+                rach_rounds: rach.proc.attempts(),
+            };
+            let bd = InterruptionBreakdown::from_marks(&marks);
+            debug_assert!(
+                bd.total_ms.to_bits() == ms.to_bits(),
+                "breakdown total must bit-equal the recorded interruption"
+            );
+            let (arm, causes) = match ue.spec.protocol {
                 ProtocolKind::SilentTracker => {
                     self.telemetry.soft.record(ms);
                     self.telemetry.cur.soft.record(ms);
+                    (0, &mut self.telemetry.soft_causes)
                 }
                 ProtocolKind::Reactive => {
                     self.telemetry.hard.record(ms);
                     self.telemetry.cur.hard.record(ms);
+                    (1, &mut self.telemetry.hard_causes)
                 }
-            }
+            };
+            causes.record(bd.cause.label(), ms);
+            let c = bd.cause as usize;
+            self.telemetry.cause_totals[arm][c] += ms;
+            self.telemetry.cause_phase_sums[arm][c] += bd.phase_sum_ms();
+            self.telemetry.cause_counts_run[c] += 1;
+            self.telemetry.cur.cause_counts[c] += 1;
+            crate::attribution::push_worst(&mut self.telemetry.worst, bd);
+            ue.proto.record_marks(&marks);
             if self.cfg.exact_ecdfs {
                 ue.interruptions_ms.push(ms);
             }
@@ -1127,6 +1215,9 @@ impl FleetWorld {
             rx_beam: d.rx_beam,
             proc,
             try_pending: true,
+            first_tx: None,
+            msg3_at: None,
+            backhaul_ns: 0,
         });
         ex.schedule_at(at, Ev::RachTry { ue: i as u32 });
     }
@@ -1224,6 +1315,37 @@ impl FleetWorld {
         out.profile = profile;
         out.soft_sketch = std::mem::take(&mut self.telemetry.soft);
         out.hard_sketch = std::mem::take(&mut self.telemetry.hard);
+        // Attribution conservation ledgers, checked before the causal
+        // aggregates leave the shard: (a) per arm and cause, the summed
+        // phase decompositions bit-equal the summed recorded samples;
+        // (b) the timeline's per-cause slice counts sum to the run's
+        // per-cause totals — nothing double-counted, nothing dropped.
+        if cfg!(debug_assertions) {
+            debug_assert!(
+                self.telemetry
+                    .cause_totals
+                    .iter()
+                    .flatten()
+                    .zip(self.telemetry.cause_phase_sums.iter().flatten())
+                    .all(|(t, p)| t.to_bits() == p.to_bits()),
+                "per-cause phase sums must bit-equal the recorded interruption totals"
+            );
+            if let Some(ring) = &self.telemetry.ring {
+                let mut sums = [0u64; 5];
+                for s in ring.slices() {
+                    for (a, b) in sums.iter_mut().zip(&s.cause_counts) {
+                        *a += b;
+                    }
+                }
+                debug_assert!(
+                    sums == self.telemetry.cause_counts_run,
+                    "timeline slice cause counts must sum to the run's cause totals"
+                );
+            }
+        }
+        out.soft_causes = std::mem::take(&mut self.telemetry.soft_causes);
+        out.hard_causes = std::mem::take(&mut self.telemetry.hard_causes);
+        out.worst = std::mem::take(&mut self.telemetry.worst);
         out.timeline = self.telemetry.ring.take();
         // The constant-memory contract: unless the exact-ECDF opt-in is
         // armed, no per-handover sample vector may leave the shard —

@@ -110,6 +110,10 @@ pub struct RachReply {
     pub cell: u16,
     pub tx_beam: TxBeamIndex,
     pub pdu: Pdu,
+    /// Backhaul time (queue wait + context fetch) embedded in the Msg4
+    /// delay, in nanos — zero for RAR replies. Carried so the owning
+    /// shard can charge the backhaul phase in causal attribution.
+    pub backhaul_ns: u64,
 }
 
 /// Deterministic, stage-level counters (all functions of the canonical
@@ -307,6 +311,7 @@ impl SharedRachStage {
                             cell,
                             tx_beam: plan.tx_beam,
                             pdu: plan.pdu.clone(),
+                            backhaul_ns: 0,
                         },
                     );
                 }
@@ -333,6 +338,7 @@ impl SharedRachStage {
                                 cell: m.cell,
                                 tx_beam: reply_tx_beam,
                                 pdu: plan.pdu.clone(),
+                                backhaul_ns: (plan.queue_wait + plan.fetch).as_nanos(),
                             },
                         );
                     }

@@ -49,6 +49,11 @@ pub struct SnapshotSlice {
     /// Gauge: pending DES events at the boundary, summed over shards.
     /// Shard-merge sums; time-merge keeps the peak.
     pub event_queue_depth: u64,
+    /// Interruptions attributed in this interval, per root cause,
+    /// indexed by `Cause as usize` (canonical order). Adds under both
+    /// merges, so the timeline's cause sums equal the run's cause
+    /// totals at any compaction level and worker count.
+    pub cause_counts: [u64; 5],
 }
 
 impl SnapshotSlice {
@@ -67,6 +72,7 @@ impl SnapshotSlice {
             backhaul_wait_us: 0,
             backhaul_backlog_us: 0,
             event_queue_depth: 0,
+            cause_counts: [0; 5],
         }
     }
 
@@ -86,6 +92,9 @@ impl SnapshotSlice {
         self.backhaul_wait_us += other.backhaul_wait_us;
         self.backhaul_backlog_us += other.backhaul_backlog_us;
         self.event_queue_depth += other.event_queue_depth;
+        for (a, b) in self.cause_counts.iter_mut().zip(&other.cause_counts) {
+            *a += b;
+        }
     }
 
     /// Merge the *next* interval into this one (ring compaction):
@@ -104,6 +113,9 @@ impl SnapshotSlice {
         self.backhaul_wait_us += next.backhaul_wait_us;
         self.backhaul_backlog_us = self.backhaul_backlog_us.max(next.backhaul_backlog_us);
         self.event_queue_depth = self.event_queue_depth.max(next.event_queue_depth);
+        for (a, b) in self.cause_counts.iter_mut().zip(&next.cause_counts) {
+            *a += b;
+        }
     }
 
     /// Fraction of heard preambles that collided in this interval.

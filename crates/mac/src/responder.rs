@@ -87,6 +87,11 @@ pub struct Msg4Plan {
     /// Time the fetch spent queued behind other fetches on this cell's
     /// backhaul (already included in `delay`; zero when uncontended).
     pub queue_wait: SimDuration,
+    /// Backhaul round-trip the fetch itself took (already included in
+    /// `delay`; zero when no fetch was paid). `queue_wait + fetch` is
+    /// the full backhaul component of the Msg4 delay — the quantity
+    /// causal attribution charges to the backhaul phase.
+    pub fetch: SimDuration,
 }
 
 /// One Msg1 as heard at a base station, tagged with the *global* UE
@@ -438,22 +443,23 @@ impl RachResponder {
             Msg3Decision::Answered { cached } => cached,
             Msg3Decision::Untracked => false,
         };
-        let (extra, queue_wait) = if soft && !cached {
+        let (extra, queue_wait, fetch) = if soft && !cached {
             let fetch_start = self.backhaul_busy_until.max(now);
             let wait = fetch_start.since(now);
             let rtt = self.config.backhaul_latency * 2;
             self.backhaul_busy_until = fetch_start + rtt;
             self.stats.context_fetches += 1;
             self.stats.backhaul_queue_wait = self.stats.backhaul_queue_wait + wait;
-            (wait + rtt, wait)
+            (wait + rtt, wait, rtt)
         } else {
-            (SimDuration::ZERO, SimDuration::ZERO)
+            (SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO)
         };
         Some(Msg4Plan {
             delay: self.config.msg4_delay + extra,
             pdu: Pdu::ContentionResolution { ue, accepted: true },
             soft,
             queue_wait,
+            fetch,
         })
     }
 

@@ -15,6 +15,8 @@
 //! * [`sketch::QuantileSketch`] — mergeable log-bucketed quantile
 //!   sketches with bounded relative error (constant memory, replaces
 //!   raw-sample ECDFs in fleet hot paths).
+//! * [`sketch_map::SketchMap`] — a canonically-ordered keyed family of
+//!   sketches (per-cause interruption ledgers) with associative merge.
 //! * [`obs`] — deterministic run profiler: monotonic counters (byte-
 //!   identical across worker counts) + wall-time spans (reported
 //!   separately so determinism tests can mask them).
@@ -24,6 +26,7 @@ pub mod histogram;
 pub mod obs;
 pub mod series;
 pub mod sketch;
+pub mod sketch_map;
 pub mod summary;
 pub mod table;
 
@@ -32,5 +35,6 @@ pub use histogram::Histogram;
 pub use obs::{Counters, Profiler, Scope, SpanStat};
 pub use series::TimeSeries;
 pub use sketch::QuantileSketch;
+pub use sketch_map::SketchMap;
 pub use summary::{Accumulator, RateCounter, Summary};
 pub use table::{render_series, Table};

@@ -1,0 +1,132 @@
+//! A small keyed family of [`QuantileSketch`]es with canonical-order
+//! merge — the aggregation container for per-cause latency ledgers.
+//!
+//! Keys are `&'static str` labels (cause tags), kept in a `BTreeMap` so
+//! iteration, merge and comparison always run in lexicographic key
+//! order regardless of insertion order. Merging two maps merges
+//! matching sketches bucket-wise and clones missing ones, so the
+//! operation is associative and commutative like the underlying sketch
+//! merge: shard-order folds produce byte-identical aggregates at any
+//! worker count. Memory is O(keys × buckets), independent of samples.
+
+use std::collections::BTreeMap;
+
+use crate::QuantileSketch;
+
+/// Canonical-ordered map of label → [`QuantileSketch`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SketchMap {
+    entries: BTreeMap<&'static str, QuantileSketch>,
+}
+
+impl SketchMap {
+    pub fn new() -> SketchMap {
+        SketchMap::default()
+    }
+
+    /// Record one sample under `key`, creating the sketch (latency
+    /// preset) on first use.
+    pub fn record(&mut self, key: &'static str, v: f64) {
+        self.entries
+            .entry(key)
+            .or_insert_with(QuantileSketch::latency_ms)
+            .record(v);
+    }
+
+    /// Merge another map into this one: matching keys merge bucket-wise,
+    /// missing keys are cloned. Associative and commutative.
+    pub fn merge(&mut self, other: &SketchMap) {
+        for (key, sketch) in &other.entries {
+            match self.entries.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(sketch),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(sketch.clone());
+                }
+            }
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&QuantileSketch> {
+        self.entries.get(key)
+    }
+
+    /// Entries in canonical (lexicographic key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &QuantileSketch)> {
+        self.entries.iter().map(|(&k, v)| (k, v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total samples across every keyed sketch.
+    pub fn total_count(&self) -> u64 {
+        self.entries.values().map(QuantileSketch::count).sum()
+    }
+
+    /// Heap bytes across every keyed sketch — O(keys × buckets).
+    pub fn memory_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(QuantileSketch::memory_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_matches_bulk_recording_regardless_of_order() {
+        let mut a = SketchMap::new();
+        a.record("fade", 10.0);
+        a.record("fade", 20.0);
+        a.record("backhaul-congestion", 5.0);
+        let mut b = SketchMap::new();
+        b.record("preamble-collision", 40.0);
+        b.record("fade", 30.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        let mut bulk = SketchMap::new();
+        for (k, v) in [
+            ("fade", 10.0),
+            ("fade", 20.0),
+            ("backhaul-congestion", 5.0),
+            ("preamble-collision", 40.0),
+            ("fade", 30.0),
+        ] {
+            bulk.record(k, v);
+        }
+        assert_eq!(ab, bulk);
+        assert_eq!(ab.total_count(), 5);
+    }
+
+    #[test]
+    fn iteration_is_canonical_key_order() {
+        let mut m = SketchMap::new();
+        m.record("zeta", 1.0);
+        m.record("alpha", 1.0);
+        m.record("mid", 1.0);
+        let keys: Vec<_> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn empty_map_reports_empty() {
+        let m = SketchMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.total_count(), 0);
+        assert!(m.get("fade").is_none());
+    }
+}

@@ -175,6 +175,16 @@ impl Proto {
         self.recorder = Some(rec);
     }
 
+    /// Record causal-attribution marks for a handover completing on this
+    /// protocol instance (no-op when recording is off). Call before
+    /// [`Proto::finish_recording`] so the marks land in the segment the
+    /// handover closes.
+    pub fn record_marks(&mut self, m: &silent_tracker::attribution::InterruptionMarks) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record_marks(m);
+        }
+    }
+
     /// Detach the recorder, closing the open segment with the protocol's
     /// final state snapshot. Returns `None` if recording is off.
     pub fn finish_recording(&mut self) -> Option<Box<UeRecorder>> {

@@ -22,6 +22,7 @@
 //! fit in one to three varint bytes where absolute times take five.
 
 use bytes::BufMut;
+use silent_tracker::attribution::InterruptionMarks;
 use silent_tracker::measurement::LinkMonitor;
 use silent_tracker::tracker::Action;
 use silent_tracker::wire::{self, Fnv64, WireError};
@@ -32,8 +33,10 @@ use st_phy::units::Db;
 
 use crate::config::ProtocolKind;
 
-/// Magic + version prefix of a serialized [`FleetTrace`] file.
-pub const TRACE_MAGIC: &[u8; 8] = b"STTRACE1";
+/// Magic + version prefix of a serialized [`FleetTrace`] file. Version 2
+/// appends per-segment [`InterruptionMarks`] (causal attribution of the
+/// handover that ended the segment) after the final-state snapshot.
+pub const TRACE_MAGIC: &[u8; 8] = b"STTRACE2";
 
 /// One protocol incarnation of one UE: from (re-)anchoring on a serving
 /// cell until the next handover completes (or the run ends).
@@ -59,6 +62,13 @@ pub struct SegmentTrace {
     pub action_digest: u64,
     /// Byte-exact final [`ProtocolState`] snapshot.
     pub final_state: Vec<u8>,
+    /// Causal-attribution marks of handovers recorded while this
+    /// segment was open (in practice: the handover whose completion
+    /// closed the segment). Self-contained, so the autopsy tool derives
+    /// the identical [`InterruptionBreakdown`] the live run computed.
+    ///
+    /// [`InterruptionBreakdown`]: silent_tracker::attribution::InterruptionBreakdown
+    pub marks: Vec<InterruptionMarks>,
 }
 
 /// The full recorded history of one UE across all its segments.
@@ -239,6 +249,10 @@ impl SegmentTrace {
         wire::put_varu64(buf, self.action_count);
         buf.put_u64(self.action_digest);
         put_bytes(buf, &self.final_state);
+        wire::put_varu64(buf, self.marks.len() as u64);
+        for m in &self.marks {
+            m.encode(buf);
+        }
     }
 
     fn decode(buf: &mut &[u8]) -> Result<SegmentTrace, WireError> {
@@ -249,15 +263,26 @@ impl SegmentTrace {
             1 => Some(LinkMonitor::decode(buf)?),
             _ => return Err(WireError::Corrupt("warm seed tag")),
         };
+        let events = get_bytes(buf)?;
+        let n_events = wire::get_varu64(buf)?;
+        let action_count = wire::get_varu64(buf)?;
+        let action_digest = wire::get_u64(buf)?;
+        let final_state = get_bytes(buf)?;
+        let n_marks = wire::get_varu64(buf)? as usize;
+        let mut marks = Vec::with_capacity(n_marks.min(1024));
+        for _ in 0..n_marks {
+            marks.push(InterruptionMarks::decode(buf)?);
+        }
         Ok(SegmentTrace {
             serving_cell,
             serving_rx,
             warm,
-            events: get_bytes(buf)?,
-            n_events: wire::get_varu64(buf)?,
-            action_count: wire::get_varu64(buf)?,
-            action_digest: wire::get_u64(buf)?,
-            final_state: get_bytes(buf)?,
+            events,
+            n_events,
+            action_count,
+            action_digest,
+            final_state,
+            marks,
         })
     }
 }
@@ -395,6 +420,7 @@ struct OpenSegment {
     ticks: Option<PendingTicks>,
     digest: Fnv64,
     action_count: u64,
+    marks: Vec<InterruptionMarks>,
 }
 
 /// Per-UE event/action recorder, attached to a
@@ -436,6 +462,7 @@ impl UeRecorder {
             ticks: None,
             digest: Fnv64::new(),
             action_count: 0,
+            marks: Vec::new(),
         });
     }
 
@@ -456,7 +483,18 @@ impl UeRecorder {
             action_count: seg.action_count,
             action_digest: seg.digest.finish(),
             final_state: state_bytes,
+            marks: seg.marks,
         });
+    }
+
+    /// Record the causal-attribution marks of a completed handover. The
+    /// driver calls this right before closing the segment the handover
+    /// ends, so the marks travel with the protocol incarnation that
+    /// performed the access.
+    pub fn record_marks(&mut self, m: &InterruptionMarks) {
+        if let Some(seg) = &mut self.cur {
+            seg.marks.push(*m);
+        }
     }
 
     /// Record one event about to be folded into the protocol.

@@ -136,7 +136,9 @@ fn timeline_slices_cover_the_run_and_sum_to_totals() {
     assert_eq!(sliced, out.totals.soft_sketch.count());
     // The timeline JSON carries the schema tag and no wall-clock keys.
     let json = out.timeline_json().unwrap();
-    assert!(json.contains("st-fleet-timeline-v1"), "{json}");
+    assert!(json.contains("st-fleet-timeline-v2"), "{json}");
+    // v2 slices carry the per-cause interruption counts.
+    assert!(json.contains("\"causes\": {\"blockage-onset\""), "{json}");
     assert!(!json.contains("wall"), "{json}");
 }
 
