@@ -2,7 +2,8 @@
 //! Usage: `fleet_load [--smoke] [--exact-contention] [--workers N] [--json PATH]
 //!                    [--snapshot-s S] [--timeline PATH] [--explain-top N]
 //!                    [--causes PATH] [--record PATH | --replay PATH]
-//!                    [POPULATIONS...]`
+//!                    [--ues N]... [--compare-ues N]... [--round-robin]
+//!                    [--interest-radius M] [POPULATIONS...]`
 //!
 //! `--smoke` prints the deterministic aggregate summary of a small fixed
 //! fleet (CI compares two invocations byte-for-byte); otherwise the
@@ -38,6 +39,17 @@
 //! per-cause attribution artifact (cause-keyed quantile ledgers plus the
 //! worst-k exemplars; no wall-clock values, so CI `cmp`s it across
 //! worker counts).
+//!
+//! `--ues N` (repeatable) runs the gapped-cluster *scale* deployment at
+//! population N under geographic tile sharding with a 150 m interest
+//! radius (`--interest-radius M` overrides; `0` keeps the full link
+//! set; `--round-robin` switches the assignment strategy — the A/B for
+//! the interest-management profiler deltas). `--compare-ues N`
+//! (repeatable) adds the round-robin/full-link-set twin of point N, so
+//! one invocation writes both sides of the comparison into the perf
+//! artifact. Scale arms print their deterministic aggregate summaries
+//! to stdout (no wall-clock), so CI byte-compares two worker counts the
+//! same way it compares `--smoke` runs.
 fn main() {
     let mut smoke = false;
     let mut exact = false;
@@ -52,11 +64,33 @@ fn main() {
     let mut explain_top: usize = 0;
     let mut causes_path: Option<String> = None;
     let mut populations: Vec<u64> = Vec::new();
+    let mut scale_ues: Vec<u64> = Vec::new();
+    let mut compare_ues: Vec<u64> = Vec::new();
+    let mut round_robin = false;
+    let mut interest_radius: Option<f64> = Some(150.0);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--exact-contention" => exact = true,
+            "--ues" => {
+                scale_ues.push(args.next().and_then(|v| v.parse().ok()).expect("--ues N"));
+            }
+            "--compare-ues" => {
+                compare_ues.push(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--compare-ues N"),
+                );
+            }
+            "--round-robin" => round_robin = true,
+            "--interest-radius" => {
+                let m: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--interest-radius M (metres, 0 disables)");
+                interest_radius = (m > 0.0).then_some(m);
+            }
             "--workers" => {
                 workers = args
                     .next()
@@ -181,22 +215,75 @@ fn main() {
         }
         return;
     }
-    if populations.is_empty() {
+    let scale_mode = !scale_ues.is_empty() || !compare_ues.is_empty();
+    if populations.is_empty() && !scale_mode {
         populations = vec![100, 300, 1000];
     }
-    let mut r = st_bench::fleet_load::run_obs(&populations, 42, workers, exact, record, snapshot_s);
+    let mut r = if populations.is_empty() {
+        st_bench::fleet_load::FleetLoad {
+            arms: Vec::new(),
+            replay: Vec::new(),
+        }
+    } else {
+        st_bench::fleet_load::run_obs(&populations, 42, workers, exact, record, snapshot_s)
+    };
+    // Scale arms. The `--compare-ues` twins (round-robin, full link set
+    // — the pre-interest-management execution) run first so each
+    // baseline row sits above its tiles counterpart in the artifact.
+    for &ues in &compare_ues {
+        r.arms.push(st_bench::fleet_load::run_scale_point(
+            ues,
+            st_fleet::ShardStrategy::RoundRobin,
+            None,
+            exact,
+            workers,
+            42,
+        ));
+    }
+    let strategy = if round_robin {
+        st_fleet::ShardStrategy::RoundRobin
+    } else {
+        st_fleet::ShardStrategy::Tiles
+    };
+    for &ues in &scale_ues {
+        r.arms.push(st_bench::fleet_load::run_scale_point(
+            ues,
+            strategy,
+            interest_radius,
+            exact,
+            workers,
+            42,
+        ));
+    }
     save_trace(&r);
     save_timeline(&r);
     save_causes(&r);
     if record {
         r.replay = st_bench::fleet_load::replay_arms(&r, workers);
     }
-    println!("{}", st_bench::fleet_load::render(&r));
+    if populations.is_empty() {
+        // Scale-only invocation: deterministic aggregate summaries only
+        // (no wall-clock on stdout), so CI can `cmp` worker counts.
+        for a in &r.arms {
+            print!("{}", a.outcome.summary());
+        }
+    } else {
+        println!("{}", st_bench::fleet_load::render(&r));
+    }
     if explain_top > 0 {
         print!("{}", st_bench::fleet_load::explain_top(&r, explain_top));
     }
-    if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, &mode_label("sweep")) {
+    let mode = if populations.is_empty() {
+        mode_label("scale")
+    } else {
+        mode_label("sweep")
+    };
+    if let Err(e) = st_bench::fleet_load::write_bench_json(&json_path, &r, &mode) {
         eprintln!("warning: could not write {json_path}: {e}");
     }
-    println!("perf artifact: {json_path}");
+    if !populations.is_empty() {
+        println!("perf artifact: {json_path}");
+    } else {
+        eprintln!("perf artifact: {json_path}");
+    }
 }

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use st_fleet::{
     format_worst, run_fleet_with_workers, Deployment, FleetConfig, FleetOutcome, MobilityKind,
+    ShardStrategy,
 };
 use st_metrics::Table;
 use st_net::{ProtocolKind, RunTrace};
@@ -33,6 +34,9 @@ pub const PRE_REFACTOR_1000UE_WALL_S: f64 = 4.2;
 pub struct Arm {
     pub ues: u64,
     pub protocol: ProtocolKind,
+    /// Shard-assignment label for the artifact: `"round-robin"` or
+    /// `"tiles"` (geographic cell-cluster sharding + interest radius).
+    pub sharding: &'static str,
     pub outcome: FleetOutcome,
     /// Wall-clock seconds this arm's fleet run took.
     pub wall_s: f64,
@@ -183,6 +187,7 @@ pub fn run_obs(
             arms.push(Arm {
                 ues,
                 protocol,
+                sharding: sharding_label(&cfg),
                 outcome,
                 wall_s,
                 trace,
@@ -199,6 +204,95 @@ fn arm_label(p: ProtocolKind) -> &'static str {
     match p {
         ProtocolKind::SilentTracker => "silent",
         ProtocolKind::Reactive => "reactive",
+    }
+}
+
+fn sharding_label(cfg: &FleetConfig) -> &'static str {
+    match cfg.shard_strategy {
+        ShardStrategy::RoundRobin => "round-robin",
+        ShardStrategy::Tiles => "tiles",
+    }
+}
+
+/// The scale-study street at population `ues`: gapped cell-cluster
+/// blocks (5 cells, 100 m pitch per block, 400 m of open street between
+/// blocks) so that under [`ShardStrategy::Tiles`] + interest radius the
+/// blocks are *independent* — disjoint reachable-cell sets, one exact
+/// contention group per block — while round-robin sharding forces every
+/// shard to carry links to every cell. One shard per block. An odd
+/// per-block cell count puts both gap-facing edge cells on the same
+/// street side, so the nearest-cell equidistance line at each gap
+/// midpoint is vertical and initial serving assignment never crosses a
+/// tile boundary (a single cross-serving UE would union two exact
+/// contention groups).
+///
+/// `interest_radius` of `None` keeps the full per-UE link set (the
+/// pre-interest behaviour); the scale CLI defaults to 150 m.
+pub fn scale_deployment(
+    ues: u64,
+    strategy: ShardStrategy,
+    interest_radius: Option<f64>,
+    exact: bool,
+    seed: u64,
+) -> FleetConfig {
+    let blocks = (ues / 5_000).clamp(2, 8) as usize;
+    let per_block = 5usize;
+    let block_span = (per_block - 1) as f64 * 100.0;
+    let pitch = block_span + 400.0;
+    let length = blocks as f64 * pitch;
+    let walkers = (ues * 4 / 5) as u32;
+    let vehicles = ues as u32 - walkers;
+    let mut d = Deployment::new()
+        .street(length, 30.0)
+        .tx_beams(8)
+        .prach_preambles(8)
+        .population(walkers, MobilityKind::Walk, ProtocolKind::SilentTracker)
+        .population(
+            vehicles,
+            MobilityKind::Vehicular,
+            ProtocolKind::SilentTracker,
+        )
+        .duration_secs(1.0)
+        .seed(seed)
+        .shards(blocks)
+        .shard_strategy(strategy)
+        .migration_interval_secs(0.2)
+        .exact_contention(exact);
+    let x0 = -((blocks - 1) as f64) * pitch / 2.0 - block_span / 2.0;
+    for b in 0..blocks {
+        for c in 0..per_block {
+            let side = if c % 2 == 0 { 10.0 } else { -10.0 };
+            d = d.cell_at(x0 + b as f64 * pitch + c as f64 * 100.0, side);
+        }
+    }
+    if let Some(r) = interest_radius {
+        d = d.interest_radius(r);
+    }
+    d.build().expect("valid scale deployment")
+}
+
+/// Run one scale point and package it as an [`Arm`]. Stdout-facing
+/// callers print the outcome's deterministic `summary()`; the wall
+/// clock and profiler counters land in the perf artifact.
+pub fn run_scale_point(
+    ues: u64,
+    strategy: ShardStrategy,
+    interest_radius: Option<f64>,
+    exact: bool,
+    workers: usize,
+    seed: u64,
+) -> Arm {
+    let cfg = scale_deployment(ues, strategy, interest_radius, exact, seed);
+    let start = Instant::now();
+    let outcome = run_fleet_with_workers(&cfg, workers);
+    let wall_s = start.elapsed().as_secs_f64();
+    Arm {
+        ues,
+        protocol: ProtocolKind::SilentTracker,
+        sharding: sharding_label(&cfg),
+        outcome,
+        wall_s,
+        trace: None,
     }
 }
 
@@ -247,11 +341,13 @@ pub fn bench_json(r: &FleetLoad, mode: &str) -> String {
             .map_or("null".to_string(), |st| format!("{:.3}", st.barrier_wait_s));
         writeln!(
             s,
-            "    {{\"ues\": {}, \"arm\": \"{}\", \"contention\": \"{contention}\", \
+            "    {{\"ues\": {}, \"arm\": \"{}\", \"sharding\": \"{}\", \
+             \"contention\": \"{contention}\", \
              \"wall_s\": {:.3}, \"barrier_wait_s\": {barrier_wait_s}, \
              \"ue_seconds_per_wall_second\": {:.0}, \"handovers\": {}, \"events\": {}}}{sep}",
             a.ues,
             arm_label(a.protocol),
+            a.sharding,
             a.wall_s,
             a.ue_seconds_per_wall_second(),
             a.outcome.totals.handovers,
@@ -597,6 +693,7 @@ pub fn smoke_timed_obs(
         arms: vec![Arm {
             ues,
             protocol: ProtocolKind::SilentTracker,
+            sharding: sharding_label(&cfg),
             outcome,
             wall_s,
             trace,

@@ -653,7 +653,10 @@ impl SilentState {
         SilentState {
             serving_phase: ServingPhase::Stable,
             serving_rx_beam,
-            serving_monitor: LinkMonitor::new(ctx.config.ewma_alpha),
+            serving_monitor: LinkMonitor::with_reference_decay(
+                ctx.config.ewma_alpha,
+                ctx.config.loss_reference_decay.0,
+            ),
             serving_table: BeamTable::new(ctx.config.ewma_alpha),
             serving_last_switch: SimTime::ZERO,
             neighbor: NeighborPhase::Searching(search),
@@ -668,8 +671,8 @@ impl SilentState {
     /// Warm-start handover re-anchoring: seed the serving-link monitor
     /// from the monitor that already tracked this physical link before
     /// the handover (the old tracked-neighbor monitor). The smoothed
-    /// level history carries over; the drop reference restarts at the
-    /// current level with serving semantics (no decay).
+    /// level history and reference-decay policy carry over; the drop
+    /// reference restarts at the current level.
     pub fn warm_start(&mut self, monitor: &LinkMonitor) {
         self.serving_monitor = monitor.rebased_warm();
     }
@@ -1419,7 +1422,10 @@ impl ReactiveState {
     pub fn initial(ctx: &ProtocolCtx, serving_rx_beam: BeamId) -> ReactiveState {
         ReactiveState {
             serving_rx_beam,
-            monitor: LinkMonitor::new(ctx.config.ewma_alpha),
+            monitor: LinkMonitor::with_reference_decay(
+                ctx.config.ewma_alpha,
+                ctx.config.loss_reference_decay.0,
+            ),
             table: BeamTable::new(ctx.config.ewma_alpha),
             phase: ReactivePhase::Connected,
             directive: None,

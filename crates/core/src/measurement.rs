@@ -146,17 +146,17 @@ impl LinkMonitor {
 
     /// Derive a serving-link monitor that inherits this monitor's level
     /// history (warm-start handover re-anchoring): the smoothed estimate,
-    /// sample count and freshness carry over from the tracked-neighbor
-    /// monitor — the same physical link the mobile is handing over to —
-    /// while the drop reference restarts at the current level with
-    /// serving semantics (best-ever, no decay).
+    /// sample count, freshness and reference-decay policy carry over from
+    /// the tracked-neighbor monitor — the same physical link the mobile
+    /// is handing over to — while the drop reference restarts at the
+    /// current level.
     pub fn rebased_warm(&self) -> LinkMonitor {
         LinkMonitor {
             ewma: self.ewma,
             reference: self.ewma.get(),
             last_update: self.last_update,
             samples: self.samples,
-            reference_decay: 0.0,
+            reference_decay: self.reference_decay,
         }
     }
 

@@ -21,6 +21,7 @@
 
 use std::sync::Arc;
 
+use rand::RngExt;
 use st_des::SimDuration;
 use st_env::{BlockerPopulation, DynamicEnvironment};
 use st_net::config::{CellConfig, ProtocolKind, ScenarioConfig};
@@ -57,6 +58,70 @@ pub struct UeSpec {
     pub protocol: ProtocolKind,
 }
 
+impl MobilityKind {
+    /// Upper bound on sustained translational speed, m/s — the travel
+    /// margin used when expanding a tile's reachable-cell set.
+    pub fn max_speed_mps(self) -> f64 {
+        match self {
+            MobilityKind::Walk | MobilityKind::WalkAndTurn => 1.4,
+            MobilityKind::Vehicular => st_mobility::mph_to_mps(20.0),
+            MobilityKind::Rotation => 0.0,
+        }
+    }
+}
+
+/// How the population is partitioned into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Round-robin by global UE id: every shard sees a representative
+    /// mix, but also every cell — per-UE cost is O(cells).
+    #[default]
+    RoundRobin,
+    /// Geographic cell-cluster tiles: cells are clustered into
+    /// `n_shards` contiguous groups along the street axis and each UE
+    /// lives on the shard owning the tile its spawn position falls in,
+    /// migrating between shards as its trajectory crosses tile
+    /// boundaries. Pairs with [`FleetConfig::interest_radius_m`] so a
+    /// shard only ray-traces the cells its UEs can actually hear.
+    Tiles,
+}
+
+/// The geometric tile partition derived from a [`FleetConfig`] under
+/// [`ShardStrategy::Tiles`]: which cells each tile owns and where the
+/// tile boundaries sit on the street axis.
+#[derive(Debug, Clone)]
+pub struct TilePartition {
+    /// Cell indices owned by each tile, ascending by street-axis
+    /// position (ties broken by y then index).
+    pub clusters: Vec<Vec<usize>>,
+    /// `n_tiles - 1` boundary abscissae: tile `k` owns
+    /// `x ∈ (boundaries[k-1], boundaries[k]]` (open-ended at the ends).
+    pub boundaries: Vec<f64>,
+}
+
+impl TilePartition {
+    /// The tile owning street-axis position `x`.
+    pub fn tile_of_x(&self, x: f64) -> usize {
+        self.boundaries.partition_point(|b| *b < x)
+    }
+
+    /// The closed x-interval tile `k` spans (unbounded ends clamped to
+    /// ±`extent`).
+    pub fn tile_interval(&self, k: usize, extent: f64) -> (f64, f64) {
+        let lo = if k == 0 {
+            -extent
+        } else {
+            self.boundaries[k - 1]
+        };
+        let hi = if k == self.boundaries.len() {
+            extent
+        } else {
+            self.boundaries[k]
+        };
+        (lo, hi)
+    }
+}
+
 /// Full fleet description: the shared radio/world parameters (reusing the
 /// single-trial [`ScenarioConfig`] — its `protocol`, `initial_serving` and
 /// `stop_at_handover` fields are per-UE concerns here and ignored) plus
@@ -70,6 +135,19 @@ pub struct FleetConfig {
     /// Number of independent simulation shards the population is split
     /// into (fixed by config — results never depend on worker count).
     pub n_shards: usize,
+    /// How UEs are assigned to shards (see [`ShardStrategy`]).
+    pub shard_strategy: ShardStrategy,
+    /// Interest-management radius, metres: each UE's link set is
+    /// restricted to cells within this radius of its current position
+    /// (its serving cell and any active RACH target are always kept).
+    /// `None` (default) keeps the full link set — byte-identical to the
+    /// pre-interest behaviour.
+    pub interest_radius_m: Option<f64>,
+    /// How often (simulated time) tile shards pause to migrate UEs whose
+    /// trajectories crossed a tile boundary. Only meaningful under
+    /// [`ShardStrategy::Tiles`]; under exact contention the interval is
+    /// rounded up to a whole number of occasion epochs.
+    pub migration_interval: SimDuration,
     /// Route all RACH traffic through the shared cross-shard responder
     /// stage: shards synchronize at PRACH-occasion barriers and each
     /// cell's occasion resolves over the globally merged attempt set, so
@@ -121,13 +199,125 @@ impl FleetConfig {
         specs
     }
 
-    /// The UEs of shard `s` (round-robin by global id, so every shard
-    /// sees a representative protocol/mobility mix).
+    /// The whole population partitioned into its shards in one pass
+    /// (index = shard). Every shard's slice is ascending by global id.
+    pub fn shard_partition(&self) -> Vec<Vec<UeSpec>> {
+        let mut shards: Vec<Vec<UeSpec>> = vec![Vec::new(); self.n_shards];
+        match self.shard_strategy {
+            ShardStrategy::RoundRobin => {
+                for u in self.ue_specs() {
+                    shards[(u.id as usize) % self.n_shards].push(u);
+                }
+            }
+            ShardStrategy::Tiles => {
+                let tiles = self.tiles();
+                for u in self.ue_specs() {
+                    shards[tiles.tile_of_x(self.spawn_x_of(u.id))].push(u);
+                }
+            }
+        }
+        shards
+    }
+
+    /// The UEs of shard `s`. Prefer [`Self::shard_partition`] when every
+    /// shard is needed — this rebuilds the whole partition per call.
     pub fn shard_specs(&self, s: usize) -> Vec<UeSpec> {
-        self.ue_specs()
-            .into_iter()
-            .filter(|u| (u.id as usize) % self.n_shards == s)
-            .collect()
+        self.shard_partition().swap_remove(s)
+    }
+
+    /// The street-axis spawn abscissa of UE `id`, re-derived from the
+    /// master seed. This draws the same first variate `build_mobility`
+    /// draws from the UE's `"fleet-spawn"` stream, so tile assignment
+    /// agrees with the position the UE actually materializes at without
+    /// perturbing any stream.
+    pub fn spawn_x_of(&self, id: u64) -> f64 {
+        let streams = st_des::RngStreams::new(self.base.seed);
+        let mut rng = streams.stream_indexed("fleet-spawn", id);
+        self.spawn_x.0 + rng.random::<f64>() * (self.spawn_x.1 - self.spawn_x.0)
+    }
+
+    /// The geometric tile partition under [`ShardStrategy::Tiles`]:
+    /// cells sorted along the street axis are chunked into `n_shards`
+    /// contiguous near-equal clusters, and tile boundaries sit at the
+    /// midpoints between adjacent clusters' facing cells. Pure config —
+    /// identical on every worker.
+    pub fn tiles(&self) -> TilePartition {
+        let n_cells = self.base.cells.len();
+        let n = self.n_shards;
+        let mut order: Vec<usize> = (0..n_cells).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (self.base.cells[a].position, self.base.cells[b].position);
+            (pa.x, pa.y, a)
+                .partial_cmp(&(pb.x, pb.y, b))
+                .expect("finite cell positions")
+        });
+        let (div, rem) = (n_cells / n, n_cells % n);
+        let mut clusters = Vec::with_capacity(n);
+        let mut at = 0usize;
+        for k in 0..n {
+            let take = div + usize::from(k < rem);
+            clusters.push(order[at..at + take].to_vec());
+            at += take;
+        }
+        let boundaries = clusters
+            .windows(2)
+            .map(|w| {
+                let hi = self.base.cells[*w[0].last().unwrap()].position.x;
+                let lo = self.base.cells[w[1][0]].position.x;
+                (hi + lo) / 2.0
+            })
+            .collect();
+        TilePartition {
+            clusters,
+            boundaries,
+        }
+    }
+
+    /// The worst-case distance a UE can travel over the whole run, plus
+    /// slack for gait sway — the margin by which a tile's reachable-cell
+    /// set is expanded so deferred migrations and boundary-hugging UEs
+    /// never hear a cell outside it.
+    pub fn travel_margin_m(&self) -> f64 {
+        let vmax = self
+            .populations
+            .iter()
+            .map(|p| p.mobility.max_speed_mps())
+            .fold(0.0, f64::max);
+        vmax * self.base.duration.as_secs_f64() + 5.0
+    }
+
+    /// The cells UEs of tile `k` can ever hear: cells within
+    /// `interest_radius_m + travel_margin` of the tile's x-interval,
+    /// plus the tile's own cluster (a UE's serving cell is always in its
+    /// link set). With no interest radius every cell is reachable.
+    pub fn reachable_cells(&self, tiles: &TilePartition, k: usize) -> Vec<usize> {
+        let n_cells = self.base.cells.len();
+        let Some(radius) = self.interest_radius_m else {
+            return (0..n_cells).collect();
+        };
+        let extent = self
+            .base
+            .cells
+            .iter()
+            .map(|c| c.position.x.abs())
+            .fold(self.spawn_x.0.abs().max(self.spawn_x.1.abs()), f64::max)
+            + radius
+            + 1.0;
+        let (lo, hi) = tiles.tile_interval(k, extent);
+        let reach = radius + self.travel_margin_m();
+        let mut cells: Vec<usize> = (0..n_cells)
+            .filter(|&c| {
+                let x = self.base.cells[c].position.x;
+                (x - x.clamp(lo, hi)).abs() <= reach
+            })
+            .collect();
+        for &c in &tiles.clusters[k] {
+            if !cells.contains(&c) {
+                cells.push(c);
+            }
+        }
+        cells.sort_unstable();
+        cells
     }
 
     pub fn validate(&self) -> Result<(), String> {
@@ -141,8 +331,22 @@ impl FleetConfig {
         if self.event_budget == 0 {
             return Err("event budget must be positive".into());
         }
-        if self.spawn_x.0 >= self.spawn_x.1 || self.spawn_y.0 > self.spawn_y.1 {
+        if self.spawn_x.0 >= self.spawn_x.1 || self.spawn_y.0 >= self.spawn_y.1 {
             return Err("degenerate spawn region".into());
+        }
+        if self.n_ues() > u64::from(u32::MAX) {
+            return Err("population exceeds u32 UE-id space".into());
+        }
+        if self.shard_strategy == ShardStrategy::Tiles {
+            if self.n_shards > self.base.cells.len() {
+                return Err("tile sharding needs at least one cell per shard".into());
+            }
+            if self.migration_interval.as_nanos() == 0 {
+                return Err("migration interval must be positive".into());
+            }
+        }
+        if self.interest_radius_m.is_some_and(|r| r <= 0.0) {
+            return Err("interest radius must be positive".into());
         }
         if self.snapshot_interval.is_some_and(|dt| dt.as_nanos() == 0) {
             return Err("snapshot interval must be positive".into());
@@ -166,6 +370,9 @@ pub struct Deployment {
     blockers: Option<BlockerPopulation>,
     street_dims: (f64, f64),
     n_shards: usize,
+    shard_strategy: ShardStrategy,
+    interest_radius_m: Option<f64>,
+    migration_interval: SimDuration,
     exact_contention: bool,
     event_budget: u64,
     spawn_x: Option<(f64, f64)>,
@@ -193,6 +400,9 @@ impl Deployment {
             blockers: None,
             street_dims: (200.0, 30.0),
             n_shards: 1,
+            shard_strategy: ShardStrategy::RoundRobin,
+            interest_radius_m: None,
+            migration_interval: SimDuration::from_millis(100),
             exact_contention: false,
             event_budget: 200_000_000,
             spawn_x: None,
@@ -292,6 +502,32 @@ impl Deployment {
         self
     }
 
+    /// Select the shard-assignment strategy (see [`ShardStrategy`]).
+    pub fn shard_strategy(mut self, s: ShardStrategy) -> Deployment {
+        self.shard_strategy = s;
+        self
+    }
+
+    /// Shard by geographic cell-cluster tiles
+    /// ([`ShardStrategy::Tiles`]).
+    pub fn tile_sharding(self) -> Deployment {
+        self.shard_strategy(ShardStrategy::Tiles)
+    }
+
+    /// Restrict each UE's link set to cells within `m` metres (see
+    /// [`FleetConfig::interest_radius_m`]).
+    pub fn interest_radius(mut self, m: f64) -> Deployment {
+        self.interest_radius_m = Some(m);
+        self
+    }
+
+    /// How often tile shards pause to migrate boundary-crossing UEs
+    /// (see [`FleetConfig::migration_interval`]).
+    pub fn migration_interval_secs(mut self, s: f64) -> Deployment {
+        self.migration_interval = SimDuration::from_secs_f64(s);
+        self
+    }
+
     /// Arm the shared cross-shard RACH responder stage (exact global
     /// contention; see [`FleetConfig::exact_contention`]).
     pub fn exact_contention(mut self, on: bool) -> Deployment {
@@ -362,6 +598,9 @@ impl Deployment {
             base,
             populations: self.populations,
             n_shards: self.n_shards,
+            shard_strategy: self.shard_strategy,
+            interest_radius_m: self.interest_radius_m,
+            migration_interval: self.migration_interval,
             exact_contention: self.exact_contention,
             event_budget: self.event_budget,
             spawn_x,
@@ -451,6 +690,68 @@ mod tests {
             .shards(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_spawn_axes() {
+        let flat_y = Deployment::new()
+            .population(1, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .spawn_region((-10.0, 10.0), (1.0, 1.0))
+            .build();
+        assert!(flat_y.is_err(), "zero-height spawn_y must be rejected");
+        let flat_x = Deployment::new()
+            .population(1, MobilityKind::Walk, ProtocolKind::SilentTracker)
+            .spawn_region((3.0, 3.0), (-1.0, 1.0))
+            .build();
+        assert!(flat_x.is_err(), "zero-width spawn_x must be rejected");
+    }
+
+    #[test]
+    fn tiles_cluster_cells_contiguously() {
+        // small(): 4 cells along x at -120, -40, 40, 120 over 2 shards.
+        let cfg = small();
+        let tiles = cfg.tiles();
+        assert_eq!(tiles.clusters, vec![vec![0, 1], vec![2, 3]]);
+        // Boundary at the midpoint between the facing cells (±40).
+        assert_eq!(tiles.boundaries, vec![0.0]);
+        assert_eq!(tiles.tile_of_x(-1.0), 0);
+        assert_eq!(tiles.tile_of_x(0.0), 0, "boundary belongs to the left tile");
+        assert_eq!(tiles.tile_of_x(0.1), 1);
+        assert_eq!(tiles.tile_interval(0, 500.0), (-500.0, 0.0));
+        assert_eq!(tiles.tile_interval(1, 500.0), (0.0, 500.0));
+    }
+
+    #[test]
+    fn reachable_cells_respect_radius_plus_travel_margin() {
+        let mut cfg = small();
+        let tiles = cfg.tiles();
+        // No interest radius: every tile can hear every cell.
+        assert_eq!(cfg.reachable_cells(&tiles, 0), vec![0, 1, 2, 3]);
+        // 60 m radius, 1 s horizon, fastest slice vehicular (8.9408
+        // m/s): margin = 8.9408 · 1 + 5 ≈ 13.94 m, so tile 0 (x ≤ 0)
+        // reaches the near far-side cell at x = 40 but not the one at
+        // x = 120 (dist 120 > 60 + 13.94).
+        cfg.interest_radius_m = Some(60.0);
+        let vmax = MobilityKind::Vehicular.max_speed_mps();
+        assert!((cfg.travel_margin_m() - (vmax + 5.0)).abs() < 1e-9);
+        assert_eq!(cfg.reachable_cells(&tiles, 0), vec![0, 1, 2]);
+        assert_eq!(cfg.reachable_cells(&tiles, 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tile_shard_partition_assigns_by_spawn_abscissa() {
+        let mut cfg = small();
+        cfg.shard_strategy = ShardStrategy::Tiles;
+        let tiles = cfg.tiles();
+        let shards = cfg.shard_partition();
+        assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 8);
+        for (s, shard) in shards.iter().enumerate() {
+            for u in shard {
+                assert_eq!(tiles.tile_of_x(cfg.spawn_x_of(u.id)), s);
+            }
+            // Slices stay ascending by global id within each shard.
+            assert!(shard.windows(2).all(|w| w[0].id < w[1].id));
+        }
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod stage;
 pub mod telemetry;
 
 pub use attribution::{breakdowns_from_traces, format_breakdown, format_worst, marks_from_traces};
-pub use deployment::{Deployment, FleetConfig, MobilityKind, PopulationSpec, UeSpec};
+pub use deployment::{
+    Deployment, FleetConfig, MobilityKind, PopulationSpec, ShardStrategy, TilePartition, UeSpec,
+};
 pub use metrics::{CellLoad, FleetOutcome, InterruptionStats, ShardOutcome, StageReport};
 pub use runner::{run_fleet, run_fleet_exact_with_order, run_fleet_with_workers, StageOrder};
 pub use stage::{RachAttemptMsg, RachReply, RachReq, SharedRachStage, StageCounters};

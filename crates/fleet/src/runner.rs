@@ -1,16 +1,27 @@
 //! Sharded parallel fleet execution.
 //!
 //! The population is split into `FleetConfig::n_shards` independent
-//! simulations *by config* (round-robin on global UE id); worker threads
+//! simulations *by config* — round-robin on global UE id, or by
+//! geographic tile under [`ShardStrategy::Tiles`] — and worker threads
 //! are merely the labour that runs them. Each shard derives every RNG
 //! stream from the fleet master seed and global UE ids, and the shard
 //! results are merged in shard order — so the aggregate is bit-identical
 //! for a given (config, seed) no matter how many workers ran it, which is
 //! exactly what the CI fleet-smoke step asserts.
 //!
-//! Workers own disjoint contiguous chunks of the result vector (the same
-//! no-per-slot-lock pattern as `st_bench::runner::run_trials`), so the
-//! hot path is lock-free.
+//! ## Tile sharding and migration
+//!
+//! Under [`ShardStrategy::Tiles`] a shard owns a contiguous x-interval of
+//! the street and the cells clustered inside it. UEs whose trajectories
+//! cross a tile boundary **migrate**: at fixed migration boundaries
+//! (multiples of `FleetConfig::migration_interval`, rounded up to whole
+//! occasion epochs in exact mode) a single worker extracts every
+//! quiescent out-of-tile UE from every shard in canonical order (shards
+//! ascending, global ids ascending) and re-inserts it, RNG streams,
+//! fading processes and protocol state intact, into its destination
+//! shard. Because the boundaries are global constants of the config and
+//! the pass is single-threaded and canonically ordered, migration is
+//! invisible to the aggregate: byte-identical across worker counts.
 //!
 //! ## Exact contention ([`FleetConfig::exact_contention`])
 //!
@@ -19,23 +30,39 @@
 //! switches to barrier-synchronized execution: every worker steps its
 //! shards one occasion epoch at a time (the epoch is the minimum BS
 //! response delay, so replies always land in the shards' future), the
-//! published attempts meet at a barrier, one resolution pass runs the
+//! published attempts meet at a barrier, one resolution pass runs a
 //! shared [`SharedRachStage`] over the globally merged, canonically
 //! ordered attempt set, and the replies fan back before the next epoch
 //! starts. The aggregate is then byte-identical not only across worker
 //! counts but across **shard counts** — sharding stops being an
 //! approximation and becomes pure parallelism.
+//!
+//! ## Neighbor-set barriers (contention groups)
+//!
+//! With tiles and an interest radius the occasion barrier narrows from
+//! global to *neighbor-set*: shards are grouped into the connected
+//! components of the "reachable cell sets intersect" relation (tile
+//! interval ± interest radius ± whole-run travel margin, plus the tile's
+//! own cluster and any out-of-set initial serving attachments). Two
+//! shards in different components can never publish an attempt to the
+//! same cell, so each component gets its own [`SharedRachStage`] and its
+//! own barrier — widely separated cell clusters stop synchronizing with
+//! each other at every epoch and only meet at the (much rarer) global
+//! migration boundaries. With one component the behaviour degenerates to
+//! the single global stage.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 use st_des::SimTime;
+use st_mac::responder::ResponderStats;
 
-use crate::deployment::FleetConfig;
+use crate::deployment::{FleetConfig, ShardStrategy, TilePartition};
 use crate::metrics::{FleetOutcome, ShardOutcome, StageReport};
-use crate::sim::{build_world, responder_config, run_shard, ShardSim};
-use crate::stage::{RachAttemptMsg, RachReply, SharedRachStage, StageSliceDelta};
+use crate::sim::{build_world, responder_config, run_shard_specs, ShardSim};
+use crate::stage::{RachAttemptMsg, RachReply, SharedRachStage, StageCounters, StageSliceDelta};
 use crate::telemetry::{SnapshotRing, SnapshotSlice};
 
 /// Deterministic-interleaving harness knob: the order a worker steps its
@@ -81,12 +108,19 @@ pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome
     if cfg.exact_contention {
         return run_fleet_exact_with_order(cfg, workers, StageOrder::Forward);
     }
+    if cfg.shard_strategy == ShardStrategy::Tiles {
+        return run_fleet_tiles_stepped(cfg, workers);
+    }
     let n_shards = cfg.n_shards;
     let workers = workers.clamp(1, n_shards);
     // The static world (cells, codebooks, environment) is built once and
     // shared by every shard and every UE via `Arc` — workers reference it,
     // they do not clone it.
     let (sites, ue_codebook) = build_world(cfg);
+    // The whole population is partitioned once; each worker takes its
+    // shards' spec vectors out of the shared partition (O(N) total, not
+    // O(N·S)).
+    let mut parts = cfg.shard_partition();
     let mut results: Vec<Option<ShardOutcome>> = (0..n_shards).map(|_| None).collect();
     let chunk = n_shards.div_ceil(workers);
     // Wall-time spans are execution-side observations: summed across
@@ -94,12 +128,22 @@ pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome
     let shard_run_ns = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
-        for (w, slots) in results.chunks_mut(chunk).enumerate() {
+        for (w, (slots, specs)) in results
+            .chunks_mut(chunk)
+            .zip(parts.chunks_mut(chunk))
+            .enumerate()
+        {
             let (sites, ue_codebook, shard_run_ns) = (&sites, &ue_codebook, &shard_run_ns);
             scope.spawn(move || {
                 let t0 = Instant::now();
-                for (j, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(run_shard(cfg, w * chunk + j, sites, ue_codebook));
+                for (j, (slot, sp)) in slots.iter_mut().zip(specs.iter_mut()).enumerate() {
+                    *slot = Some(run_shard_specs(
+                        cfg,
+                        w * chunk + j,
+                        std::mem::take(sp),
+                        sites,
+                        ue_codebook,
+                    ));
                 }
                 shard_run_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
@@ -123,6 +167,178 @@ pub fn run_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetOutcome
     out
 }
 
+/// One migration pass over every shard, run by a single thread while all
+/// workers hold at a global barrier: extract in canonical order (shards
+/// ascending, global ids ascending within a shard), then admit — so the
+/// outcome is a pure function of the simulated state at `boundary`,
+/// independent of worker count or scheduling.
+fn migrate_all(
+    sims: &[Mutex<ShardSim>],
+    boundary: SimTime,
+    tiles: &TilePartition,
+    group_of: &[u32],
+    resolved_to: SimTime,
+) {
+    let mut moving = Vec::new();
+    for sim in sims {
+        moving.extend(
+            sim.lock()
+                .unwrap()
+                .extract_migrants(boundary, tiles, group_of, resolved_to),
+        );
+    }
+    for (dest, m) in moving {
+        sims[dest].lock().unwrap().admit(m);
+    }
+}
+
+/// Legacy-contention execution under [`ShardStrategy::Tiles`]: shards
+/// advance in lockstep between migration boundaries (contention stays
+/// tile-local — the same per-partition approximation round-robin
+/// sharding makes, now aligned with geography so it is *less* wrong),
+/// and a single worker migrates boundary-crossing UEs at each one.
+fn run_fleet_tiles_stepped(cfg: &FleetConfig, workers: usize) -> FleetOutcome {
+    let n_shards = cfg.n_shards;
+    let workers = workers.clamp(1, n_shards);
+    let (sites, ue_codebook) = build_world(cfg);
+    let sims: Vec<Mutex<ShardSim>> = cfg
+        .shard_partition()
+        .into_iter()
+        .enumerate()
+        .map(|(s, specs)| Mutex::new(ShardSim::new(cfg, s, specs, &sites, &ue_codebook)))
+        .collect();
+    let tiles = cfg.tiles();
+    // Legacy mode has no cross-shard stage, so there is nothing a
+    // cross-group migration could desynchronize: all shards form one
+    // migration domain.
+    let group_of = vec![0u32; n_shards];
+
+    let deadline = SimTime::ZERO + cfg.base.duration;
+    let mig = cfg.migration_interval;
+    let n_steps = cfg
+        .base
+        .duration
+        .as_nanos()
+        .div_ceil(mig.as_nanos().max(1))
+        .max(1);
+    let chunk = n_shards.div_ceil(workers);
+    let n_workers = n_shards.div_ceil(chunk);
+    let barrier = Barrier::new(n_workers);
+    let shard_run_ns = AtomicU64::new(0);
+    let barrier_wait_ns = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let (sims, tiles, group_of, barrier) = (&sims, &tiles, &group_of, &barrier);
+            let (shard_run_ns, barrier_wait_ns) = (&shard_run_ns, &barrier_wait_ns);
+            let my_shards: Vec<usize> = (w * chunk..((w + 1) * chunk).min(n_shards)).collect();
+            scope.spawn(move || {
+                for k in 1..=n_steps {
+                    let boundary = (SimTime::ZERO + mig * k).min(deadline);
+                    let t_step = Instant::now();
+                    for &s in &my_shards {
+                        sims[s].lock().unwrap().run_until(boundary);
+                    }
+                    shard_run_ns.fetch_add(t_step.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let entry = Instant::now();
+                    barrier.wait();
+                    if w == 0 && k != n_steps {
+                        migrate_all(sims, boundary, tiles, group_of, boundary);
+                    }
+                    barrier.wait();
+                    barrier_wait_ns.fetch_add(entry.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let t_merge = Instant::now();
+    let mut out = FleetOutcome::merge(
+        cfg.base.seed,
+        cfg.base.duration,
+        sims.into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .map(ShardSim::finish),
+    );
+    let p = &mut out.totals.profile;
+    p.record_span_nanos(
+        "shard.run",
+        u128::from(shard_run_ns.load(Ordering::Relaxed)),
+        n_shards as u64,
+    );
+    p.record_span_nanos(
+        "stage.barrier_wait",
+        u128::from(barrier_wait_ns.load(Ordering::Relaxed)),
+        n_steps * n_workers as u64,
+    );
+    p.record_span_nanos("fleet.merge", t_merge.elapsed().as_nanos(), 1);
+    out
+}
+
+/// The contention-group partition for exact-contention tile runs: shard
+/// "touch sets" (reachable cells ∪ initial serving cells) are closed
+/// under intersection into connected components. Returns
+/// `(group_of_shard, groups, touch_set_per_shard)`; groups and their
+/// member lists ascend.
+fn contention_groups(
+    cfg: &FleetConfig,
+    sims: &[Mutex<ShardSim>],
+) -> (Vec<u32>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let n_shards = cfg.n_shards;
+    let tiles = cfg.tiles();
+    let touch: Vec<Vec<usize>> = (0..n_shards)
+        .map(|s| {
+            let mut t = cfg.reachable_cells(&tiles, s);
+            for c in sims[s].lock().unwrap().serving_cells() {
+                if !t.contains(&c) {
+                    t.push(c);
+                }
+            }
+            t.sort_unstable();
+            t
+        })
+        .collect();
+
+    // Union-find over shards, merged through shared cells.
+    let mut parent: Vec<usize> = (0..n_shards).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut cell_owner: BTreeMap<usize, usize> = BTreeMap::new();
+    for (s, cells) in touch.iter().enumerate() {
+        for &c in cells {
+            match cell_owner.get(&c) {
+                Some(&o) => {
+                    let (a, b) = (find(&mut parent, o), find(&mut parent, s));
+                    if a != b {
+                        parent[b.max(a)] = b.min(a);
+                    }
+                }
+                None => {
+                    cell_owner.insert(c, s);
+                }
+            }
+        }
+    }
+    let mut group_of = vec![0u32; n_shards];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_group: BTreeMap<usize, usize> = BTreeMap::new();
+    for (s, slot) in group_of.iter_mut().enumerate() {
+        let r = find(&mut parent, s);
+        let g = *root_to_group.entry(r).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        *slot = g as u32;
+        groups[g].push(s);
+    }
+    (group_of, groups, touch)
+}
+
 /// Barrier-synchronized exact-contention execution, with an explicit
 /// shard-visit/mailbox-drain order for the determinism stress tests.
 /// Production entry points always pass [`StageOrder::Forward`]; any
@@ -134,109 +350,219 @@ pub fn run_fleet_exact_with_order(
 ) -> FleetOutcome {
     cfg.validate().expect("invalid fleet config");
     let n_shards = cfg.n_shards;
+    let n_cells = cfg.base.cells.len();
     let workers = workers.clamp(1, n_shards);
-    let chunk = n_shards.div_ceil(workers);
-    // `chunks_mut(chunk)` may yield fewer chunks than requested workers;
-    // the barrier must count the threads that actually exist.
-    let n_workers = n_shards.div_ceil(chunk);
+    let tiles_on = cfg.shard_strategy == ShardStrategy::Tiles;
+    // Round-robin shardings can exceed the cell count, where no tile
+    // partition exists (and none is needed — migration never runs).
+    let tiles = if tiles_on {
+        cfg.tiles()
+    } else {
+        TilePartition {
+            clusters: Vec::new(),
+            boundaries: Vec::new(),
+        }
+    };
 
     let (sites, ue_codebook) = build_world(cfg);
-    let mut sims: Vec<ShardSim> = (0..n_shards)
-        .map(|s| ShardSim::new(cfg, s, &sites, &ue_codebook))
+    let parts = cfg.shard_partition();
+    let part_lens: Vec<usize> = parts.iter().map(Vec::len).collect();
+    let sims: Vec<Mutex<ShardSim>> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(s, specs)| Mutex::new(ShardSim::new(cfg, s, specs, &sites, &ue_codebook)))
         .collect();
 
-    let mut stage_raw = SharedRachStage::new(
-        cfg.base.cells.len(),
-        responder_config(&cfg.base),
-        cfg.n_ues() as usize,
-    );
-    if let Some(dt) = cfg.snapshot_interval {
-        // The per-shard responders are idle under the stage, so the
-        // timeline's responder-side fields come from the stage's own
-        // per-interval attribution.
-        stage_raw.arm_slices(dt);
-    }
-    let stage = Mutex::new(stage_raw);
-    let epoch = stage.lock().unwrap().epoch();
+    // Contention groups: round-robin shards all reach every cell, so the
+    // partition is only computed (and only narrows anything) for tiles.
+    let (group_of, groups, touch) = if tiles_on {
+        contention_groups(cfg, &sims)
+    } else {
+        (
+            vec![0u32; n_shards],
+            vec![(0..n_shards).collect()],
+            vec![(0..n_cells).collect(); n_shards],
+        )
+    };
+    let n_groups = groups.len();
+
+    let stages: Vec<Mutex<SharedRachStage>> = groups
+        .iter()
+        .map(|g| {
+            let inflight: usize = g.iter().map(|&s| part_lens[s]).sum();
+            let mut st = SharedRachStage::new(n_cells, responder_config(&cfg.base), inflight);
+            if let Some(dt) = cfg.snapshot_interval {
+                // The per-shard responders are idle under the stage, so
+                // the timeline's responder-side fields come from the
+                // stages' own per-interval attribution.
+                st.arm_slices(dt);
+            }
+            Mutex::new(st)
+        })
+        .collect();
+    let rc = responder_config(&cfg.base);
+    let epoch = rc.rar_delay.min(rc.msg4_delay);
     let deadline = SimTime::ZERO + cfg.base.duration;
     let n_epochs = cfg.base.duration.as_nanos().div_ceil(epoch.as_nanos());
+    // Migration boundaries snap up to whole occasion epochs so every
+    // group reaches the global barrier at the same epoch index.
+    let mig_every = if tiles_on {
+        cfg.migration_interval
+            .as_nanos()
+            .div_ceil(epoch.as_nanos())
+            .max(1)
+    } else {
+        0
+    };
 
-    let barrier = Barrier::new(n_workers);
+    // Worker plan: each worker serves a contiguous run of one group's
+    // shards (a worker never straddles groups — its epoch loop waits on
+    // exactly one group barrier). Workers are apportioned to groups by
+    // population share, at least one each.
+    struct WorkerPlan {
+        group: usize,
+        slot: usize,
+        shards: Vec<usize>,
+    }
+    let mut plans: Vec<WorkerPlan> = Vec::new();
+    let mut group_workers: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    for (gi, g) in groups.iter().enumerate() {
+        let share = (workers * g.len() / n_shards).clamp(1, g.len());
+        let chunk = g.len().div_ceil(share);
+        for (slot, sh) in g.chunks(chunk).enumerate() {
+            group_workers[gi].push(plans.len());
+            plans.push(WorkerPlan {
+                group: gi,
+                slot,
+                shards: sh.to_vec(),
+            });
+        }
+    }
+    let group_barriers: Vec<Barrier> = group_workers
+        .iter()
+        .map(|w| Barrier::new(w.len()))
+        .collect();
+    let global_barrier = Barrier::new(plans.len());
+
     // Sharded mailboxes: one per worker, written lock-free-in-practice
-    // (each worker locks only its own, once per epoch) and merged by the
-    // single resolution pass between the barriers.
+    // (each worker locks only its own, once per epoch) and merged by its
+    // group's resolution pass between the barriers.
     let mailboxes: Vec<Mutex<Vec<RachAttemptMsg>>> =
-        (0..n_workers).map(|_| Mutex::new(Vec::new())).collect();
+        plans.iter().map(|_| Mutex::new(Vec::new())).collect();
     let shard_replies: Vec<Mutex<Vec<RachReply>>> =
         (0..n_shards).map(|_| Mutex::new(Vec::new())).collect();
     let barrier_wait_ns = AtomicU64::new(0);
     let shard_run_ns = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
-        for (w, my_sims) in sims.chunks_mut(chunk).enumerate() {
-            let (barrier, mailboxes, shard_replies, stage, barrier_wait_ns) = (
-                &barrier,
-                &mailboxes,
-                &shard_replies,
-                &stage,
-                &barrier_wait_ns,
-            );
-            let step_order = order.permutation(my_sims.len());
-            let drain_order = order.permutation(n_workers);
-            let shard_run_ns = &shard_run_ns;
+        for (widx, plan) in plans.iter().enumerate() {
+            let (sims, stages, mailboxes, shard_replies) =
+                (&sims, &stages, &mailboxes, &shard_replies);
+            let (group_barriers, global_barrier, group_workers) =
+                (&group_barriers, &global_barrier, &group_workers);
+            let (tiles, group_of) = (&tiles, &group_of);
+            let (barrier_wait_ns, shard_run_ns) = (&barrier_wait_ns, &shard_run_ns);
+            let step_order = order.permutation(plan.shards.len());
+            let drain_order = order.permutation(group_workers[plan.group].len());
             scope.spawn(move || {
+                let my_barrier = &group_barriers[plan.group];
                 let mut local: Vec<RachAttemptMsg> = Vec::new();
                 for k in 1..=n_epochs {
                     let horizon = (SimTime::ZERO + epoch * k).min(deadline);
                     let t_step = Instant::now();
                     for &j in &step_order {
-                        my_sims[j].run_until(horizon);
-                        my_sims[j].take_outbox(&mut local);
+                        let mut sim = sims[plan.shards[j]].lock().unwrap();
+                        sim.run_until(horizon);
+                        sim.take_outbox(&mut local);
                     }
                     shard_run_ns.fetch_add(t_step.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     if !local.is_empty() {
-                        mailboxes[w].lock().unwrap().append(&mut local);
+                        mailboxes[widx].lock().unwrap().append(&mut local);
                     }
                     // Time the two waits separately so the resolver's
                     // own merge work never counts as "barrier waiting" —
                     // the overhead figure must separate idling from work.
                     let entry = Instant::now();
-                    barrier.wait();
+                    my_barrier.wait();
                     let mut wait_ns = entry.elapsed().as_nanos() as u64;
-                    if w == 0 {
-                        let mut stage = stage.lock().unwrap();
+                    if plan.slot == 0 {
+                        let mut stage = stages[plan.group].lock().unwrap();
                         for &m in &drain_order {
-                            stage.ingest(&mut mailboxes[m].lock().unwrap());
+                            let mb = group_workers[plan.group][m];
+                            stage.ingest(&mut mailboxes[mb].lock().unwrap());
                         }
                         stage.resolve_up_to(horizon, |shard, reply| {
                             shard_replies[shard as usize].lock().unwrap().push(reply);
                         });
                     }
                     let fanback = Instant::now();
-                    barrier.wait();
+                    my_barrier.wait();
                     wait_ns += fanback.elapsed().as_nanos() as u64;
-                    barrier_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
-                    for sim in my_sims.iter_mut() {
-                        let mut replies = shard_replies[sim.shard_idx() as usize].lock().unwrap();
+                    for &s in &plan.shards {
+                        let mut sim = sims[s].lock().unwrap();
+                        let mut replies = shard_replies[s].lock().unwrap();
                         for r in replies.drain(..) {
                             sim.deliver(&r);
                         }
                     }
+                    // Migration boundary: the only instant different
+                    // groups synchronize. Every stage has resolved up to
+                    // `horizon`, every reply is delivered, so the
+                    // quiescence guard sees the truth.
+                    if mig_every != 0 && k % mig_every == 0 && k != n_epochs {
+                        let entry = Instant::now();
+                        global_barrier.wait();
+                        if widx == 0 {
+                            migrate_all(sims, horizon, tiles, group_of, horizon);
+                        }
+                        global_barrier.wait();
+                        wait_ns += entry.elapsed().as_nanos() as u64;
+                    }
+                    barrier_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
                 }
             });
         }
     });
 
-    let stage = stage.into_inner().unwrap();
+    let stages: Vec<SharedRachStage> = stages
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
     let t_merge = Instant::now();
     let mut out = FleetOutcome::merge(
         cfg.base.seed,
         cfg.base.duration,
-        sims.into_iter().map(ShardSim::finish),
+        sims.into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .map(ShardSim::finish),
     );
-    out.apply_shared_responders(stage.responder_stats());
-    merge_stage_timeline(&mut out, &stage);
-    let counters = stage.counters();
+    // Per-cell responder stats combine trivially: contention groups have
+    // disjoint touch sets, so at most one stage's responder for a given
+    // cell ever heard anything. `touch` drives an explicit ownership map
+    // rather than sniffing for non-default stats.
+    let mut cell_group: Vec<Option<usize>> = vec![None; n_cells];
+    for (s, cells) in touch.iter().enumerate() {
+        for &c in cells {
+            cell_group[c] = Some(group_of[s] as usize);
+        }
+    }
+    let per_stage: Vec<Vec<ResponderStats>> = stages.iter().map(|s| s.responder_stats()).collect();
+    out.apply_shared_responders(
+        (0..n_cells)
+            .map(|c| match cell_group[c] {
+                Some(g) => per_stage[g][c],
+                None => ResponderStats::default(),
+            })
+            .collect(),
+    );
+    merge_stage_timeline(&mut out, &stages);
+    let mut counters = StageCounters::default();
+    for st in &stages {
+        let c = st.counters();
+        counters.resolved_preambles += c.resolved_preambles;
+        counters.resolved_msg3 += c.resolved_msg3;
+        counters.busy_barriers += c.busy_barriers;
+    }
     out.stage = Some(StageReport {
         epochs: n_epochs,
         barrier_wait_s: barrier_wait_ns.load(Ordering::Relaxed) as f64 * 1e-9,
@@ -248,6 +574,7 @@ pub fn run_fleet_exact_with_order(
     c.add("stage.resolved_preambles", counters.resolved_preambles);
     c.add("stage.resolved_msg3", counters.resolved_msg3);
     c.add("stage.busy_barriers", counters.busy_barriers);
+    c.add("stage.groups", n_groups as u64);
     let p = &mut out.totals.profile;
     p.record_span_nanos(
         "shard.run",
@@ -257,28 +584,38 @@ pub fn run_fleet_exact_with_order(
     p.record_span_nanos(
         "stage.barrier_wait",
         u128::from(barrier_wait_ns.load(Ordering::Relaxed)),
-        n_epochs * n_workers as u64,
+        n_epochs * plans.len() as u64,
     );
     p.record_span_nanos("fleet.merge", t_merge.elapsed().as_nanos(), 1);
     out
 }
 
-/// Fold the stage's per-interval responder deltas into the merged shard
+/// Fold the stages' per-interval responder deltas into the merged shard
 /// timeline as a pseudo-shard: a ring with the same shape (same base
 /// interval, capacity and push count compacts identically), whose slices
 /// carry only the responder-side fields the idle per-shard responders
-/// left at zero.
-fn merge_stage_timeline(out: &mut FleetOutcome, stage: &SharedRachStage) {
+/// left at zero. Group stages attribute disjoint cells, so their deltas
+/// sum without double counting.
+fn merge_stage_timeline(out: &mut FleetOutcome, stages: &[SharedRachStage]) {
     let Some(mut ring) = out.totals.timeline.take() else {
         return;
     };
+    let mut deltas: BTreeMap<u64, StageSliceDelta> = BTreeMap::new();
+    for st in stages {
+        for (&k, d) in st.slice_deltas() {
+            let e = deltas.entry(k).or_default();
+            e.preambles_heard += d.preambles_heard;
+            e.collisions += d.collisions;
+            e.contention_losses += d.contention_losses;
+            e.backhaul_wait_us += d.backhaul_wait_us;
+        }
+    }
     fn fold(sl: &mut SnapshotSlice, d: &StageSliceDelta) {
         sl.preambles_heard += d.preambles_heard;
         sl.collisions += d.collisions;
         sl.contention_losses += d.contention_losses;
         sl.backhaul_wait_us += d.backhaul_wait_us;
     }
-    let deltas = stage.slice_deltas();
     let pushed = ring.pushed();
     let mut sr = SnapshotRing::new(ring.base_interval(), ring.cap());
     for k in 0..pushed {
@@ -309,6 +646,7 @@ fn merge_stage_timeline(out: &mut FleetOutcome, stage: &SharedRachStage) {
 mod tests {
     use super::*;
     use crate::deployment::{Deployment, MobilityKind};
+    use st_des::SimDuration;
     use st_net::ProtocolKind;
 
     fn tiny(seed: u64, shards: usize) -> FleetConfig {
@@ -402,5 +740,45 @@ mod tests {
         let a = run_fleet_with_workers(&contended_exact(11, 2), 2);
         let b = run_fleet_with_workers(&contended_exact(12, 2), 2);
         assert_ne!(a.summary(), b.summary());
+    }
+
+    /// Tile-sharded exact runs with an interest radius wide enough to
+    /// cover every site must reproduce the round-robin exact baseline
+    /// byte-for-byte: every link process activates eagerly at t=0, the
+    /// contention groups collapse to one, and migration merely relabels
+    /// which shard runs a UE — none of which the aggregate may see.
+    #[test]
+    fn tile_sharding_with_covering_radius_matches_round_robin() {
+        let rr = run_fleet_with_workers(&contended_exact(11, 2), 2);
+        let tiled = |shards: usize, workers: usize| {
+            let mut cfg = contended_exact(11, shards);
+            cfg.shard_strategy = ShardStrategy::Tiles;
+            cfg.migration_interval = SimDuration::from_millis(50);
+            run_fleet_with_workers(&cfg, workers)
+        };
+        let t2 = tiled(2, 2);
+        let t2w1 = tiled(2, 1);
+        assert_eq!(rr.summary(), t2.summary());
+        assert_eq!(rr.summary(), t2w1.summary());
+    }
+
+    /// A UE migrating between tiles keeps its protocol state and RNG
+    /// streams bit-exact: the 2-tile run must agree with the 1-tile run
+    /// (where no migration is possible), *and* migrations must actually
+    /// have happened for the comparison to mean anything.
+    #[test]
+    fn migration_preserves_protocol_state_and_rng_streams() {
+        let tiled = |shards: usize| {
+            let mut cfg = contended_exact(11, shards);
+            cfg.shard_strategy = ShardStrategy::Tiles;
+            cfg.migration_interval = SimDuration::from_millis(20);
+            run_fleet_with_workers(&cfg, 2)
+        };
+        let one = tiled(1);
+        let two = tiled(2);
+        assert_eq!(one.summary(), two.summary());
+        assert!(two.totals.handovers > 0, "{}", two.summary());
+        let migrations = two.totals.profile.counters.get("fleet.migrations_in");
+        assert!(migrations > 0, "no migrations\n{}", two.summary());
     }
 }

@@ -63,7 +63,10 @@ const CONTEXT_TOKEN_BASE: u64 = 0x511E_27AC_0000_0000;
 /// Simulation events. Periodic drivers (`Burst`, `DwellEnd`,
 /// `ServingMeas`, `Tick`) are shared — one event iterates every UE in
 /// global-id order, which keeps the pending set small and the dispatch
-/// order deterministic.
+/// order deterministic. Targeted events carry the *global* UE id
+/// (resolved by binary search over the shard's id-sorted UE vector), so
+/// they survive UEs migrating in and out of the shard between tile
+/// boundaries — no index is ever invalidated.
 #[derive(Debug, Clone)]
 enum Ev {
     Burst {
@@ -118,15 +121,15 @@ struct RachExec {
     backhaul_ns: u64,
 }
 
-/// One mobile of the fleet.
+/// One mobile of the fleet. The per-instant hot state a measurement
+/// sweep touches — the pose memo and the link scratch — lives
+/// struct-of-arrays in [`FleetWorld`] (`poses`, `links`), parallel to
+/// the `ues` vector, so a shard's sweep is one cache-friendly pass; this
+/// struct keeps the colder protocol/accounting state.
 struct Ue {
     spec: UeSpec,
     uid: UeId,
     mobility: BoxedModel,
-    /// Pose memoized per instant: every RSS evaluation of one dispatch
-    /// re-reads the same pose, and mobility models are trigonometry-heavy.
-    pose_cache: (SimTime, Pose),
-    links: LinkSet,
     rach_rng: StdRng,
     fault_rng: StdRng,
     proto: Proto,
@@ -139,6 +142,14 @@ struct Ue {
     handover_reason: Option<HandoverReason>,
     trigger_at: Option<SimTime>,
     rlf_at: Option<SimTime>,
+    /// Targeted events (`UeRx`/`BsRx`/`AssistApply`/`RachTry`) currently
+    /// in this shard's queue for this UE. A UE may only migrate between
+    /// tiles when this is zero — nothing in flight references it.
+    pending_events: u32,
+    /// When this UE last published an attempt to the exact-contention
+    /// stage; migration additionally waits until the stage has resolved
+    /// past `last_publish + AIR_DELAY` so no reply can still be holding.
+    last_publish: SimTime,
     // Banked accounting (survives protocol re-anchoring).
     handovers: u64,
     rlfs: u64,
@@ -153,13 +164,6 @@ struct Ue {
 }
 
 impl Ue {
-    fn pose_at(&mut self, now: SimTime) -> Pose {
-        if self.pose_cache.0 != now {
-            self.pose_cache = (now, self.mobility.pose_at(now.as_secs_f64()));
-        }
-        self.pose_cache.1
-    }
-
     fn context_token(&self) -> u64 {
         match self.spec.protocol {
             ProtocolKind::SilentTracker => CONTEXT_TOKEN_BASE | u64::from(self.uid.0),
@@ -190,7 +194,22 @@ struct FleetWorld {
     /// being swept. Shared by all UEs of the shard (used transiently
     /// within one sweep).
     sweep_scratch: Vec<Dbm>,
+    /// UEs ascending by global id, with their hot per-instant state
+    /// split struct-of-arrays alongside: `poses[i]` memoizes UE `i`'s
+    /// pose per instant (mobility models are trigonometry-heavy) and
+    /// `links[i]` is its link scratch. The three vectors move in
+    /// lockstep on migration.
     ues: Vec<Ue>,
+    poses: Vec<(SimTime, Pose)>,
+    links: Vec<LinkSet>,
+    /// Cell indices sorted by street-axis abscissa — the interest query
+    /// index (binary-search the x-window, filter by true distance).
+    cells_by_x: Vec<(f64, u16)>,
+    /// Reusable scratch for one UE's freshly computed interest set.
+    interest_scratch: Vec<u16>,
+    /// UEs admitted from / handed to other tiles at migration barriers.
+    migrations_in: u64,
+    migrations_out: u64,
     responders: Vec<RachResponder>,
     /// Distinct PRACH occasions (by instant) with ≥ 1 transmission, per cell.
     occasions_used: Vec<BTreeSet<u64>>,
@@ -299,6 +318,39 @@ fn build_mobility(spec: &UeSpec, rng: &mut StdRng, cfg: &FleetConfig) -> (BoxedM
     (model, pos)
 }
 
+/// Compute one UE's interest set into `out`: cells within `radius` of
+/// `pos` (x-window binary search over `cells_by_x`, then a true distance
+/// check), force-including the serving cell and any in-flight RACH
+/// target, sorted ascending and deduplicated.
+#[allow(clippy::too_many_arguments)]
+fn interest_cells(
+    cells_by_x: &[(f64, u16)],
+    base: &ScenarioConfig,
+    pos: Vec2,
+    radius: f64,
+    serving: usize,
+    rach_target: Option<usize>,
+    out: &mut Vec<u16>,
+) {
+    out.clear();
+    let lo = cells_by_x.partition_point(|&(x, _)| x < pos.x - radius);
+    for &(_, cell) in &cells_by_x[lo..] {
+        let p = base.cells[cell as usize].position;
+        if p.x > pos.x + radius {
+            break;
+        }
+        if p.distance(pos) <= radius {
+            out.push(cell);
+        }
+    }
+    out.push(serving as u16);
+    if let Some(t) = rach_target {
+        out.push(t as u16);
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
 /// Build the shared static side of a fleet: one [`Sites`] and one UE
 /// codebook behind `Arc`s, handed to every shard (and from there to every
 /// UE's protocol instance) instead of being rebuilt/cloned per shard.
@@ -333,7 +385,21 @@ pub fn run_shard(
     sites: &Arc<Sites>,
     ue_codebook: &Arc<Codebook>,
 ) -> ShardOutcome {
-    let mut sim = ShardSim::new(cfg, shard_idx, sites, ue_codebook);
+    let specs = cfg.shard_specs(shard_idx);
+    run_shard_specs(cfg, shard_idx, specs, sites, ue_codebook)
+}
+
+/// [`run_shard`] with the shard's population already partitioned out
+/// (the runner partitions the whole fleet once instead of rebuilding
+/// and filtering the full spec vector per shard).
+pub fn run_shard_specs(
+    cfg: &FleetConfig,
+    shard_idx: usize,
+    specs: Vec<UeSpec>,
+    sites: &Arc<Sites>,
+    ue_codebook: &Arc<Codebook>,
+) -> ShardOutcome {
+    let mut sim = ShardSim::new(cfg, shard_idx, specs, sites, ue_codebook);
     sim.run_until(SimTime::ZERO + cfg.base.duration);
     sim.finish()
 }
@@ -351,10 +417,21 @@ pub(crate) struct ShardSim {
     budget_exhausted: bool,
 }
 
+/// One UE in transit between tile shards: the cold state plus its
+/// struct-of-arrays companions, moved as a unit so every RNG stream,
+/// fading process and protocol machine continues bit-exactly on the
+/// destination shard.
+pub(crate) struct Migrant {
+    ue: Ue,
+    pose: (SimTime, Pose),
+    links: LinkSet,
+}
+
 impl ShardSim {
     pub(crate) fn new(
         cfg: &FleetConfig,
         shard_idx: usize,
+        specs: Vec<UeSpec>,
         sites: &Arc<Sites>,
         ue_codebook: &Arc<Codebook>,
     ) -> ShardSim {
@@ -363,8 +440,17 @@ impl ShardSim {
         let sites = Arc::clone(sites);
         let ue_codebook = Arc::clone(ue_codebook);
 
-        let ues: Vec<Ue> = cfg
-            .shard_specs(shard_idx)
+        let mut cells_by_x: Vec<(f64, u16)> = base
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.position.x, i as u16))
+            .collect();
+        cells_by_x.sort_by(|a, b| a.partial_cmp(b).expect("finite cell positions"));
+
+        let mut poses = Vec::with_capacity(specs.len());
+        let mut links = Vec::with_capacity(specs.len());
+        let ues: Vec<Ue> = specs
             .into_iter()
             .map(|spec| {
                 let mut spawn_rng = streams.stream_indexed("fleet-spawn", spec.id);
@@ -388,11 +474,29 @@ impl ShardSim {
                 if cfg.record_traces {
                     proto.start_recording();
                 }
+                poses.push((SimTime::ZERO, pose0));
+                links.push(match cfg.interest_radius_m {
+                    None => LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
+                    Some(radius) => {
+                        let mut set =
+                            LinkSet::for_ue_interest(&streams, base.channel, sites.len(), spec.id);
+                        let mut cells = Vec::new();
+                        interest_cells(
+                            &cells_by_x,
+                            base,
+                            pose0.position,
+                            radius,
+                            serving,
+                            None,
+                            &mut cells,
+                        );
+                        set.set_interest(&cells);
+                        set
+                    }
+                });
                 Ue {
                     uid,
-                    pose_cache: (SimTime::ZERO, pose0),
                     mobility,
-                    links: LinkSet::for_ue(&streams, base.channel, sites.len(), spec.id),
                     rach_rng: streams.stream_indexed("fleet-rach", spec.id),
                     fault_rng: streams.stream_indexed("fleet-fault", spec.id),
                     proto,
@@ -404,6 +508,8 @@ impl ShardSim {
                     handover_reason: None,
                     trigger_at: None,
                     rlf_at: None,
+                    pending_events: 0,
+                    last_publish: SimTime::ZERO,
                     handovers: 0,
                     rlfs: 0,
                     rach_attempts: 0,
@@ -414,6 +520,10 @@ impl ShardSim {
                 }
             })
             .collect();
+        debug_assert!(
+            ues.windows(2).all(|w| w[0].spec.id < w[1].spec.id),
+            "shard population must ascend by global id"
+        );
 
         let n_cells = sites.len();
         let burst_period = base.ssb(0).burst_period;
@@ -424,6 +534,12 @@ impl ShardSim {
             cal: base.radio.cal(),
             sweep_scratch: Vec::new(),
             ues,
+            poses,
+            links,
+            cells_by_x,
+            interest_scratch: Vec::new(),
+            migrations_in: 0,
+            migrations_out: 0,
             responders: (0..n_cells)
                 .map(|_| RachResponder::new(responder_config(base)))
                 .collect(),
@@ -473,10 +589,6 @@ impl ShardSim {
         }
     }
 
-    pub(crate) fn shard_idx(&self) -> u32 {
-        self.world.shard_idx
-    }
-
     /// Process every pending event with timestamp ≤ `limit` (the DES
     /// clock parks at `limit`, so repeated bounded runs are equivalent
     /// to one long run). The per-shard event budget is cumulative across
@@ -511,25 +623,112 @@ impl ShardSim {
     /// guarantees `deliver_at` lies strictly beyond the barrier horizon,
     /// i.e. in this shard's future.
     pub(crate) fn deliver(&mut self, r: &RachReply) {
+        let Some(i) = self.world.idx_of(r.ue_global as u32) else {
+            debug_assert!(
+                false,
+                "reply routed to a shard not owning UE {}",
+                r.ue_global
+            );
+            return;
+        };
         // Exact mode resolves Msg3 at the shared stage, so the backhaul
         // span embedded in the Msg4 delay arrives with the reply; stamp
         // it on the in-flight procedure for causal attribution. Last
         // write wins — a UE has at most one Msg3 outstanding, so a
         // dropped Msg4's retry simply restamps.
         if matches!(r.pdu, Pdu::ContentionResolution { .. }) {
-            if let Some(rach) = self.world.ues[r.ue_local as usize].rach.as_mut() {
+            if let Some(rach) = self.world.ues[i].rach.as_mut() {
                 rach.backhaul_ns = r.backhaul_ns;
             }
         }
+        self.world.ues[i].pending_events += 1;
         self.ex.schedule_at(
             r.deliver_at,
             Ev::UeRx {
-                ue: r.ue_local,
+                ue: r.ue_global as u32,
                 cell: r.cell,
                 tx_beam: r.tx_beam,
                 pdu: r.pdu.clone(),
             },
         );
+    }
+
+    /// Pull out every UE whose trajectory has crossed into another tile
+    /// and which is *quiescent* — no in-flight RACH procedure, no
+    /// targeted event in the queue, and (exact mode) every published
+    /// attempt already resolved by the stage (`resolved_to` is the
+    /// horizon the stage has resolved up to; pass `boundary` in legacy
+    /// mode). Returns `(destination shard, migrant)` pairs ascending by
+    /// global id. `group_of[shard]` is each shard's contention group: a
+    /// UE whose destination lies in a different group is deferred (the
+    /// reachable-cell travel margin keeps its links covered until the
+    /// next boundary).
+    pub(crate) fn extract_migrants(
+        &mut self,
+        boundary: SimTime,
+        tiles: &crate::deployment::TilePartition,
+        group_of: &[u32],
+        resolved_to: SimTime,
+    ) -> Vec<(usize, Migrant)> {
+        let world = &mut self.world;
+        let here = world.shard_idx as usize;
+        let mut picked: Vec<(usize, usize)> = Vec::new(); // (index, dest)
+        for i in 0..world.ues.len() {
+            let pose = world.pose(i, boundary);
+            let dest = tiles.tile_of_x(pose.position.x);
+            if dest == here {
+                continue;
+            }
+            let ue = &world.ues[i];
+            let quiescent = ue.rach.is_none()
+                && ue.pending_events == 0
+                && (!world.exact || ue.last_publish + AIR_DELAY <= resolved_to);
+            if quiescent && group_of[dest] == group_of[here] {
+                picked.push((i, dest));
+            }
+        }
+        let mut out = Vec::with_capacity(picked.len());
+        for &(i, dest) in picked.iter().rev() {
+            out.push((
+                dest,
+                Migrant {
+                    ue: world.ues.remove(i),
+                    pose: world.poses.remove(i),
+                    links: world.links.remove(i),
+                },
+            ));
+        }
+        out.reverse();
+        world.migrations_out += out.len() as u64;
+        out
+    }
+
+    /// Admit a migrant extracted from another tile, keeping the UE
+    /// vector (and its struct-of-arrays companions) ascending by global
+    /// id. The UE's RNG streams, protocol state and link processes
+    /// arrive intact — nothing is re-derived.
+    pub(crate) fn admit(&mut self, m: Migrant) {
+        let world = &mut self.world;
+        let at = world
+            .ues
+            .binary_search_by_key(&m.ue.spec.id, |u| u.spec.id)
+            .expect_err("admitting a UE the shard already owns");
+        world.ues.insert(at, m.ue);
+        world.poses.insert(at, m.pose);
+        world.links.insert(at, m.links);
+        world.migrations_in += 1;
+    }
+
+    /// Distinct serving cells of this shard's UEs (sorted). Used by the
+    /// runner right after construction to close the contention groups
+    /// over initial attachments: a UE spawned in a coverage gap may be
+    /// served by a cell outside its tile's reachable set, and the group
+    /// partition must account for that cell too.
+    pub(crate) fn serving_cells(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.world.ues.iter().map(|u| u.serving).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     pub(crate) fn finish(self) -> ShardOutcome {
@@ -545,6 +744,42 @@ impl ShardSim {
 }
 
 impl FleetWorld {
+    /// Local index of the UE with global id `gid` (the UE vector is
+    /// always ascending by global id, across migrations).
+    fn idx_of(&self, gid: u32) -> Option<usize> {
+        self.ues
+            .binary_search_by_key(&u64::from(gid), |u| u.spec.id)
+            .ok()
+    }
+
+    fn gid(&self, i: usize) -> u32 {
+        self.ues[i].spec.id as u32
+    }
+
+    /// UE `i`'s pose at `now`, memoized per instant in the
+    /// struct-of-arrays pose memo.
+    fn pose(&mut self, i: usize, now: SimTime) -> Pose {
+        let memo = &mut self.poses[i];
+        if memo.0 != now {
+            *memo = (now, self.ues[i].mobility.pose_at(now.as_secs_f64()));
+        }
+        memo.1
+    }
+
+    /// Resolve a targeted event's global id and settle its pending-event
+    /// account. `None` only if the UE migrated with an event in flight —
+    /// which the quiescence guard forbids, hence the debug assert.
+    fn target(&mut self, gid: u32) -> Option<usize> {
+        let i = self.idx_of(gid);
+        debug_assert!(i.is_some(), "targeted event for absent UE {gid}");
+        if let Some(i) = i {
+            let ue = &mut self.ues[i];
+            debug_assert!(ue.pending_events > 0, "pending-event underflow");
+            ue.pending_events = ue.pending_events.saturating_sub(1);
+        }
+        i
+    }
+
     fn dispatch(&mut self, ex: &mut Executive<Ev>, now: SimTime, ev: Ev) {
         match ev {
             Ev::Burst { k } => {
@@ -584,25 +819,40 @@ impl FleetWorld {
                 cell,
                 tx_beam,
                 pdu,
-            } => self.on_ue_rx(ex, now, ue as usize, cell as usize, tx_beam, pdu),
-            Ev::BsRx { ue, cell, pdu } => self.on_bs_rx(ex, now, ue as usize, cell as usize, pdu),
-            Ev::AssistApply { ue, cell, tx_beam } => {
-                let (ue, cell) = (ue as usize, cell as usize);
-                self.ues[ue].bs_tx_beam[cell] = tx_beam;
-                ex.schedule_in(
-                    AIR_DELAY,
-                    Ev::UeRx {
-                        ue: ue as u32,
-                        cell: cell as u16,
-                        tx_beam,
-                        pdu: Pdu::BeamSwitchCommand {
-                            cell: CellId(cell as u16),
-                            tx_beam,
-                        },
-                    },
-                );
+            } => {
+                if let Some(i) = self.target(ue) {
+                    self.on_ue_rx(ex, now, i, cell as usize, tx_beam, pdu);
+                }
             }
-            Ev::RachTry { ue } => self.on_rach_try(ex, now, ue as usize),
+            Ev::BsRx { ue, cell, pdu } => {
+                if let Some(i) = self.target(ue) {
+                    self.on_bs_rx(ex, now, i, cell as usize, pdu);
+                }
+            }
+            Ev::AssistApply { ue, cell, tx_beam } => {
+                if let Some(i) = self.target(ue) {
+                    let cell = cell as usize;
+                    self.ues[i].bs_tx_beam[cell] = tx_beam;
+                    self.ues[i].pending_events += 1;
+                    ex.schedule_in(
+                        AIR_DELAY,
+                        Ev::UeRx {
+                            ue,
+                            cell: cell as u16,
+                            tx_beam,
+                            pdu: Pdu::BeamSwitchCommand {
+                                cell: CellId(cell as u16),
+                                tx_beam,
+                            },
+                        },
+                    );
+                }
+            }
+            Ev::RachTry { ue } => {
+                if let Some(i) = self.target(ue) {
+                    self.on_rach_try(ex, now, i);
+                }
+            }
             Ev::Snapshot { k } => {
                 // Depth sampled before the next boundary is armed, so the
                 // chain itself never inflates the gauge.
@@ -660,11 +910,10 @@ impl FleetWorld {
         tx_beam: TxBeamIndex,
         rx_beam: BeamId,
     ) -> Option<Dbm> {
-        let ue = &mut self.ues[i];
-        let pose = ue.pose_at(now);
-        ue.links.step_to(now);
-        ue.links
-            .rss(&self.sites, cell, tx_beam, pose, &self.ue_codebook, rx_beam)
+        let pose = self.pose(i, now);
+        let links = &mut self.links[i];
+        links.step_to(now);
+        links.rss(&self.sites, cell, tx_beam, pose, &self.ue_codebook, rx_beam)
     }
 
     fn delivery_ok(&mut self, i: usize, rss: Option<Dbm>) -> bool {
@@ -675,7 +924,34 @@ impl FleetWorld {
 
     // ----- event handlers ---------------------------------------------------
 
+    /// Recompute UE `i`'s interest set from its current position
+    /// (no-op unless an interest radius is configured). Runs at each SSB
+    /// burst — the natural refresh cadence, since bursts are when links
+    /// are measured — and always force-includes the serving cell and any
+    /// in-flight RACH target so active procedures never lose their link.
+    fn refresh_interest(&mut self, i: usize, now: SimTime) {
+        let Some(radius) = self.cfg.interest_radius_m else {
+            return;
+        };
+        let pose = self.pose(i, now);
+        let ue = &self.ues[i];
+        let target = ue.rach.as_ref().map(|r| r.target);
+        let mut scratch = std::mem::take(&mut self.interest_scratch);
+        interest_cells(
+            &self.cells_by_x,
+            &self.cfg.base,
+            pose.position,
+            radius,
+            ue.serving,
+            target,
+            &mut scratch,
+        );
+        self.links[i].set_interest(&scratch);
+        self.interest_scratch = scratch;
+    }
+
     fn on_burst_ue(&mut self, ex: &mut Executive<Ev>, now: SimTime, i: usize) {
+        self.refresh_interest(i, now);
         // Serving link: probe adjacent receive beams (snapshot traced
         // once, both probes reuse it).
         let serving = self.ues[i].serving;
@@ -698,10 +974,16 @@ impl FleetWorld {
         // SSB sweep is one batched evaluation (single trace, one pass
         // over the rays), then the SSBs feed the protocol in beam order —
         // identical inputs and RNG draws to per-beam probing, without the
-        // N-beam re-traces.
+        // N-beam re-traces. Only the interest set is swept: a cell out
+        // of radio range costs zero traces (with no radius configured
+        // the active set is every cell, the pre-interest behaviour).
         if self.cfg.base.gaps.in_gap(now) {
             let gap_beam = self.ues[i].proto.gap_rx_beam();
-            for cell in 0..self.sites.len() {
+            for ci in 0.. {
+                let cell = match self.links[i].active_cells().get(ci) {
+                    Some(&c) => c as usize,
+                    None => break,
+                };
                 let serving_now = self.ues[i].serving;
                 if cell == serving_now && !self.post_rlf_search(i) {
                     continue;
@@ -711,10 +993,10 @@ impl FleetWorld {
                     self.telemetry.scratch_growth += 1;
                 }
                 self.sweep_scratch.resize(n_beams, Dbm(f64::NEG_INFINITY));
-                let ue = &mut self.ues[i];
-                let pose = ue.pose_at(now);
-                ue.links.step_to(now);
-                if !ue.links.rss_tx_sweep(
+                let pose = self.pose(i, now);
+                let links = &mut self.links[i];
+                links.step_to(now);
+                if !links.rss_tx_sweep(
                     &self.sites,
                     cell,
                     pose,
@@ -849,31 +1131,33 @@ impl FleetWorld {
                 {
                     return;
                 }
-                let pose = self.ues[i].pose_at(now);
+                let pose = self.pose(i, now);
                 let best = self.sites.best_tx_beam_towards(cell, pose.position);
                 let delay =
                     self.cfg.base.assist_processing + self.cfg.base.fault.assist_extra_delay;
+                self.ues[i].pending_events += 1;
                 ex.schedule_in(
                     delay,
                     Ev::AssistApply {
-                        ue: i as u32,
+                        ue: self.gid(i),
                         cell: cell as u16,
                         tx_beam: best,
                     },
                 );
             }
             Pdu::RachPreamble { preamble, ssb_beam } => {
-                let distance = self.ues[i]
-                    .pose_at(now)
+                let distance = self
+                    .pose(i, now)
                     .position
                     .distance(self.cfg.base.cells[cell].position);
                 if let Some(plan) =
                     self.responders[cell].on_preamble(now, preamble, ssb_beam, distance)
                 {
+                    self.ues[i].pending_events += 1;
                     ex.schedule_in(
                         plan.delay,
                         Ev::UeRx {
-                            ue: i as u32,
+                            ue: self.gid(i),
                             cell: cell as u16,
                             tx_beam: plan.tx_beam,
                             pdu: plan.pdu,
@@ -893,10 +1177,11 @@ impl FleetWorld {
                         r.backhaul_ns = (plan.queue_wait + plan.fetch).as_nanos();
                     }
                     let tx_beam = self.ues[i].rach.as_ref().map(|r| r.ssb_beam).unwrap_or(0);
+                    self.ues[i].pending_events += 1;
                     ex.schedule_in(
                         plan.delay,
                         Ev::UeRx {
-                            ue: i as u32,
+                            ue: self.gid(i),
                             cell: cell as u16,
                             tx_beam,
                             pdu: plan.pdu,
@@ -946,6 +1231,10 @@ impl FleetWorld {
                     // Published to the shared cross-shard stage instead of
                     // this shard's responder; the resolved reply fans back
                     // as a plain `UeRx` after the next occasion barrier.
+                    // The publish instant also pins the UE to this shard
+                    // until the stage has resolved past the arrival — the
+                    // migration quiescence guard reads it.
+                    self.ues[i].last_publish = now;
                     if self.outbox.len() == self.outbox.capacity() {
                         self.telemetry.scratch_growth += 1;
                     }
@@ -953,10 +1242,11 @@ impl FleetWorld {
                     return;
                 }
             }
+            self.ues[i].pending_events += 1;
             ex.schedule_in(
                 AIR_DELAY,
                 Ev::BsRx {
-                    ue: i as u32,
+                    ue: self.gid(i),
                     cell: cell as u16,
                     pdu,
                 },
@@ -1001,7 +1291,6 @@ impl FleetWorld {
             at,
             ue_global: self.ues[i].spec.id,
             shard: self.shard_idx,
-            ue_local: i as u32,
             cell: cell as u16,
             req,
         })
@@ -1053,7 +1342,8 @@ impl FleetWorld {
                 let ssb = self.cfg.base.ssb(rach.target);
                 let at = base_prach.next_occasion(&ssb, now, rach.ssb_beam);
                 rach.try_pending = true;
-                ex.schedule_at(at, Ev::RachTry { ue: i as u32 });
+                self.ues[i].pending_events += 1;
+                ex.schedule_at(at, Ev::RachTry { ue: self.gid(i) });
             }
             RachState::Failed => self.abort_rach(ex, now, i),
             _ => {}
@@ -1219,7 +1509,8 @@ impl FleetWorld {
             msg3_at: None,
             backhaul_ns: 0,
         });
-        ex.schedule_at(at, Ev::RachTry { ue: i as u32 });
+        ue.pending_events += 1;
+        ex.schedule_at(at, Ev::RachTry { ue: self.gid(i) });
     }
 
     // ----- result collection ------------------------------------------------
@@ -1272,15 +1563,17 @@ impl FleetWorld {
         };
         let mut traces_cast = 0u64;
         let mut rays_tested = 0u64;
+        for links in &self.links {
+            let ls = links.stats();
+            traces_cast += ls.traces_cast;
+            rays_tested += ls.rays_tested;
+        }
         for ue in &mut self.ues {
             ue.bank_proto();
             if let Some(rec) = ue.proto.finish_recording() {
                 out.ue_traces
                     .push(rec.into_trace(ue.spec.id, ue.uid.0, ue.spec.protocol));
             }
-            let ls = ue.links.stats();
-            traces_cast += ls.traces_cast;
-            rays_tested += ls.rays_tested;
             out.handovers += ue.handovers;
             out.rlfs += ue.rlfs;
             out.rach_attempts += ue.rach_attempts;
@@ -1309,6 +1602,15 @@ impl FleetWorld {
         profile
             .counters
             .add("fleet.scratch_growth", self.telemetry.scratch_growth);
+        // Migration traffic: counted once per move on each side, so the
+        // fleet-wide in/out totals agree and the merged counter is a
+        // deterministic function of the run (not of worker count).
+        profile
+            .counters
+            .add("fleet.migrations_in", self.migrations_in);
+        profile
+            .counters
+            .add("fleet.migrations_out", self.migrations_out);
         if let Some(ring) = &self.telemetry.ring {
             profile.counters.add("obs.snapshot_slices", ring.pushed());
         }

@@ -92,10 +92,10 @@ pub struct RachAttemptMsg {
     pub at: SimTime,
     /// Global UE id — the canonical tie-break, stable across shardings.
     pub ue_global: u64,
-    /// Owning shard, for reply routing.
+    /// Owning shard at publish time, for reply routing. Replies carry the
+    /// global UE id, not a local index — local indices shift when *other*
+    /// UEs migrate between publish and delivery.
     pub shard: u32,
-    /// Index of the UE within its shard, for reply delivery.
-    pub ue_local: u32,
     pub cell: u16,
     pub req: RachReq,
 }
@@ -106,7 +106,10 @@ pub struct RachAttemptMsg {
 #[derive(Debug, Clone, PartialEq)]
 pub struct RachReply {
     pub deliver_at: SimTime,
-    pub ue_local: u32,
+    /// Global UE id — the shard resolves it to a local index at delivery
+    /// time (binary search on its id-sorted UE vector), so replies stay
+    /// valid across migrations that reshuffle local indices.
+    pub ue_global: u64,
     pub cell: u16,
     pub tx_beam: TxBeamIndex,
     pub pdu: Pdu,
@@ -152,7 +155,7 @@ pub struct SharedRachStage {
     /// Per-occasion batch scratch (one cell, one instant), and the
     /// shard/UE routing parallel to it.
     batch: Vec<PreambleRx>,
-    batch_dst: Vec<(u32, u32)>,
+    batch_dst: Vec<(u32, u64)>,
     rar_out: Vec<Option<RarPlan>>,
     counters: StageCounters,
     min_reply_delay: SimDuration,
@@ -289,7 +292,7 @@ impl SharedRachStage {
                             ssb_beam,
                             distance_m,
                         });
-                        self.batch_dst.push((m.shard, m.ue_local));
+                        self.batch_dst.push((m.shard, m.ue_global));
                     }
                 }
                 if self.batch.is_empty() {
@@ -302,12 +305,12 @@ impl SharedRachStage {
                 self.responders[cell as usize].resolve(&mut self.batch, &mut self.rar_out);
                 for (k, plan) in self.rar_out.iter().enumerate() {
                     let Some(plan) = plan else { continue };
-                    let (shard, ue_local) = self.batch_dst[k];
+                    let (shard, ue_global) = self.batch_dst[k];
                     deliver(
                         shard,
                         RachReply {
                             deliver_at: at + plan.delay,
-                            ue_local,
+                            ue_global,
                             cell,
                             tx_beam: plan.tx_beam,
                             pdu: plan.pdu.clone(),
@@ -334,7 +337,7 @@ impl SharedRachStage {
                             m.shard,
                             RachReply {
                                 deliver_at: m.at + plan.delay,
-                                ue_local: m.ue_local,
+                                ue_global: m.ue_global,
                                 cell: m.cell,
                                 tx_beam: reply_tx_beam,
                                 pdu: plan.pdu.clone(),
@@ -374,7 +377,6 @@ mod tests {
             at,
             ue_global: ue,
             shard,
-            ue_local: ue as u32 / 2,
             cell,
             req: RachReq::Preamble {
                 preamble: p,

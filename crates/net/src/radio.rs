@@ -94,10 +94,21 @@ impl Sites {
     }
 }
 
-/// One mobile's stochastic links to every cell: a [`LinkChannel`] plus its
-/// dedicated RNG stream per (this UE, cell) pair, advanced together.
+/// One mobile's stochastic links: a [`LinkChannel`] plus its dedicated
+/// RNG stream per (this UE, cell) pair.
 ///
-/// Each link keeps a [`PathSet`] snapshot tagged with the (instant, UE
+/// Links are stored in per-cell *slots* created lazily the first time a
+/// cell enters the UE's **interest set** ([`LinkSet::set_interest`]) or
+/// is measured. Each link draws only from its own stream, so creating,
+/// suspending or resuming one link never perturbs the channel draws of
+/// any other — the property that makes interest management (restricting
+/// a fleet UE's links to cells within radio range) RNG-safe. A link that
+/// leaves the interest set keeps its slot but stops advancing; if it is
+/// measured again it catches up to the set clock in one step, so its
+/// fading correlation decays over the whole gap exactly as the process
+/// prescribes for that elapsed time.
+///
+/// Each slot keeps a [`PathSet`] snapshot tagged with the (instant, UE
 /// position) it was traced at. Every RSS evaluation at the same instant —
 /// all beams of an SSB sweep, the serving probe fan, a PDU delivery
 /// sample — reuses the snapshot, so one measurement instant costs one
@@ -107,13 +118,20 @@ impl Sites {
 /// and consume no draws (see [`LinkChannel::trace_into`]).
 #[derive(Debug)]
 pub struct LinkSet {
-    channels: Vec<LinkChannel>,
-    rngs: Vec<StdRng>,
-    last_step: SimTime,
-    /// Per-cell path snapshot (scratch buffers, reused forever).
-    snaps: Vec<PathSet>,
-    /// The (instant, UE position) each snapshot was taken at.
-    snap_key: Vec<Option<(SimTime, Vec2)>>,
+    config: ChannelConfig,
+    streams: RngStreams,
+    seeding: LinkSeeding,
+    n_cells: usize,
+    /// Per-cell link state, sorted by cell id; slots persist once
+    /// created (struct-of-arrays friendly: one contiguous scratch run
+    /// per UE, only as long as the cells this UE ever heard).
+    slots: Vec<LinkSlot>,
+    /// The interest set: sorted cell ids advanced by [`Self::step_to`]
+    /// and swept by the fleet's measurement pass.
+    active: Vec<u16>,
+    /// Set-level clock: the instant the active links were last advanced
+    /// to. Lagging slots catch up to it on demand.
+    clock: SimTime,
     /// Occlusion candidate scratch for the dynamic-environment pass,
     /// reused every snapshot (sized once to the blocker count).
     occl: OcclusionScratch,
@@ -122,6 +140,29 @@ pub struct LinkSet {
     /// Deterministic — pure functions of the measurement sequence.
     traces_cast: u64,
     rays_tested: u64,
+}
+
+/// Which RNG-stream labelling scheme seeds a lazily created link.
+#[derive(Debug, Clone, Copy)]
+enum LinkSeeding {
+    /// `"channel"` × cell index — the single-UE executor's labels.
+    SingleUe,
+    /// `"fleet-channel"` × `(ue << 20) | cell` — fleet labels, disjoint
+    /// per UE.
+    Fleet { ue: u64 },
+}
+
+#[derive(Debug)]
+struct LinkSlot {
+    cell: u16,
+    channel: LinkChannel,
+    rng: StdRng,
+    /// The instant this link's processes were last advanced to.
+    last_step: SimTime,
+    /// Path snapshot (scratch buffer, reused forever) and the
+    /// (instant, UE position) it was traced at.
+    snap: PathSet,
+    snap_key: Option<(SimTime, Vec2)>,
 }
 
 /// Deterministic per-link-set work counters, drained into the run
@@ -137,39 +178,117 @@ pub struct LinkStats {
 impl LinkSet {
     /// Streams labelled exactly as the single-UE executor always labelled
     /// them (`"channel"` × cell index), preserving seeded baselines.
+    /// Every cell is in the interest set from the start.
     pub fn single_ue(streams: &RngStreams, config: ChannelConfig, n_cells: usize) -> LinkSet {
-        Self::build(
-            config,
-            (0..n_cells).map(|i| streams.stream_indexed("channel", i as u64)),
-        )
+        let mut set = Self::empty(streams, config, n_cells, LinkSeeding::SingleUe);
+        set.activate_all();
+        set
     }
 
     /// Streams for UE number `ue` of a fleet; disjoint from every other
-    /// UE's streams and from the single-UE labels.
+    /// UE's streams and from the single-UE labels. Every cell is in the
+    /// interest set from the start (the pre-interest-management
+    /// behaviour, byte-identical draws).
     pub fn for_ue(streams: &RngStreams, config: ChannelConfig, n_cells: usize, ue: u64) -> LinkSet {
-        Self::build(
-            config,
-            (0..n_cells).map(|i| streams.stream_indexed("fleet-channel", (ue << 20) | i as u64)),
-        )
+        let mut set = Self::empty(streams, config, n_cells, LinkSeeding::Fleet { ue });
+        set.activate_all();
+        set
     }
 
-    fn build(config: ChannelConfig, rngs: impl Iterator<Item = StdRng>) -> LinkSet {
-        let mut rngs: Vec<StdRng> = rngs.collect();
-        let channels: Vec<LinkChannel> = rngs
-            .iter_mut()
-            .map(|rng| LinkChannel::new(rng, config))
-            .collect();
-        let n = channels.len();
+    /// Fleet streams with an *empty* interest set: no link exists until
+    /// [`Self::set_interest`] (or a measurement) touches its cell.
+    pub fn for_ue_interest(
+        streams: &RngStreams,
+        config: ChannelConfig,
+        n_cells: usize,
+        ue: u64,
+    ) -> LinkSet {
+        Self::empty(streams, config, n_cells, LinkSeeding::Fleet { ue })
+    }
+
+    fn empty(
+        streams: &RngStreams,
+        config: ChannelConfig,
+        n_cells: usize,
+        seeding: LinkSeeding,
+    ) -> LinkSet {
         LinkSet {
-            channels,
-            rngs,
-            last_step: SimTime::ZERO,
-            snaps: (0..n).map(|_| PathSet::new()).collect(),
-            snap_key: vec![None; n],
+            config,
+            streams: streams.clone(),
+            seeding,
+            n_cells,
+            slots: Vec::new(),
+            active: Vec::new(),
+            clock: SimTime::ZERO,
             occl: OcclusionScratch::new(),
             traces_cast: 0,
             rays_tested: 0,
         }
+    }
+
+    fn activate_all(&mut self) {
+        let cells: Vec<u16> = (0..self.n_cells as u16).collect();
+        self.set_interest(&cells);
+    }
+
+    /// The fresh, never-advanced RNG stream of (this UE, `cell`) — a pure
+    /// function of the master seed, so a slot created at `t > 0` draws
+    /// exactly what it would have drawn if created at `t = 0`.
+    fn seed_rng(&self, cell: u16) -> StdRng {
+        match self.seeding {
+            LinkSeeding::SingleUe => self.streams.stream_indexed("channel", u64::from(cell)),
+            LinkSeeding::Fleet { ue } => self
+                .streams
+                .stream_indexed("fleet-channel", (ue << 20) | u64::from(cell)),
+        }
+    }
+
+    fn ensure_slot(&mut self, cell: u16) -> usize {
+        debug_assert!((cell as usize) < self.n_cells);
+        match self.slots.binary_search_by_key(&cell, |s| s.cell) {
+            Ok(i) => i,
+            Err(i) => {
+                let mut rng = self.seed_rng(cell);
+                let channel = LinkChannel::new(&mut rng, self.config);
+                self.slots.insert(
+                    i,
+                    LinkSlot {
+                        cell,
+                        channel,
+                        rng,
+                        last_step: SimTime::ZERO,
+                        snap: PathSet::new(),
+                        snap_key: None,
+                    },
+                );
+                i
+            }
+        }
+    }
+
+    /// Replace the interest set with `cells` (sorted, deduplicated cell
+    /// ids). Links for newly interesting cells are created on the spot
+    /// from their own streams; links leaving the set keep their slot but
+    /// stop advancing. The fleet engine refreshes this from each UE's
+    /// position every SSB burst, always force-including the serving cell
+    /// and any in-flight RACH target.
+    pub fn set_interest(&mut self, cells: &[u16]) {
+        debug_assert!(cells.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        for &c in cells {
+            self.ensure_slot(c);
+        }
+        self.active.clear();
+        self.active.extend_from_slice(cells);
+    }
+
+    /// The current interest set, ascending.
+    pub fn active_cells(&self) -> &[u16] {
+        &self.active
+    }
+
+    /// Number of cells this set indexes (interesting or not).
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
     }
 
     /// Trace/ray work counters accumulated since construction.
@@ -180,16 +299,26 @@ impl LinkSet {
         }
     }
 
-    /// Advance every link's time-correlated processes to `now`. Snapshots
-    /// stay valid only within one instant: their key carries the step
-    /// time, so advancing the clock invalidates them implicitly.
+    /// Advance every *interesting* link's time-correlated processes to
+    /// `now`. Snapshots stay valid only within one instant: their key
+    /// carries the step time, so advancing the clock invalidates them
+    /// implicitly. Links outside the interest set stay frozen and catch
+    /// up in one step if they are ever measured again.
     pub fn step_to(&mut self, now: SimTime) {
-        let dt = now.since(self.last_step).as_secs_f64();
-        if dt > 0.0 {
-            for (ch, rng) in self.channels.iter_mut().zip(self.rngs.iter_mut()) {
-                ch.step(rng, dt);
+        self.clock = now;
+        let mut ai = 0;
+        for slot in &mut self.slots {
+            if ai == self.active.len() {
+                break;
             }
-            self.last_step = now;
+            if slot.cell == self.active[ai] {
+                ai += 1;
+                let dt = now.since(slot.last_step).as_secs_f64();
+                if dt > 0.0 {
+                    slot.channel.step(&mut slot.rng, dt);
+                    slot.last_step = now;
+                }
+            }
         }
     }
 
@@ -200,30 +329,40 @@ impl LinkSet {
     /// and allocates nothing in steady state, so the zero-allocation and
     /// determinism contracts of the sweep path carry over unchanged.
     fn snapshot(&mut self, sites: &Sites, cell: usize, ue_pos: Vec2) -> &PathSet {
-        let key = Some((self.last_step, ue_pos));
-        if self.snap_key[cell] != key {
+        let i = self.ensure_slot(cell as u16);
+        let clock = self.clock;
+        let slot = &mut self.slots[i];
+        // A link measured from outside the interest set catches up to
+        // the set clock first (its own stream — no other link notices).
+        let dt = clock.since(slot.last_step).as_secs_f64();
+        if dt > 0.0 {
+            slot.channel.step(&mut slot.rng, dt);
+            slot.last_step = clock;
+        }
+        let key = Some((slot.last_step, ue_pos));
+        if slot.snap_key != key {
             let bs_pos = sites.pose(cell).position;
-            self.channels[cell].trace_into(
-                &mut self.rngs[cell],
+            slot.channel.trace_into(
+                &mut slot.rng,
                 &sites.environment,
                 bs_pos,
                 ue_pos,
-                &mut self.snaps[cell],
+                &mut slot.snap,
             );
             if let Some(dynamics) = &sites.dynamics {
                 dynamics.occlude(
-                    self.last_step.as_secs_f64(),
+                    slot.last_step.as_secs_f64(),
                     bs_pos,
                     ue_pos,
-                    &mut self.snaps[cell],
+                    &mut slot.snap,
                     &mut self.occl,
                 );
             }
             self.traces_cast += 1;
-            self.rays_tested += self.snaps[cell].len() as u64;
-            self.snap_key[cell] = key;
+            self.rays_tested += slot.snap.len() as u64;
+            slot.snap_key = key;
         }
-        &self.snaps[cell]
+        &self.slots[i].snap
     }
 
     /// Downlink RSS from `cell` on (`tx_beam`, `rx_beam`) for a UE at

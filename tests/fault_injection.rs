@@ -6,12 +6,20 @@
 use st_des::SimDuration;
 use st_net::scenarios::{eval_config, human_walk};
 use st_net::ProtocolKind;
+use st_phy::units::Db;
 
 #[test]
 fn dropped_assistance_exercises_edge_g() {
     let mut cfg = eval_config(ProtocolKind::SilentTracker);
     cfg.fault.drop_assist_probability = 1.0; // BS never answers
     cfg.duration = SimDuration::from_secs(30);
+    // At the paper operating point the serving-loss reference decays
+    // toward a slowly falling level, so a plain walk's gradual fade no
+    // longer reads as a beam failure and the CABM request this test
+    // needs would never be sent. Pin the decay to zero here: the
+    // subject under test is the assistance fault path (edge G), not
+    // the escalation policy, which has its own unit coverage.
+    cfg.tracker.loss_reference_decay = Db(0.0);
     let mut fallbacks = 0u64;
     let mut completions = 0;
     for seed in 0..6 {
@@ -33,12 +41,12 @@ fn delayed_assistance_still_converges() {
     let mut cfg = eval_config(ProtocolKind::SilentTracker);
     cfg.fault.assist_extra_delay = SimDuration::from_millis(100); // > assist_timeout
     cfg.duration = SimDuration::from_secs(30);
+    cfg.tracker.loss_reference_decay = Db(0.0); // see edge-G test above
     let out = human_walk(&cfg, 2).run();
     let stats = out.tracker_stats.unwrap();
     // The delayed command arrives after the timeout: edge G taken.
-    if stats.cabm_requests > 0 {
-        assert!(stats.assist_lost > 0, "{stats:?}");
-    }
+    assert!(stats.cabm_requests > 0, "walk never requested assistance");
+    assert!(stats.assist_lost > 0, "{stats:?}");
     assert!(out.handover_succeeded(), "handover failed under delay");
 }
 

@@ -80,8 +80,8 @@ fn check_arm(ues: u64, protocol: ProtocolKind, min_samples: u64) {
 
 #[test]
 fn sketch_tracks_exact_ecdf_on_small_fleet_both_arms() {
-    check_arm(48, ProtocolKind::SilentTracker, 5);
-    check_arm(48, ProtocolKind::Reactive, 2);
+    check_arm(96, ProtocolKind::SilentTracker, 5);
+    check_arm(96, ProtocolKind::Reactive, 2);
 }
 
 /// The ISSUE acceptance point: 1,000 UEs per arm, sketch quantiles

@@ -217,7 +217,6 @@ fn shared_rach_stage_steady_state_allocates_nothing() {
                 at: occasion,
                 ue_global: ue,
                 shard: (ue % 8) as u32,
-                ue_local: (ue / 8) as u32,
                 cell: (ue % 4) as u16,
                 req: RachReq::Preamble {
                     preamble: (ue % 3) as u8,
@@ -231,7 +230,6 @@ fn shared_rach_stage_steady_state_allocates_nothing() {
                 at: occasion + SimDuration::from_micros(100),
                 ue_global: 100 + ue,
                 shard: (ue % 8) as u32,
-                ue_local: ue as u32,
                 cell: (ue % 4) as u16,
                 req: RachReq::Msg3 {
                     temp: None,
